@@ -1,0 +1,83 @@
+//! E1 — Corollary to Theorem 3: exact insertion translatability.
+//!
+//! Paper claim: decidable in `O(|V|³ log |V|)` worst case (per-chase
+//! `O(|V|² log |V| · |Σ| · |Y−X|)`), and the whole view must be examined,
+//! so time grows at least linearly in `|V|`.
+//!
+//! Series: exact test (with the paper's pre-chase shortcut) vs the naive
+//! rebuild-per-pair variant (ablation), over `|V|` and `|Y−X|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relvu_bench::{edm_workload, V_SIZES};
+use relvu_core::{translate_insert, translate_insert_naive};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e01_insert_exact");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for &rows in V_SIZES {
+        let w = edm_workload(2, rows, (rows / 8).max(2), 0xE1);
+        let t = w.accepted_kind[0].clone();
+        g.bench_with_input(BenchmarkId::new("exact", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    translate_insert(
+                        &w.bench.schema,
+                        &w.bench.fds,
+                        w.bench.x,
+                        w.bench.y,
+                        &w.v,
+                        &t,
+                    )
+                    .unwrap()
+                    .is_translatable(),
+                )
+            })
+        });
+        if rows <= 256 {
+            g.bench_with_input(BenchmarkId::new("naive_ablation", rows), &rows, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        translate_insert_naive(
+                            &w.bench.schema,
+                            &w.bench.fds,
+                            w.bench.x,
+                            w.bench.y,
+                            &w.v,
+                            &t,
+                        )
+                        .unwrap()
+                        .is_translatable(),
+                    )
+                })
+            });
+        }
+    }
+    // |Y − X| sweep at fixed |V|.
+    for width in [1usize, 4, 16] {
+        let w = edm_workload(width, 256, 16, 0xE1);
+        let t = w.accepted_kind[0].clone();
+        g.bench_with_input(BenchmarkId::new("width", width), &width, |b, _| {
+            b.iter(|| {
+                black_box(
+                    translate_insert(
+                        &w.bench.schema,
+                        &w.bench.fds,
+                        w.bench.x,
+                        w.bench.y,
+                        &w.v,
+                        &t,
+                    )
+                    .unwrap()
+                    .is_translatable(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E2 — §3.1 Test 1: the conservative two-tuple-chase test.
+//!
+//! Paper claim: a strictly stronger test, runnable faster than the exact
+//! chase; it may reject translatable insertions. This bench measures its
+//! runtime over `|V|` (the companion `tables` bench reports its
+//! false-rejection rate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relvu_bench::{edm_workload, V_SIZES};
+use relvu_core::Test1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e02_test1");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for &rows in V_SIZES {
+        let w = edm_workload(2, rows, (rows / 8).max(2), 0xE2);
+        let t = w.accepted_kind[0].clone();
+        g.bench_with_input(BenchmarkId::new("test1", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Test1
+                        .check(
+                            &w.bench.schema,
+                            &w.bench.fds,
+                            w.bench.x,
+                            w.bench.y,
+                            &w.v,
+                            &t,
+                        )
+                        .unwrap()
+                        .is_translatable(),
+                )
+            })
+        });
+        // Cheap structural rejection for contrast.
+        let rej = w.rejected_kind[0].clone();
+        g.bench_with_input(BenchmarkId::new("test1_reject_a", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Test1
+                        .check(
+                            &w.bench.schema,
+                            &w.bench.fds,
+                            w.bench.x,
+                            w.bench.y,
+                            &w.v,
+                            &rej,
+                        )
+                        .unwrap()
+                        .is_translatable(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

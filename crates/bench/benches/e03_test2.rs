@@ -1,0 +1,46 @@
+//! E3 — §3.1 Test 2: good complements.
+//!
+//! Paper claims: the goodness check is `O(|Σ|² |U|)` *once per schema*;
+//! with a good complement, the per-insert test is one chase of the filled
+//! view (`O(|V|² log |V| |Σ| |Y−X|)`) plus an `O(|V| |Σ|)` pairwise check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relvu_bench::{edm_workload, V_SIZES};
+use relvu_core::{GoodComplement, Test2};
+use relvu_workload::schema_gen;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e03_test2");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    // Schema-level goodness analysis cost vs |U| (and thus |Σ|).
+    for n in [4usize, 16, 64] {
+        let b = schema_gen::chain_family(n);
+        g.bench_with_input(BenchmarkId::new("goodness_check", n), &n, |bch, _| {
+            bch.iter(|| black_box(GoodComplement::analyze(&b.schema, &b.fds, b.x, b.y).is_good()))
+        });
+    }
+    // Per-insert cost vs |V| once prepared.
+    for &rows in V_SIZES {
+        let w = edm_workload(2, rows, (rows / 8).max(2), 0xE3);
+        let prepared = Test2::prepare(&w.bench.schema, &w.bench.fds, w.bench.x, w.bench.y);
+        assert!(prepared.goodness().is_good());
+        let t = w.accepted_kind[0].clone();
+        g.bench_with_input(BenchmarkId::new("per_insert", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    prepared
+                        .check(&w.bench.schema, &w.bench.fds, &w.v, &t)
+                        .unwrap()
+                        .is_translatable(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E5 — Corollary 1 (Theorem 1): complementarity is testable in
+//! polynomial time.
+//!
+//! Series: the FD fast path over `|U|`, the chase path with a JD present,
+//! and the AttrSet-vs-BTreeSet representation ablation from DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relvu_bench::U_SIZES;
+use relvu_core::{are_complementary, are_complementary_with_jds};
+use relvu_deps::Jd;
+use relvu_workload::schema_gen;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e05_complementarity");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for &n in U_SIZES {
+        let b = schema_gen::chain_family(n);
+        g.bench_with_input(BenchmarkId::new("fd_fast_path", n), &n, |bch, _| {
+            bch.iter(|| black_box(are_complementary(&b.schema, &b.fds, b.x, b.y)))
+        });
+    }
+    for n in [4usize, 8, 16] {
+        let b = schema_gen::chain_family(n);
+        let jd = Jd::binary(b.x, b.y);
+        g.bench_with_input(BenchmarkId::new("with_jd_chase", n), &n, |bch, _| {
+            bch.iter(|| {
+                black_box(
+                    are_complementary_with_jds(
+                        &b.schema,
+                        &b.fds,
+                        std::slice::from_ref(&jd),
+                        b.x,
+                        b.y,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    // Ablation: bitset AttrSet intersection/subset vs a naive BTreeSet.
+    let b = schema_gen::chain_family(64);
+    let (x, y) = (b.x, b.y);
+    let xs: BTreeSet<usize> = x.iter().map(|a| a.index()).collect();
+    let ys: BTreeSet<usize> = y.iter().map(|a| a.index()).collect();
+    g.bench_function("ablation/attrset_ops", |bch| {
+        bch.iter(|| {
+            let i = x & y;
+            let d = y - x;
+            black_box(i.is_subset(&y) && !d.is_empty())
+        })
+    });
+    g.bench_function("ablation/btreeset_ops", |bch| {
+        bch.iter(|| {
+            let i: BTreeSet<usize> = xs.intersection(&ys).copied().collect();
+            let d: BTreeSet<usize> = ys.difference(&xs).copied().collect();
+            black_box(i.is_subset(&ys) && !d.is_empty())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E6 — Corollary 2 vs Theorem 2: minimal complements are polynomial,
+//! *minimum* complements are NP-complete.
+//!
+//! Series on the paper's own Theorem 2 gadget (3-SAT schemas): the greedy
+//! minimal complement stays flat while the exact subset search grows
+//! exponentially in `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use relvu_core::{minimal_complement, minimum_complement};
+use relvu_logic::reductions::thm2::Thm2Instance;
+use relvu_logic::Cnf;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e06_min_complement");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    for n in [3usize, 4, 5, 6] {
+        let formula = Cnf::random(&mut rng, n, n + 2);
+        let inst = Thm2Instance::generate(&formula);
+        g.bench_with_input(BenchmarkId::new("greedy_cor2", n), &n, |b, _| {
+            b.iter(|| black_box(minimal_complement(&inst.schema, &inst.fds, inst.view)))
+        });
+        g.bench_with_input(BenchmarkId::new("exact_thm2", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(minimum_complement(
+                    &inst.schema,
+                    &inst.fds,
+                    inst.view,
+                    1 << 22,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

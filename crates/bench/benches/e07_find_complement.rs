@@ -1,0 +1,41 @@
+//! E7 — Theorem 6: finding a complement that renders an insertion
+//! translatable takes at most `min(|V|, 2^{|X|})` translatability tests.
+//!
+//! Series: search time over `|V|`; the `tables` bench also reports the
+//! test counts against the bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relvu_bench::{edm_workload, V_SIZES};
+use relvu_core::find_complement::{find_complement, TestMode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e07_find_complement");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for &rows in V_SIZES {
+        let w = edm_workload(2, rows, (rows / 8).max(2), 0xE7);
+        let t = w.accepted_kind[0].clone();
+        for mode in [TestMode::Exact, TestMode::Test1] {
+            let label = match mode {
+                TestMode::Exact => "exact",
+                TestMode::Test1 => "test1",
+                TestMode::Test2 => "test2",
+            };
+            g.bench_with_input(BenchmarkId::new(label, rows), &rows, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        find_complement(&w.bench.schema, &w.bench.fds, w.bench.x, &w.v, &t, mode)
+                            .unwrap()
+                            .found,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E8 — Theorem 4: translatability over succinct views (Π₂ᵖ-hardness).
+//!
+//! The representation grows linearly in `n`, the decision cost
+//! exponentially — the inherent blowup the theorem predicts. The `tables`
+//! bench cross-validates the logical correspondence (sound direction +
+//! the documented converse gap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use relvu_core::succinct::translate_insert_succinct;
+use relvu_logic::reductions::thm4::Thm4Instance;
+use relvu_logic::Cnf;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e08_succinct_pi2");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let mut rng = StdRng::seed_from_u64(0xE8);
+    for n in [3usize, 5, 7] {
+        let formula = Cnf::random(&mut rng, n, n);
+        let inst = Thm4Instance::generate(&formula, n / 2);
+        g.bench_with_input(BenchmarkId::new("exact_succinct", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    translate_insert_succinct(
+                        &inst.schema,
+                        &inst.fds,
+                        inst.view,
+                        inst.complement,
+                        &inst.succinct,
+                        &inst.tuple,
+                    )
+                    .unwrap()
+                    .is_translatable(),
+                )
+            })
+        });
+        // Expansion alone, for the cost split.
+        g.bench_with_input(BenchmarkId::new("expand_only", n), &n, |b, _| {
+            b.iter(|| black_box(inst.succinct.expand().unwrap().len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E9 — Theorem 5: Test 1 acceptance over succinct views is
+//! co-NP-complete; the gadget equivalence (accepted ⟺ UNSAT) is exact and
+//! the cost grows with the expanded view (2ⁿ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use relvu_core::succinct::test1_succinct;
+use relvu_logic::reductions::thm5::Thm5Instance;
+use relvu_logic::sat::is_satisfiable;
+use relvu_logic::Cnf;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e09_test1_conp");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let mut rng = StdRng::seed_from_u64(0xE9);
+    for n in [3usize, 5, 7, 9] {
+        let formula = Cnf::random(&mut rng, n, 3 * n);
+        let inst = Thm5Instance::generate(&formula);
+        let sat = is_satisfiable(&formula);
+        g.bench_with_input(BenchmarkId::new("test1_succinct", n), &n, |b, _| {
+            b.iter(|| {
+                let out = test1_succinct(
+                    &inst.schema,
+                    &inst.fds,
+                    inst.view,
+                    inst.complement,
+                    &inst.succinct,
+                    &inst.tuple,
+                )
+                .unwrap();
+                assert_eq!(out.is_translatable(), !sat);
+                black_box(out.is_translatable())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

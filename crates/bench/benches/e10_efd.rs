@@ -1,0 +1,53 @@
+//! E10 — §5, Proposition 1 & Theorem 10: EFD implication reduces to FD
+//! closure over `Σ_F`, and EFD-extended complementarity costs one
+//! embedded-MVD chase plus one closure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relvu_core::efd_ext::are_complementary_efd;
+use relvu_deps::{DepSet, Efd, EfdSet, Fd, FdSet};
+use relvu_relation::{Attr, AttrSet, Schema};
+use std::hint::black_box;
+
+/// Chain of EFDs A0 →e A1 →e … plus a view pair exercising Theorem 10.
+fn efd_chain(n: usize) -> (Schema, DepSet, AttrSet, AttrSet) {
+    let schema = Schema::numbered(n).expect("fits");
+    let attrs: Vec<Attr> = schema.attrs().collect();
+    let efds = EfdSet::new(
+        attrs
+            .windows(2)
+            .map(|w| Efd::abstract_of(Fd::new([w[0]], [w[1]]))),
+    );
+    let deps = DepSet {
+        fds: FdSet::default(),
+        jds: Vec::new(),
+        efds,
+    };
+    // X and Y jointly miss the tail attributes, which the EFDs recompute.
+    let x: AttrSet = attrs[..n / 2 + 1].iter().copied().collect();
+    let y: AttrSet =
+        [attrs[n / 2]].into_iter().collect::<AttrSet>() | AttrSet::singleton(attrs[n / 2 + 1]);
+    (schema, deps, x, y)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_efd");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for n in [8usize, 32, 128] {
+        let (schema, deps, x, y) = efd_chain(n);
+        // Proposition 1: implication via Σ_F closure.
+        let target = Fd::new([Attr::new(0)], [Attr::new(n - 1)]);
+        g.bench_with_input(BenchmarkId::new("prop1_implication", n), &n, |b, _| {
+            b.iter(|| black_box(deps.efds.implies_efd(&target)))
+        });
+        // Theorem 10: complementarity with EFDs.
+        g.bench_with_input(BenchmarkId::new("thm10_complementarity", n), &n, |b, _| {
+            b.iter(|| black_box(are_complementary_efd(&schema, &deps, x, y).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Shared setup for the `relvu` benchmark harness.
+//!
+//! Each `benches/eNN_*.rs` target reproduces one experiment of
+//! `EXPERIMENTS.md` (one complexity claim of the paper); `benches/tables.rs`
+//! (plain `main`, `harness = false`) prints every table in one run so the
+//! output of `cargo bench` doubles as the data source for
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::prelude::*;
+use relvu_relation::{Relation, Tuple};
+use relvu_workload::schema_gen::BenchSchema;
+use relvu_workload::{instance_gen, schema_gen, update_gen};
+
+/// A ready-to-measure insertion workload on the EDM family.
+pub struct InsertWorkload {
+    /// Schema, Σ, view and complement.
+    pub bench: BenchSchema,
+    /// The legal base database.
+    pub base: Relation,
+    /// The view instance `V = π_X(R)`.
+    pub v: Relation,
+    /// Insertion candidates that pass condition (a) (chase decides).
+    pub accepted_kind: Vec<Tuple>,
+    /// Insertion candidates that fail condition (a) (cheap rejects).
+    pub rejected_kind: Vec<Tuple>,
+}
+
+/// Build a deterministic EDM workload: `width` complement columns
+/// (`|Y−X|`), `rows` view tuples, `depts` departments.
+pub fn edm_workload(width: usize, rows: usize, depts: usize, seed: u64) -> InsertWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bench = schema_gen::edm_family(width);
+    let base = instance_gen::edm_instance(&mut rng, &bench.schema, rows, depts);
+    let v = instance_gen::view_of(&base, bench.x);
+    let shared = bench.x & bench.y;
+    let accepted_kind = update_gen::insert_batch(
+        &mut rng,
+        bench.x,
+        shared,
+        &v,
+        16,
+        update_gen::InsertKind::SharedKept,
+        1 << 40,
+    );
+    let rejected_kind = update_gen::insert_batch(
+        &mut rng,
+        bench.x,
+        shared,
+        &v,
+        16,
+        update_gen::InsertKind::SharedFresh,
+        1 << 40,
+    );
+    InsertWorkload {
+        bench,
+        base,
+        v,
+        accepted_kind,
+        rejected_kind,
+    }
+}
+
+/// The `|V|` sweep shared by E1/E2/E3/E4.
+pub const V_SIZES: &[usize] = &[16, 64, 256, 1024];
+
+/// The `|U|` sweep for E5.
+pub const U_SIZES: &[usize] = &[8, 16, 32, 64, 128];

@@ -1,0 +1,25 @@
+//! Error type for the chase engine.
+
+use std::fmt;
+
+/// Errors raised by chase procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseError {
+    /// A row-generating (JD) chase exceeded its row cap.
+    RowLimit {
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::RowLimit { limit } => {
+                write!(f, "JD chase exceeded the row cap of {limit} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}

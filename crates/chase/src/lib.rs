@@ -1,0 +1,29 @@
+//! The chase engine for `relvu`.
+//!
+//! Two chase flavors, matching the two ways the paper uses the chase:
+//!
+//! 1. **The FD chase over instances with labeled nulls**
+//!    ([`ChaseState`], [`chase_fds`]) — §3.1 fills the `Y − X` columns of a
+//!    view instance with "new symbols" and chases with Σ, watching for the
+//!    two events that make a translatability chase "succeed": equating two
+//!    distinct constants of `V`, or equating `r[A]` with `μ[A]`.
+//!
+//! 2. **The symbolic tableau chase** ([`tableau::Tableau`], [`infer`]) —
+//!    implication of MVDs / JDs / embedded MVDs from FDs and JDs, the
+//!    engine behind Theorem 1's complementarity test (Corollary 1) and
+//!    Theorem 10's extension.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fd_chase;
+pub mod infer;
+mod sorted;
+pub mod tableau;
+mod unionfind;
+
+pub use error::ChaseError;
+pub use fd_chase::{chase_fds, ChaseOutcome, ChaseState, ConstConflict};
+pub use sorted::chase_fds_sorted;
+pub use unionfind::UnionFind;

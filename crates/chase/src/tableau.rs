@@ -1,0 +1,306 @@
+//! Symbolic tableaux for dependency implication.
+//!
+//! A [`Tableau`] holds rows of abstract symbols (no constants). The FD rule
+//! equates symbols; the JD rule generates join rows. This is the machinery
+//! behind the implication tests of [`crate::infer`], following
+//! Maier–Mendelzon–Sagiv \[25\] and Maier–Sagiv–Yannakakis \[26\], which
+//! the paper's Theorem 1 and Corollary 1 rely on.
+
+use std::collections::HashSet;
+
+use relvu_deps::{FdSet, Jd};
+use relvu_relation::{Attr, AttrSet};
+
+use crate::error::ChaseError;
+use crate::unionfind::UnionFind;
+
+/// Default cap on generated rows; JD chases are row-generating and this
+/// guards against pathological inputs.
+pub const DEFAULT_MAX_ROWS: usize = 20_000;
+
+/// A chase tableau over a fixed universe of columns.
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    cols: Vec<Attr>,
+    rows: Vec<Vec<u32>>,
+    uf: UnionFind,
+    max_rows: usize,
+}
+
+impl Tableau {
+    /// An empty tableau over `universe`.
+    pub fn new(universe: AttrSet) -> Self {
+        Tableau {
+            cols: universe.iter().collect(),
+            rows: Vec::new(),
+            uf: UnionFind::new(),
+            max_rows: DEFAULT_MAX_ROWS,
+        }
+    }
+
+    /// Override the generated-row cap.
+    pub fn with_max_rows(mut self, cap: usize) -> Self {
+        self.max_rows = cap;
+        self
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Allocate a fresh symbol.
+    pub fn fresh(&mut self) -> u32 {
+        self.uf.add(None)
+    }
+
+    /// Append a row of symbols (one per column, in ascending attr order).
+    ///
+    /// # Panics
+    /// Panics if the row width is wrong.
+    pub fn push_row(&mut self, row: Vec<u32>) {
+        assert_eq!(row.len(), self.cols.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Dense column index of attribute `a`, if present.
+    pub fn col_of(&self, a: Attr) -> Option<usize> {
+        self.cols.binary_search(&a).ok()
+    }
+
+    fn resolve_row(&mut self, i: usize) -> Vec<u32> {
+        (0..self.cols.len())
+            .map(|c| self.uf.find(self.rows[i][c]))
+            .collect()
+    }
+
+    /// Are symbols `a` and `b` currently equated?
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.uf.same(a, b)
+    }
+
+    /// One FD pass: equate RHS symbols of rows agreeing on each LHS.
+    /// Returns whether anything changed.
+    fn fd_pass(&mut self, fds: &FdSet) -> bool {
+        let mut changed = false;
+        for fd in fds {
+            let lhs_cols: Vec<usize> = match fd
+                .lhs()
+                .iter()
+                .map(|a| self.col_of(a))
+                .collect::<Option<Vec<_>>>()
+            {
+                Some(c) => c,
+                None => continue,
+            };
+            let rhs_cols: Vec<usize> = match fd
+                .rhs()
+                .iter()
+                .map(|a| self.col_of(a))
+                .collect::<Option<Vec<_>>>()
+            {
+                Some(c) => c,
+                None => continue,
+            };
+            let mut groups: std::collections::HashMap<Vec<u32>, usize> =
+                std::collections::HashMap::new();
+            for i in 0..self.rows.len() {
+                let key: Vec<u32> = lhs_cols
+                    .iter()
+                    .map(|&c| self.uf.find(self.rows[i][c]))
+                    .collect();
+                match groups.get(&key) {
+                    None => {
+                        groups.insert(key, i);
+                    }
+                    Some(&j) => {
+                        for &c in &rhs_cols {
+                            let (x, y) = (self.rows[i][c], self.rows[j][c]);
+                            // Symbols carry no constants: union cannot fail.
+                            if self.uf.union(x, y).expect("symbolic") {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// One JD pass: add every join row derivable from one application of
+    /// each JD. Returns whether any row was added.
+    ///
+    /// # Errors
+    /// [`ChaseError::RowLimit`] if the cap is exceeded.
+    fn jd_pass(&mut self, jds: &[Jd]) -> Result<bool, ChaseError> {
+        let mut changed = false;
+        for jd in jds {
+            let comps: Vec<Vec<usize>> = jd
+                .components()
+                .iter()
+                .map(|c| c.iter().filter_map(|a| self.col_of(a)).collect())
+                .collect();
+            let q = comps.len();
+            let n = self.rows.len();
+            if n == 0 {
+                continue;
+            }
+            // Resolved snapshot of current rows, plus a dedup set.
+            let resolved: Vec<Vec<u32>> = (0..n).map(|i| self.resolve_row(i)).collect();
+            let mut seen: HashSet<Vec<u32>> = resolved.iter().cloned().collect();
+            // Odometer over q row choices.
+            let mut idx = vec![0usize; q];
+            loop {
+                // Build the candidate join row: component k supplies its cols.
+                let mut candidate: Vec<Option<u32>> = vec![None; self.cols.len()];
+                let mut consistent = true;
+                'outer: for (k, cols) in comps.iter().enumerate() {
+                    for &c in cols {
+                        let sym = resolved[idx[k]][c];
+                        match candidate[c] {
+                            None => candidate[c] = Some(sym),
+                            Some(prev) if prev == sym => {}
+                            Some(_) => {
+                                consistent = false;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                if consistent {
+                    // JD components cover the universe, so all cols are set.
+                    if let Some(row) = candidate.into_iter().collect::<Option<Vec<u32>>>() {
+                        if !seen.contains(&row) {
+                            if self.rows.len() >= self.max_rows {
+                                return Err(ChaseError::RowLimit {
+                                    limit: self.max_rows,
+                                });
+                            }
+                            seen.insert(row.clone());
+                            self.rows.push(row);
+                            changed = true;
+                        }
+                    }
+                }
+                // Advance odometer.
+                let mut k = 0;
+                loop {
+                    if k == q {
+                        break;
+                    }
+                    idx[k] += 1;
+                    if idx[k] < n {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == q {
+                    break;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Chase to fixpoint with FDs and JDs.
+    ///
+    /// # Errors
+    /// [`ChaseError::RowLimit`] if JD applications exceed the row cap.
+    pub fn chase(&mut self, fds: &FdSet, jds: &[Jd]) -> Result<(), ChaseError> {
+        loop {
+            let mut changed = false;
+            while self.fd_pass(fds) {
+                changed = true;
+            }
+            if self.jd_pass(jds)? {
+                changed = true;
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Does some row match `target` (a full-width symbol vector) on the
+    /// columns of `on`, under the current equations?
+    pub fn contains_matching(&mut self, target: &[u32], on: AttrSet) -> bool {
+        let cols: Vec<usize> = on.iter().filter_map(|a| self.col_of(a)).collect();
+        let target_res: Vec<u32> = cols.iter().map(|&c| self.uf.find(target[c])).collect();
+        for i in 0..self.rows.len() {
+            let ok = cols
+                .iter()
+                .zip(&target_res)
+                .all(|(&c, &t)| self.uf.find(self.rows[i][c]) == t);
+            if ok {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relvu_deps::Fd;
+    use relvu_relation::Schema;
+
+    /// Two-row tableau for testing A→B under {A→B}: rows share A, differ B.
+    #[test]
+    fn fd_rule_equates() {
+        let s = Schema::new(["A", "B"]).unwrap();
+        let mut t = Tableau::new(s.universe());
+        let a = t.fresh();
+        let b1 = t.fresh();
+        let b2 = t.fresh();
+        t.push_row(vec![a, b1]);
+        t.push_row(vec![a, b2]);
+        let fds = FdSet::new([Fd::parse(&s, "A -> B").unwrap()]);
+        t.chase(&fds, &[]).unwrap();
+        assert!(t.same(b1, b2));
+    }
+
+    #[test]
+    fn jd_rule_adds_join_row() {
+        // *[AB, BC] on two rows sharing B produces the mixed row.
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        let mut t = Tableau::new(s.universe());
+        let (a1, b, c1) = (t.fresh(), t.fresh(), t.fresh());
+        let (a2, c2) = (t.fresh(), t.fresh());
+        t.push_row(vec![a1, b, c1]);
+        t.push_row(vec![a2, b, c2]);
+        let jd = Jd::binary(s.set(["A", "B"]).unwrap(), s.set(["B", "C"]).unwrap());
+        t.chase(&FdSet::default(), &[jd]).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        assert!(t.contains_matching(&[a1, b, c2], s.universe()));
+        assert!(t.contains_matching(&[a2, b, c1], s.universe()));
+    }
+
+    #[test]
+    fn row_cap_enforced() {
+        let s = Schema::new(["A", "B"]).unwrap();
+        let mut t = Tableau::new(s.universe()).with_max_rows(3);
+        for _ in 0..3 {
+            let (a, b) = (t.fresh(), t.fresh());
+            t.push_row(vec![a, b]);
+        }
+        let jd = Jd::binary(s.set(["A"]).unwrap(), s.set(["B"]).unwrap());
+        let err = t.chase(&FdSet::default(), &[jd]).unwrap_err();
+        assert!(matches!(err, ChaseError::RowLimit { limit: 3 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn bad_row_width_panics() {
+        let s = Schema::new(["A", "B"]).unwrap();
+        let mut t = Tableau::new(s.universe());
+        t.push_row(vec![0]);
+    }
+}

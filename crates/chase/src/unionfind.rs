@@ -1,0 +1,182 @@
+//! Union-find over chase symbols, with constant tracking.
+
+/// A conflict: the chase attempted to equate two *distinct constants*.
+///
+/// In classical chase terms the tableau is inconsistent; in the paper's
+/// translatability test (§3.1) this is one of the two events that make a
+/// chase "succeed" (no counterexample can exist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstConflict {
+    /// One constant.
+    pub left: u64,
+    /// The other constant.
+    pub right: u64,
+}
+
+/// Union-find with path compression and union-by-rank, where each class may
+/// carry at most one constant. Unioning two classes with different
+/// constants raises [`ConstConflict`].
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    constant: Vec<Option<u64>>,
+}
+
+impl UnionFind {
+    /// An empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a fresh node, optionally carrying a constant. Returns its id.
+    pub fn add(&mut self, constant: Option<u64>) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.rank.push(0);
+        self.constant.push(constant);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Is the structure empty?
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s class.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Representative without mutation (no compression).
+    pub fn find_const(&self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        root
+    }
+
+    /// The constant carried by `x`'s class, if any.
+    pub fn constant_of(&mut self, x: u32) -> Option<u64> {
+        let r = self.find(x);
+        self.constant[r as usize]
+    }
+
+    /// Are `a` and `b` in the same class?
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Merge the classes of `a` and `b`.
+    ///
+    /// Returns `Ok(true)` if two distinct classes were merged, `Ok(false)`
+    /// if already equal.
+    ///
+    /// # Errors
+    /// Returns [`ConstConflict`] if both classes carry distinct constants
+    /// (the classes are left unmerged).
+    pub fn union(&mut self, a: u32, b: u32) -> Result<bool, ConstConflict> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return Ok(false);
+        }
+        let merged_const = match (self.constant[ra as usize], self.constant[rb as usize]) {
+            (Some(x), Some(y)) if x != y => return Err(ConstConflict { left: x, right: y }),
+            (Some(x), _) => Some(x),
+            (_, y) => y,
+        };
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.constant[hi as usize] = merged_const;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union() {
+        let mut uf = UnionFind::new();
+        let a = uf.add(None);
+        let b = uf.add(None);
+        let c = uf.add(None);
+        assert!(!uf.same(a, b));
+        assert!(uf.union(a, b).unwrap());
+        assert!(uf.same(a, b));
+        assert!(!uf.union(a, b).unwrap());
+        assert!(uf.union(b, c).unwrap());
+        assert!(uf.same(a, c));
+        assert_eq!(uf.len(), 3);
+    }
+
+    #[test]
+    fn constants_propagate() {
+        let mut uf = UnionFind::new();
+        let a = uf.add(Some(7));
+        let b = uf.add(None);
+        let c = uf.add(None);
+        uf.union(b, c).unwrap();
+        assert_eq!(uf.constant_of(c), None);
+        uf.union(a, c).unwrap();
+        assert_eq!(uf.constant_of(b), Some(7));
+    }
+
+    #[test]
+    fn distinct_constants_conflict() {
+        let mut uf = UnionFind::new();
+        let a = uf.add(Some(1));
+        let b = uf.add(Some(2));
+        let err = uf.union(a, b).unwrap_err();
+        assert_eq!(err, ConstConflict { left: 1, right: 2 });
+        // Unmerged after the failed union.
+        assert!(!uf.same(a, b));
+    }
+
+    #[test]
+    fn same_constant_merges() {
+        let mut uf = UnionFind::new();
+        let a = uf.add(Some(5));
+        let b = uf.add(Some(5));
+        assert!(uf.union(a, b).unwrap());
+        assert_eq!(uf.constant_of(a), Some(5));
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let mut uf = UnionFind::new();
+        let nodes: Vec<u32> = (0..100).map(|_| uf.add(None)).collect();
+        for w in nodes.windows(2) {
+            uf.union(w[0], w[1]).unwrap();
+        }
+        let root = uf.find(nodes[0]);
+        for &n in &nodes {
+            assert_eq!(uf.find(n), root);
+        }
+    }
+}

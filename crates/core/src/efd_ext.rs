@@ -1,0 +1,121 @@
+//! §5: complementarity in the presence of explicit functional
+//! dependencies (Theorem 10).
+//!
+//! With Σ of FDs, JDs and EFDs, projections `X`, `Y` are complementary iff
+//!
+//! * (a) they are complementary as views of `π_{X∪Y}(R)` — i.e. Σ implies
+//!   the *embedded* MVD `X∩Y →→ X−Y | Y−X`; and
+//! * (b) `Σ_F ⊨ X∪Y → U` — the attributes both views discard are
+//!   (explicitly) computable from what remains.
+//!
+//! Intuitively: join the two projections, then explicitly compute the
+//! still-missing information. By Propositions 1 and 2, the EFDs behave
+//! exactly like their underlying FDs for both conditions, which is how
+//! this reduces to machinery we already have.
+
+use relvu_chase::infer;
+use relvu_deps::{closure, DepSet, Emvd};
+use relvu_relation::{AttrSet, Schema};
+
+use crate::Result;
+
+/// Theorem 10: are `X` and `Y` complementary under Σ of FDs, JDs and EFDs?
+///
+/// Unlike [`crate::are_complementary`], `X ∪ Y` need not cover the
+/// universe — condition (b) lets EFDs reconstruct the rest.
+///
+/// # Errors
+/// Propagates chase resource errors from the embedded-MVD test.
+pub fn are_complementary_efd(
+    schema: &Schema,
+    deps: &DepSet,
+    x: AttrSet,
+    y: AttrSet,
+) -> Result<bool> {
+    let universe = schema.universe();
+    let sigma_f = deps.sigma_f();
+    // (b): Σ_F ⊨ X∪Y → U.
+    if !universe.is_subset(&closure::closure(&sigma_f, x | y)) {
+        return Ok(false);
+    }
+    // (a): Σ ⊨ embedded MVD X∩Y →→ X−Y | Y−X. By Proposition 2(a) the
+    // EFDs may be replaced by Σ_F for this implication.
+    let emvd = Emvd::from_views(x, y);
+    Ok(infer::implies_emvd(universe, &sigma_f, &deps.jds, &emvd)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complement::are_complementary;
+    use relvu_deps::{Efd, EfdSet, Fd, FdSet};
+
+    /// Cost, Rate, Price, Item: Item -> Cost Rate; Cost Rate ->e Price.
+    fn price_schema() -> (Schema, DepSet) {
+        let s = Schema::new(["Item", "Cost", "Rate", "Price"]).unwrap();
+        let fds = FdSet::parse(&s, "Item -> Cost Rate").unwrap();
+        let efds = EfdSet::new([Efd::abstract_of(
+            Fd::parse(&s, "Cost Rate -> Price").unwrap(),
+        )]);
+        let deps = DepSet {
+            fds,
+            jds: Vec::new(),
+            efds,
+        };
+        (s, deps)
+    }
+
+    #[test]
+    fn efd_lets_views_skip_computed_column() {
+        let (s, deps) = price_schema();
+        // X = Item Cost, Y = Item Rate: X∪Y misses Price, but
+        // Cost Rate ->e Price recomputes it. X∩Y = Item determines both.
+        let x = s.set(["Item", "Cost"]).unwrap();
+        let y = s.set(["Item", "Rate"]).unwrap();
+        assert!(are_complementary_efd(&s, &deps, x, y).unwrap());
+        // Without the EFD, they are not complementary (Price lost).
+        let no_efd = DepSet::fds_only(deps.fds.clone());
+        assert!(!are_complementary_efd(&s, &no_efd, x, y).unwrap());
+    }
+
+    #[test]
+    fn condition_a_still_required() {
+        let (s, deps) = price_schema();
+        // X = Cost, Y = Rate: X∩Y = ∅ determines nothing; even though
+        // (b) fails too, check a pair where only (a) fails:
+        // X = Item Cost Price, Y = Cost Rate — X∩Y = Cost determines
+        // neither side.
+        let x = s.set(["Item", "Cost", "Price"]).unwrap();
+        let y = s.set(["Cost", "Rate"]).unwrap();
+        assert!(!are_complementary_efd(&s, &deps, x, y).unwrap());
+    }
+
+    #[test]
+    fn reduces_to_theorem1_without_efds() {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        let fds = FdSet::parse(&s, "E->D; D->M").unwrap();
+        let deps = DepSet::fds_only(fds.clone());
+        for (xn, yn, _) in [
+            (["E", "D"], ["D", "M"], true),
+            (["E", "D"], ["E", "M"], true),
+            (["E", "M"], ["D", "M"], false),
+        ] {
+            let x = s.set(xn).unwrap();
+            let y = s.set(yn).unwrap();
+            assert_eq!(
+                are_complementary_efd(&s, &deps, x, y).unwrap(),
+                are_complementary(&s, &fds, x, y),
+                "Theorem 10 must agree with Theorem 1 when Σ has no EFDs"
+            );
+        }
+    }
+
+    #[test]
+    fn covering_views_with_efds_match_plain_complementarity() {
+        let (s, deps) = price_schema();
+        // Full-cover pair: X = Item Cost Price, Y = Item Rate Price.
+        let x = s.set(["Item", "Cost", "Price"]).unwrap();
+        let y = s.set(["Item", "Rate", "Price"]).unwrap();
+        assert!(are_complementary_efd(&s, &deps, x, y).unwrap());
+    }
+}

@@ -1,0 +1,164 @@
+//! §3.3: finding a complement that renders an insertion translatable
+//! (Theorem 6).
+//!
+//! Any complement of `X` has the form `Y = W ∪ (U − X)` with `W ⊆ X`, and
+//! the paper shows it suffices to try, for each tuple `r ∈ V`, the set
+//! `W_r = {A ∈ X : r[A] = t[A]}` — at most `min(|V|, 2^{|X|})` candidates
+//! after deduplication. Theorem 7 shows the exponential dependence on
+//! `|X|` is inherent when `V` is succinct.
+
+use std::collections::HashSet;
+
+use relvu_deps::FdSet;
+use relvu_relation::{AttrSet, Relation, Schema, Tuple};
+
+use crate::insert::translate_insert;
+use crate::test1::Test1;
+use crate::test2::Test2;
+use crate::Result;
+
+/// Which translatability test to run per candidate complement. The paper
+/// remarks Theorem 6 holds verbatim for Tests 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TestMode {
+    /// Theorem 3's exact test.
+    #[default]
+    Exact,
+    /// The conservative two-tuple-chase Test 1.
+    Test1,
+    /// Test 2 (good complements only).
+    Test2,
+}
+
+/// The outcome of a complement search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComplementSearch {
+    /// Number of translatability tests executed (the paper's
+    /// `min(|V|, 2^{|X|})` bound).
+    pub tested: usize,
+    /// Number of distinct candidate sets `W_r` (≤ `tested` only when a
+    /// working complement short-circuits the scan).
+    pub candidates: usize,
+    /// A complement under which the insertion is translatable, if any.
+    pub found: Option<AttrSet>,
+}
+
+/// Search for a complement `Y` of view `x` making the insertion of `t`
+/// into `v` translatable (Theorem 6).
+///
+/// # Errors
+/// Propagates input errors from the underlying test.
+pub fn find_complement(
+    schema: &Schema,
+    fds: &FdSet,
+    x: AttrSet,
+    v: &Relation,
+    t: &Tuple,
+    mode: TestMode,
+) -> Result<ComplementSearch> {
+    let rest = schema.universe() - x;
+    // Candidate W_r sets, deduplicated, largest first (larger W means a
+    // more constrained — more informative — complement is tried first;
+    // any order is sound).
+    let mut seen: HashSet<AttrSet> = HashSet::new();
+    let mut candidates: Vec<AttrSet> = Vec::new();
+    for r in v {
+        let w: AttrSet = x.iter().filter(|&a| r.get(&x, a) == t.get(&x, a)).collect();
+        if seen.insert(w) {
+            candidates.push(w);
+        }
+    }
+    candidates.sort_by_key(|w| std::cmp::Reverse(w.len()));
+    let n_candidates = candidates.len();
+
+    let mut tested = 0usize;
+    for w in candidates {
+        let y = w | rest;
+        tested += 1;
+        let verdict = match mode {
+            TestMode::Exact => translate_insert(schema, fds, x, y, v, t)?,
+            TestMode::Test1 => Test1.check(schema, fds, x, y, v, t)?,
+            TestMode::Test2 => {
+                let t2 = Test2::prepare(schema, fds, x, y);
+                t2.check(schema, fds, v, t)?
+            }
+        };
+        if verdict.is_translatable() {
+            return Ok(ComplementSearch {
+                tested,
+                candidates: n_candidates,
+                found: Some(y),
+            });
+        }
+    }
+    Ok(ComplementSearch {
+        tested,
+        candidates: n_candidates,
+        found: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relvu_relation::tup;
+
+    fn edm() -> (Schema, FdSet, AttrSet, Relation) {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        let fds = FdSet::parse(&s, "E->D; D->M").unwrap();
+        let x = s.set(["E", "D"]).unwrap();
+        let v = Relation::from_rows(x, [tup![1, 10], tup![2, 10], tup![3, 20]]).unwrap();
+        (s, fds, x, v)
+    }
+
+    #[test]
+    fn finds_dm_complement_for_good_insert() {
+        let (s, fds, x, v) = edm();
+        let out = find_complement(&s, &fds, x, &v, &tup![4, 20], TestMode::Exact).unwrap();
+        let y = out.found.expect("a complement exists");
+        assert!(y.is_superset(&s.set(["M"]).unwrap()));
+        assert!(translate_insert(&s, &fds, x, y, &v, &tup![4, 20])
+            .unwrap()
+            .is_translatable());
+        assert!(out.tested <= v.len());
+    }
+
+    #[test]
+    fn no_complement_for_view_violation() {
+        let (s, fds, x, v) = edm();
+        // (1, 20) breaks E -> D against (1, 10) under every complement.
+        let out = find_complement(&s, &fds, x, &v, &tup![1, 20], TestMode::Exact).unwrap();
+        assert_eq!(out.found, None);
+        assert_eq!(out.tested, out.candidates);
+    }
+
+    #[test]
+    fn candidate_count_bounded_by_v() {
+        let (s, fds, x, v) = edm();
+        let out = find_complement(&s, &fds, x, &v, &tup![4, 30], TestMode::Exact).unwrap();
+        assert!(out.candidates <= v.len());
+        assert_eq!(out.found, None); // dept 30 unknown anywhere
+    }
+
+    #[test]
+    fn test1_mode_is_sound() {
+        let (s, fds, x, v) = edm();
+        let out = find_complement(&s, &fds, x, &v, &tup![4, 20], TestMode::Test1).unwrap();
+        if let Some(y) = out.found {
+            assert!(
+                translate_insert(&s, &fds, x, y, &v, &tup![4, 20])
+                    .unwrap()
+                    .is_translatable(),
+                "Test 1 acceptance must imply exact translatability"
+            );
+        }
+    }
+
+    #[test]
+    fn test2_mode_runs() {
+        let (s, fds, x, v) = edm();
+        let out = find_complement(&s, &fds, x, &v, &tup![4, 20], TestMode::Test2).unwrap();
+        // DM is a good complement so Test 2 should find it too.
+        assert!(out.found.is_some());
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's contribution: constant-complement translation of updates on
+//! projective views of a universal relation.
+//!
+//! Cosmadakis & Papadimitriou, *Updates of Relational Views*, PODS 1983
+//! (JACM 31(4), 1984). Module ↔ paper map:
+//!
+//! | module | paper |
+//! |--------|-------|
+//! | [`complement`] | §2: Theorem 1 (characterization), Corollary 1 (test), Corollary 2 (minimal complement), Theorem 2 (minimum complement, NP-complete) |
+//! | [`insert`] | §3.1: Theorem 3 + its Corollary (exact translatability, `O(\|V\|³ log \|V\|)` chase test with the pre-chase shortcut) |
+//! | [`test1`] | §3.1 Test 1 (two-tuple chases, conservative, faster) |
+//! | [`test2`] | §3.1 Test 2 (good complements: schema-level check + exact per-insert fast path) |
+//! | [`find_complement`](mod@find_complement) | §3.3: Theorem 6 (complement search), Theorem 7 context |
+//! | [`delete`] | §4.1: Theorem 8 |
+//! | [`replace`] | §4.2: Theorem 9 (both cases) |
+//! | [`replace_approx`] | §4.2's closing remark: Test 1 / Test 2 analogues for replacements |
+//! | [`succinct`] | §3.2: Theorems 4, 5 (succinctly presented views) |
+//! | [`select_view`] | §6(2): selection views `σ_P(π_X(R))` with pair complements |
+//! | [`efd_ext`] | §5: Theorem 10 (complementarity with EFDs) |
+//! | [`bs`] | §1: the Bancilhon–Spyratos framework (consistency, acceptability, morphism laws) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bs;
+mod common;
+pub mod complement;
+pub mod delete;
+pub mod efd_ext;
+mod error;
+pub mod find_complement;
+pub mod insert;
+mod outcome;
+pub mod replace;
+pub mod replace_approx;
+pub mod select_view;
+pub mod succinct;
+pub mod test1;
+pub mod test2;
+
+pub use complement::{
+    are_complementary, are_complementary_with_jds, minimal_complement, minimum_complement,
+};
+pub use delete::translate_delete;
+pub use error::CoreError;
+pub use find_complement::{find_complement, ComplementSearch, TestMode};
+pub use insert::{translate_insert, translate_insert_naive};
+pub use outcome::{RejectReason, Translatability, Translation};
+pub use replace::translate_replace;
+pub use select_view::{SelectionReject, SelectionView};
+pub use test1::Test1;
+pub use test2::{GoodComplement, Test2};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,296 @@
+//! §6(2): selection views `σ_P(π_X(R))`.
+//!
+//! The paper's second research direction: "most of the views occurring in
+//! practice" restrict a projection by a predicate `P`, with the
+//! complement a *pair* of views — here `(σ_{¬P}(π_X(R)), π_Y(R))`. The
+//! promised "simple modifications" of the basic approach:
+//!
+//! * the system holds both complement components constant, so the full
+//!   `X`-projection `V = W ∪ W̄` is known at translation time;
+//! * an inserted/replacement tuple must itself satisfy `P` (otherwise the
+//!   update would have to land in the constant `W̄` — rejected as
+//!   [`SelectionReject::PredicateMismatch`]);
+//! * the rest is Theorems 3 / 8 / 9 verbatim over the recombined `V`.
+
+use relvu_deps::FdSet;
+use relvu_relation::{ops, AttrSet, Pred, Relation, Schema, Tuple};
+
+use crate::delete::translate_delete;
+use crate::insert::translate_insert;
+use crate::outcome::{RejectReason, Translatability};
+use crate::replace::translate_replace;
+use crate::{CoreError, Result};
+
+/// A selection view definition: `σ_pred(π_x(R))` with constant complement
+/// pair `(σ_{¬pred}(π_x(R)), π_y(R))`.
+#[derive(Clone, Debug)]
+pub struct SelectionView {
+    /// The projection attributes `X`.
+    pub x: AttrSet,
+    /// The projective complement `Y`.
+    pub y: AttrSet,
+    /// The selection predicate `P` (over `X` attributes).
+    pub pred: Pred,
+}
+
+/// Rejections specific to selection views, wrapping the projective ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectionReject {
+    /// The tuple does not satisfy the view predicate: accepting it would
+    /// change the constant `σ_{¬P}` component.
+    PredicateMismatch,
+    /// A rejection from the underlying projective machinery.
+    Projective(RejectReason),
+}
+
+/// Verdict for selection-view updates.
+pub type SelectionVerdict = std::result::Result<Translatability, SelectionReject>;
+
+impl SelectionView {
+    /// Create a selection view; predicate attributes must lie within `x`.
+    ///
+    /// # Errors
+    /// [`CoreError::TupleNotOverView`] if the predicate mentions
+    /// attributes outside the projection.
+    pub fn new(x: AttrSet, y: AttrSet, pred: Pred) -> Result<Self> {
+        if !pred.attrs().is_subset(&x) {
+            return Err(CoreError::TupleNotOverView);
+        }
+        Ok(SelectionView { x, y, pred })
+    }
+
+    /// The current view instance from the full projection.
+    pub fn instance(&self, v_full: &Relation) -> Relation {
+        ops::select(v_full, |t| self.pred.eval(&self.x, t))
+    }
+
+    /// The constant `σ_{¬P}` complement component.
+    pub fn anti_instance(&self, v_full: &Relation) -> Relation {
+        ops::select(v_full, |t| !self.pred.eval(&self.x, t))
+    }
+
+    /// Recombine the visible view `w` with the constant complement
+    /// component `w_bar` into the full `X`-projection.
+    ///
+    /// # Errors
+    /// Relational errors if the attribute sets mismatch.
+    pub fn recombine(&self, w: &Relation, w_bar: &Relation) -> Result<Relation> {
+        Ok(ops::union(w, w_bar)?)
+    }
+
+    /// Translate an insertion of `t` into the selection view.
+    ///
+    /// # Errors
+    /// Input errors as for [`translate_insert`].
+    pub fn translate_insert(
+        &self,
+        schema: &Schema,
+        fds: &FdSet,
+        w: &Relation,
+        w_bar: &Relation,
+        t: &Tuple,
+    ) -> Result<SelectionVerdict> {
+        if !self.pred.eval(&self.x, t) {
+            return Ok(Err(SelectionReject::PredicateMismatch));
+        }
+        let v_full = self.recombine(w, w_bar)?;
+        Ok(lift(translate_insert(
+            schema, fds, self.x, self.y, &v_full, t,
+        )?))
+    }
+
+    /// Translate a deletion of `t` from the selection view (Theorem 8
+    /// over the recombined projection). Deleting a tuple outside the view
+    /// is the identity; a tuple in `W̄` cannot be touched through this
+    /// view.
+    ///
+    /// # Errors
+    /// Input errors as for [`translate_delete`].
+    pub fn translate_delete(
+        &self,
+        schema: &Schema,
+        fds: &FdSet,
+        w: &Relation,
+        w_bar: &Relation,
+        t: &Tuple,
+    ) -> Result<SelectionVerdict> {
+        if !self.pred.eval(&self.x, t) {
+            return Ok(Err(SelectionReject::PredicateMismatch));
+        }
+        let v_full = self.recombine(w, w_bar)?;
+        Ok(lift(translate_delete(
+            schema, fds, self.x, self.y, &v_full, t,
+        )?))
+    }
+
+    /// Translate a replacement of `t1` by `t2`; both must satisfy `P`.
+    ///
+    /// # Errors
+    /// Input errors as for [`translate_replace`].
+    pub fn translate_replace(
+        &self,
+        schema: &Schema,
+        fds: &FdSet,
+        w: &Relation,
+        w_bar: &Relation,
+        t1: &Tuple,
+        t2: &Tuple,
+    ) -> Result<SelectionVerdict> {
+        if !self.pred.eval(&self.x, t1) || !self.pred.eval(&self.x, t2) {
+            return Ok(Err(SelectionReject::PredicateMismatch));
+        }
+        let v_full = self.recombine(w, w_bar)?;
+        Ok(lift(translate_replace(
+            schema, fds, self.x, self.y, &v_full, t1, t2,
+        )?))
+    }
+}
+
+fn lift(t: Translatability) -> SelectionVerdict {
+    match t {
+        Translatability::Translatable(tr) => Ok(Translatability::Translatable(tr)),
+        Translatability::Rejected(r) => Err(SelectionReject::Projective(r)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relvu_deps::check::satisfies_fds;
+    use relvu_relation::{tup, CmpOp};
+
+    /// Supplier-part: S P → Qty, S → City; X = {S,P,Qty}, Y = {S,City};
+    /// the selection view shows only orders of supplier 1.
+    fn setup() -> (Schema, FdSet, SelectionView, Relation) {
+        let schema = Schema::new(["S", "P", "Qty", "City"]).unwrap();
+        let fds = FdSet::parse(&schema, "S P -> Qty; S -> City").unwrap();
+        let x = schema.set(["S", "P", "Qty"]).unwrap();
+        let y = schema.set(["S", "City"]).unwrap();
+        let pred = Pred::cmp(schema.attr("S").unwrap(), CmpOp::Eq, 1);
+        let view = SelectionView::new(x, y, pred).unwrap();
+        let base = Relation::from_rows(
+            schema.universe(),
+            [
+                tup![1, 100, 5, 70],
+                tup![1, 101, 3, 70],
+                tup![2, 100, 9, 71],
+            ],
+        )
+        .unwrap();
+        (schema, fds, view, base)
+    }
+
+    #[test]
+    fn instances_partition_the_projection() {
+        let (_, _, view, base) = setup();
+        let v_full = ops::project(&base, view.x).unwrap();
+        let w = view.instance(&v_full);
+        let w_bar = view.anti_instance(&v_full);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w_bar.len(), 1);
+        assert_eq!(view.recombine(&w, &w_bar).unwrap(), v_full);
+    }
+
+    #[test]
+    fn matching_insert_translates() {
+        let (schema, fds, view, base) = setup();
+        let v_full = ops::project(&base, view.x).unwrap();
+        let w = view.instance(&v_full);
+        let w_bar = view.anti_instance(&v_full);
+        // New order for supplier 1 (satisfies P, city on record).
+        let verdict = view
+            .translate_insert(&schema, &fds, &w, &w_bar, &tup![1, 102, 7])
+            .unwrap()
+            .expect("not rejected");
+        let tr = verdict.translation().expect("translatable");
+        let base2 = tr.apply(&base, view.x, view.y).unwrap();
+        assert!(satisfies_fds(&base2, &fds));
+        // Both complement components are constant.
+        let v_full2 = ops::project(&base2, view.x).unwrap();
+        assert_eq!(view.anti_instance(&v_full2), w_bar);
+        assert_eq!(
+            ops::project(&base2, view.y).unwrap(),
+            ops::project(&base, view.y).unwrap()
+        );
+        // And the view gained exactly t.
+        assert_eq!(view.instance(&v_full2).len(), w.len() + 1);
+    }
+
+    #[test]
+    fn predicate_violating_tuples_rejected() {
+        let (schema, fds, view, base) = setup();
+        let v_full = ops::project(&base, view.x).unwrap();
+        let w = view.instance(&v_full);
+        let w_bar = view.anti_instance(&v_full);
+        // Supplier 2 does not satisfy S = 1.
+        let verdict = view
+            .translate_insert(&schema, &fds, &w, &w_bar, &tup![2, 102, 7])
+            .unwrap();
+        assert_eq!(verdict, Err(SelectionReject::PredicateMismatch));
+        // Deleting through the view something outside it: same reject.
+        let verdict = view
+            .translate_delete(&schema, &fds, &w, &w_bar, &tup![2, 100, 9])
+            .unwrap();
+        assert_eq!(verdict, Err(SelectionReject::PredicateMismatch));
+    }
+
+    #[test]
+    fn projective_rejections_pass_through() {
+        let (schema, fds, view, base) = setup();
+        let v_full = ops::project(&base, view.x).unwrap();
+        let w = view.instance(&v_full);
+        let w_bar = view.anti_instance(&v_full);
+        // (1, 100, 6) conflicts with (1, 100, 5) on S P → Qty.
+        let verdict = view
+            .translate_insert(&schema, &fds, &w, &w_bar, &tup![1, 100, 6])
+            .unwrap();
+        assert!(matches!(
+            verdict,
+            Err(SelectionReject::Projective(
+                RejectReason::ChaseCounterexample { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn replace_requires_predicate_on_both_sides() {
+        let (schema, fds, view, base) = setup();
+        let v_full = ops::project(&base, view.x).unwrap();
+        let w = view.instance(&v_full);
+        let w_bar = view.anti_instance(&v_full);
+        // Change the quantity of an order: both sides satisfy S = 1.
+        let verdict = view
+            .translate_replace(
+                &schema,
+                &fds,
+                &w,
+                &w_bar,
+                &tup![1, 100, 5],
+                &tup![1, 100, 8],
+            )
+            .unwrap()
+            .expect("not rejected");
+        assert!(verdict.is_translatable());
+        // Moving it to supplier 2 fails the predicate.
+        let verdict = view
+            .translate_replace(
+                &schema,
+                &fds,
+                &w,
+                &w_bar,
+                &tup![1, 100, 5],
+                &tup![2, 100, 8],
+            )
+            .unwrap();
+        assert_eq!(verdict, Err(SelectionReject::PredicateMismatch));
+    }
+
+    #[test]
+    fn predicate_outside_projection_rejected() {
+        let (schema, _, _, _) = setup();
+        let x = schema.set(["S", "P"]).unwrap();
+        let y = schema.set(["S", "City", "Qty"]).unwrap();
+        let pred = Pred::cmp(schema.attr("City").unwrap(), CmpOp::Eq, 70);
+        assert!(SelectionView::new(x, y, pred).is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! §3.1 Test 2: good complements.
+//!
+//! A complement `Y` of `X` is *good* when, for any two legal databases
+//! with the same `X`-projection (both containing `t[X∩Y]` in their shared
+//! projection), the translated insertion is legal on one iff it is legal
+//! on the other. For a good complement, translatability can be decided by
+//! materializing *one* canonical database `R₀` (chase the null-filled `V`)
+//! and checking `T_u[R₀] ⊨ Σ` directly.
+//!
+//! Goodness is a property of the schema alone (`X`, `Y`, Σ); the paper
+//! shows any counterexample shrinks to two-tuple relations and gives an
+//! `O(|Σ|² |U|)` symbolic fixpoint procedure over three-symbol columns,
+//! implemented in [`GoodComplement::analyze`]. If `Y` is not good, Test 2
+//! rejects every insertion ("the database system can simply disregard
+//! Test 2").
+
+use relvu_chase::{ChaseState, UnionFind};
+use relvu_deps::FdSet;
+use relvu_relation::{AttrSet, Relation, Schema, Tuple};
+
+use crate::common::ViewCtx;
+use crate::outcome::{RejectReason, Translatability, Translation};
+use crate::{CoreError, Result};
+
+/// The verdict of the schema-level goodness analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoodComplement {
+    /// `Y` is a good complement of `X`: Test 2 is exact.
+    Good,
+    /// `Y` is not good; the FD (index into the atomized Σ) whose
+    /// symbolic check failed witnesses a two-tuple counterexample.
+    NotGood {
+        /// Index of the witnessing FD in the atomized Σ.
+        fd_index: usize,
+    },
+}
+
+impl GoodComplement {
+    /// Run the symbolic goodness procedure (`O(|Σ|² |U|)` per the paper).
+    ///
+    /// The paper shows any counterexample to goodness shrinks to a pair of
+    /// *two-tuple* databases `R₁ = {μ₁, ν₁}`, `R₂ = {μ₂, ν₂}` with
+    /// matching `X`-projections (`μ₂[X] = μ₁[X]`, `ν₂[X] = ν₁[X]`),
+    /// `ν₁[X∩Y] = t[X∩Y]`, such that `T_u[R₂] ⊨ Σ` while `T_u[R₁]`
+    /// violates some `Z → A` through `μ₁` and the inserted tuple. We
+    /// search for such a counterexample symbolically: six tuples
+    /// (`μ₁, ν₁, t̂₁, μ₂, ν₂, t̂₂`, where `t̂ᵢ` is the tuple inserted into
+    /// `Rᵢ`) over one fresh symbol per cell, seeded with the forced
+    /// equalities, then chased pairwise to a fixpoint:
+    ///
+    /// * seeds — `t̂₁[X] = t̂₂[X]` (both equal `t`), `t̂ᵢ[Y−X] = νᵢ[Y−X]`
+    ///   and `νᵢ[X∩Y] = t̂ᵢ[X∩Y]` (constant complement), the `X`-matching
+    ///   equalities above, and `μ₁[Z] = t̂₁[Z]` (the violation premise);
+    /// * chased pairs — `{μ₁,ν₁}` (`R₁ ⊨ Σ`) and `{μ₂,ν₂}`, `{μ₂,t̂₂}`,
+    ///   `{ν₂,t̂₂}` (`T_u[R₂] ⊨ Σ`).
+    ///
+    /// A counterexample exists iff the fixpoint does *not* force
+    /// `μ₁[A] = t̂₁[A]`; assigning distinct constants to distinct symbol
+    /// classes then realizes it.
+    pub fn analyze(schema: &Schema, fds: &FdSet, x: AttrSet, y: AttrSet) -> Self {
+        let universe = schema.universe();
+        debug_assert_eq!(x | y, universe);
+        let atomized = fds.atomized();
+        let width = universe.len();
+        // Tuple indices.
+        const MU1: usize = 0;
+        const NU1: usize = 1;
+        const THAT1: usize = 2;
+        const MU2: usize = 3;
+        const NU2: usize = 4;
+        const THAT2: usize = 5;
+        for (fd_index, fd) in atomized.iter().enumerate() {
+            let z = fd.lhs();
+            let a = fd.rhs().first().expect("atomized");
+            let mut uf = UnionFind::new();
+            let sym: Vec<[u32; 6]> = (0..width)
+                .map(|_| std::array::from_fn(|_| uf.add(None)))
+                .collect();
+            // Seed the forced equalities.
+            for (c, attr) in universe.iter().enumerate() {
+                let mut eq = |p: usize, q: usize| {
+                    uf.union(sym[c][p], sym[c][q]).expect("symbolic");
+                };
+                if x.contains(attr) {
+                    eq(THAT1, THAT2); // both inserted tuples equal t on X
+                    eq(MU1, MU2); // μ₂[X] = μ₁[X]
+                    eq(NU1, NU2); // ν₂[X] = ν₁[X]
+                }
+                if y.contains(attr) {
+                    // νᵢ agrees with the inserted tuple on all of Y:
+                    // on X∩Y because ν matches t there, on Y−X because the
+                    // inserted tuple takes ν's complement values.
+                    eq(NU1, THAT1);
+                    eq(NU2, THAT2);
+                }
+                if z.contains(attr) {
+                    eq(MU1, THAT1); // the violation premise μ₁[Z] = t̂₁[Z]
+                }
+            }
+            // Chase the constraint pairs to fixpoint.
+            let pairs: [(usize, usize); 4] = [(MU1, NU1), (MU2, NU2), (MU2, THAT2), (NU2, THAT2)];
+            loop {
+                let mut changed = false;
+                for &(p, q) in &pairs {
+                    for g in &atomized {
+                        let w = g.lhs();
+                        let b = g.rhs().first().expect("atomized");
+                        let agree = w.iter().all(|wa| {
+                            let c = universe.rank(wa).expect("attr in U");
+                            uf.same(sym[c][p], sym[c][q])
+                        });
+                        if agree {
+                            let c = universe.rank(b).expect("attr in U");
+                            if uf.union(sym[c][p], sym[c][q]).expect("symbolic") {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            let ca = universe.rank(a).expect("attr in U");
+            if !uf.same(sym[ca][MU1], sym[ca][THAT1]) {
+                return GoodComplement::NotGood { fd_index };
+            }
+        }
+        GoodComplement::Good
+    }
+
+    /// Is the complement good?
+    pub fn is_good(&self) -> bool {
+        matches!(self, GoodComplement::Good)
+    }
+}
+
+/// Test 2, prepared once per `(Σ, X, Y)` schema triple.
+#[derive(Debug, Clone)]
+pub struct Test2 {
+    x: AttrSet,
+    y: AttrSet,
+    goodness: GoodComplement,
+}
+
+impl Test2 {
+    /// Run the goodness analysis and package the result.
+    pub fn prepare(schema: &Schema, fds: &FdSet, x: AttrSet, y: AttrSet) -> Self {
+        Test2 {
+            x,
+            y,
+            goodness: GoodComplement::analyze(schema, fds, x, y),
+        }
+    }
+
+    /// The goodness verdict.
+    pub fn goodness(&self) -> &GoodComplement {
+        &self.goodness
+    }
+
+    /// The view attributes `X`.
+    pub fn x(&self) -> AttrSet {
+        self.x
+    }
+
+    /// The complement attributes `Y`.
+    pub fn y(&self) -> AttrSet {
+        self.y
+    }
+
+    /// Test the insertion of `t` into `v`.
+    ///
+    /// Exact when the complement is good; rejects everything otherwise.
+    ///
+    /// # Errors
+    /// Input errors only, as for [`crate::translate_insert`].
+    pub fn check(
+        &self,
+        schema: &Schema,
+        fds: &FdSet,
+        v: &Relation,
+        t: &Tuple,
+    ) -> Result<Translatability> {
+        let ctx = ViewCtx::validate(schema, self.x, self.y, v, &[t])?;
+        if v.contains(t) {
+            return Ok(Translatability::Translatable(Translation::Identity));
+        }
+        if !self.goodness.is_good() {
+            return Ok(Translatability::Rejected(RejectReason::NotGoodComplement));
+        }
+        let mu_rows = ctx.mu_rows(v, t);
+        let Some(&mu) = mu_rows.first() else {
+            return Ok(Translatability::Rejected(
+                RejectReason::IntersectionNotInView,
+            ));
+        };
+        if let Some(reason) = ctx.condition_b(fds) {
+            return Ok(Translatability::Rejected(reason));
+        }
+        // Canonical database R₀ = chase of the null-filled V.
+        let filled = ctx.fill(v);
+        let mut st = ChaseState::new(&filled);
+        if st.run(fds).is_err() {
+            return Err(CoreError::InvalidViewInstance);
+        }
+        // The inserted tuple w = t * (μ's Y−X values in R₀).
+        let mu_resolved = st.resolved_row(mu);
+        let w = Tuple::from_pairs(
+            &ctx.universe,
+            ctx.universe.iter().map(|attr| {
+                let val = if ctx.x.contains(attr) {
+                    t.get(&ctx.x, attr)
+                } else {
+                    mu_resolved.get(&ctx.universe, attr)
+                };
+                (attr, val)
+            }),
+        )
+        .expect("covers universe");
+        // Check every pair {ρ, w} against Σ; R₀ itself satisfies Σ by
+        // construction, and one new tuple can only violate an FD pairwise.
+        let atomized = fds.atomized();
+        let r0 = st.materialize();
+        for (fd_index, fd) in atomized.iter().enumerate() {
+            let z = fd.lhs();
+            let a = fd.rhs().first().expect("atomized");
+            for rho in &r0 {
+                if rho.agrees(&ctx.universe, &w, &ctx.universe, &z)
+                    && rho.get(&ctx.universe, a) != w.get(&ctx.universe, a)
+                {
+                    return Ok(Translatability::Rejected(
+                        RejectReason::CanonicalViolation { fd_index },
+                    ));
+                }
+            }
+        }
+        Ok(Translatability::Translatable(Translation::InsertJoin {
+            t: t.clone(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insert::translate_insert;
+    use relvu_relation::tup;
+
+    fn edm() -> (Schema, FdSet, AttrSet, AttrSet, Relation) {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        let fds = FdSet::parse(&s, "E->D; D->M").unwrap();
+        let x = s.set(["E", "D"]).unwrap();
+        let y = s.set(["D", "M"]).unwrap();
+        let v = Relation::from_rows(x, [tup![1, 10], tup![2, 10], tup![3, 20]]).unwrap();
+        (s, fds, x, y, v)
+    }
+
+    #[test]
+    fn edm_complement_is_good() {
+        let (s, fds, x, y, _) = edm();
+        assert!(GoodComplement::analyze(&s, &fds, x, y).is_good());
+    }
+
+    #[test]
+    fn good_test2_matches_exact_on_edm() {
+        let (s, fds, x, y, v) = edm();
+        let t2 = Test2::prepare(&s, &fds, x, y);
+        assert!(t2.goodness().is_good());
+        for e in 0..6u64 {
+            for d in [10u64, 20, 30] {
+                let t = tup![e, d];
+                let exact = translate_insert(&s, &fds, x, y, &v, &t).unwrap();
+                let fast = t2.check(&s, &fds, &v, &t).unwrap();
+                assert_eq!(
+                    exact.is_translatable(),
+                    fast.is_translatable(),
+                    "Test 2 must be exact for a good complement (t = {t:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn not_good_rejects_everything() {
+        // Construct a non-good complement: U = ABC, X = AB, Y = BC,
+        // Σ = {B->C, A->C}. The FD A->C has Z = A ⊆ X − Y; whether the
+        // translated insert violates it depends on the C-values of rows
+        // sharing A — information R₀ fixes one way but other legal
+        // databases fix differently.
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        let fds = FdSet::parse(&s, "B->C; A->C").unwrap();
+        let x = s.set(["A", "B"]).unwrap();
+        let y = s.set(["B", "C"]).unwrap();
+        let g = GoodComplement::analyze(&s, &fds, x, y);
+        assert!(!g.is_good(), "A->C should break goodness: {g:?}");
+        let t2 = Test2::prepare(&s, &fds, x, y);
+        let v = Relation::from_rows(x, [tup![1, 10], tup![2, 20]]).unwrap();
+        let out = t2.check(&s, &fds, &v, &tup![3, 20]).unwrap();
+        assert_eq!(out.reject_reason(), Some(&RejectReason::NotGoodComplement));
+    }
+
+    #[test]
+    fn identity_still_reported_when_not_good() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        let fds = FdSet::parse(&s, "B->C; A->C").unwrap();
+        let x = s.set(["A", "B"]).unwrap();
+        let y = s.set(["B", "C"]).unwrap();
+        let t2 = Test2::prepare(&s, &fds, x, y);
+        let v = Relation::from_rows(x, [tup![1, 10]]).unwrap();
+        let out = t2.check(&s, &fds, &v, &tup![1, 10]).unwrap();
+        assert_eq!(out.translation(), Some(&Translation::Identity));
+    }
+
+    #[test]
+    fn test2_never_accepts_untranslatable_on_good_schema() {
+        let (s, fds, x, y, v) = edm();
+        let t2 = Test2::prepare(&s, &fds, x, y);
+        // Insert that breaks E -> D inside the view.
+        let out = t2.check(&s, &fds, &v, &tup![1, 20]).unwrap();
+        assert!(!out.is_translatable());
+    }
+}

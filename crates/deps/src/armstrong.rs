@@ -1,0 +1,314 @@
+//! Armstrong-axiom derivations: *explainable* FD implication.
+//!
+//! The paper's algorithms answer `Σ ⊨ X → Y` by closure; a database
+//! system advising a user about complements (§3.3) is better served by a
+//! *proof*. This module derives implied FDs as proof trees over
+//! Armstrong's axioms \[1\] — reflexivity, augmentation, transitivity —
+//! with the union rule expanded into its three-step Armstrong derivation,
+//! so every tree is checkable by [`Proof::validate`] against the axioms
+//! alone.
+
+use relvu_relation::{AttrSet, Schema};
+
+use crate::closure::closure;
+use crate::{Fd, FdSet};
+
+/// A proof tree deriving one FD from a premise set via Armstrong's axioms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Proof {
+    /// A premise: the `index`-th FD of Σ.
+    Premise {
+        /// Index into the premise set.
+        index: usize,
+        /// The premise FD (cached for display/validation).
+        fd: Fd,
+    },
+    /// Reflexivity: `Y ⊆ X ⟹ X → Y`.
+    Reflexivity {
+        /// The concluded (trivial) FD.
+        fd: Fd,
+    },
+    /// Augmentation: from `X → Y` conclude `X∪Z → Y∪Z`.
+    Augmentation {
+        /// Sub-proof of `X → Y`.
+        base: Box<Proof>,
+        /// The augmenting attribute set `Z`.
+        with: AttrSet,
+    },
+    /// Transitivity: from `X → Y` and `Y → Z` conclude `X → Z`.
+    Transitivity {
+        /// Sub-proof of `X → Y`.
+        left: Box<Proof>,
+        /// Sub-proof of `Y → Z` (its LHS must equal the left RHS).
+        right: Box<Proof>,
+    },
+}
+
+impl Proof {
+    /// The FD this tree concludes.
+    pub fn conclusion(&self) -> Fd {
+        match self {
+            Proof::Premise { fd, .. } | Proof::Reflexivity { fd } => fd.clone(),
+            Proof::Augmentation { base, with } => {
+                let b = base.conclusion();
+                Fd::from_sets(b.lhs() | *with, b.rhs() | *with)
+            }
+            Proof::Transitivity { left, right } => {
+                Fd::from_sets(left.conclusion().lhs(), right.conclusion().rhs())
+            }
+        }
+    }
+
+    /// Validate the tree against the axioms and the premise set.
+    pub fn validate(&self, premises: &FdSet) -> bool {
+        match self {
+            Proof::Premise { index, fd } => premises.as_slice().get(*index) == Some(fd),
+            Proof::Reflexivity { fd } => fd.rhs().is_subset(&fd.lhs()),
+            Proof::Augmentation { base, .. } => base.validate(premises),
+            Proof::Transitivity { left, right } => {
+                left.validate(premises)
+                    && right.validate(premises)
+                    && left.conclusion().rhs() == right.conclusion().lhs()
+            }
+        }
+    }
+
+    /// Number of inference steps (tree nodes).
+    pub fn steps(&self) -> usize {
+        match self {
+            Proof::Premise { .. } | Proof::Reflexivity { .. } => 1,
+            Proof::Augmentation { base, .. } => 1 + base.steps(),
+            Proof::Transitivity { left, right } => 1 + left.steps() + right.steps(),
+        }
+    }
+
+    /// Render as an indented derivation.
+    pub fn show(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        self.render(schema, 0, &mut out);
+        out
+    }
+
+    fn render(&self, schema: &Schema, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let line = match self {
+            Proof::Premise { index, fd } => {
+                format!("{indent}{} [premise #{index}]\n", fd.show(schema))
+            }
+            Proof::Reflexivity { fd } => {
+                format!("{indent}{} [reflexivity]\n", fd.show(schema))
+            }
+            Proof::Augmentation { with, .. } => format!(
+                "{indent}{} [augmentation by {}]\n",
+                self.conclusion().show(schema),
+                schema.show_set(with)
+            ),
+            Proof::Transitivity { .. } => {
+                format!(
+                    "{indent}{} [transitivity]\n",
+                    self.conclusion().show(schema)
+                )
+            }
+        };
+        out.push_str(&line);
+        match self {
+            Proof::Augmentation { base, .. } => base.render(schema, depth + 1, out),
+            Proof::Transitivity { left, right } => {
+                left.render(schema, depth + 1, out);
+                right.render(schema, depth + 1, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The union rule `X→Y, X→Z ⟹ X→YZ`, expanded into pure Armstrong steps:
+/// `X → XY` (augment left by `X`), `XY → YZ` (augment right by `Y`),
+/// then transitivity.
+fn union_rule(left: Proof, right: Proof) -> Proof {
+    let x = left.conclusion().lhs();
+    let y = left.conclusion().rhs();
+    debug_assert_eq!(x, right.conclusion().lhs());
+    let step1 = Proof::Augmentation {
+        base: Box::new(left),
+        with: x,
+    }; // X → XY
+    let step2 = Proof::Augmentation {
+        base: Box::new(right),
+        with: y,
+    }; // XY → YZ
+    debug_assert_eq!(step1.conclusion().rhs(), step2.conclusion().lhs());
+    Proof::Transitivity {
+        left: Box::new(step1),
+        right: Box::new(step2),
+    }
+}
+
+/// Derive `Σ ⊨ target` as an Armstrong proof tree, or `None` if the FD is
+/// not implied. Mirrors the closure computation, recording why each
+/// attribute entered.
+pub fn derive(premises: &FdSet, target: &Fd) -> Option<Proof> {
+    let x = target.lhs();
+    if !target.rhs().is_subset(&closure(premises, x)) {
+        return None;
+    }
+    // Invariant: `proof` concludes X → S for the growing closure S.
+    let mut s = x;
+    let mut proof = Proof::Reflexivity {
+        fd: Fd::from_sets(x, x),
+    };
+    loop {
+        let mut fired = None;
+        for (i, fd) in premises.iter().enumerate() {
+            if fd.lhs().is_subset(&s) && !fd.rhs().is_subset(&s) {
+                fired = Some((i, fd.clone()));
+                break;
+            }
+        }
+        let Some((i, fd)) = fired else { break };
+        // X → W from X → S and S → W (reflexivity, W ⊆ S).
+        let s_to_w = Proof::Reflexivity {
+            fd: Fd::from_sets(s, fd.lhs()),
+        };
+        let x_to_w = Proof::Transitivity {
+            left: Box::new(proof.clone()),
+            right: Box::new(s_to_w),
+        };
+        // X → B via the premise.
+        let x_to_b = Proof::Transitivity {
+            left: Box::new(x_to_w),
+            right: Box::new(Proof::Premise {
+                index: i,
+                fd: fd.clone(),
+            }),
+        };
+        // X → S ∪ B via the (expanded) union rule.
+        proof = union_rule(proof, x_to_b);
+        s = s | fd.rhs();
+    }
+    debug_assert!(target.rhs().is_subset(&s));
+    // X → Y from X → S and S → Y (reflexivity).
+    let s_to_y = Proof::Reflexivity {
+        fd: Fd::from_sets(s, target.rhs()),
+    };
+    let final_proof = Proof::Transitivity {
+        left: Box::new(proof),
+        right: Box::new(s_to_y),
+    };
+    debug_assert_eq!(final_proof.conclusion().lhs(), target.lhs());
+    debug_assert_eq!(final_proof.conclusion().rhs(), target.rhs());
+    Some(final_proof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relvu_relation::Schema;
+
+    #[test]
+    fn derives_transitive_fd_with_valid_proof() {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        let fds = FdSet::parse(&s, "E->D; D->M").unwrap();
+        let target = Fd::parse(&s, "E -> M").unwrap();
+        let proof = derive(&fds, &target).expect("implied");
+        assert_eq!(proof.conclusion().lhs(), target.lhs());
+        assert_eq!(proof.conclusion().rhs(), target.rhs());
+        assert!(proof.validate(&fds));
+        assert!(proof.steps() > 1);
+        let rendered = proof.show(&s);
+        assert!(rendered.contains("premise"));
+        assert!(rendered.contains("transitivity"));
+    }
+
+    #[test]
+    fn refuses_non_implied_fds() {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        let fds = FdSet::parse(&s, "E->D").unwrap();
+        assert!(derive(&fds, &Fd::parse(&s, "D -> E").unwrap()).is_none());
+        assert!(derive(&fds, &Fd::parse(&s, "M -> D").unwrap()).is_none());
+    }
+
+    #[test]
+    fn trivial_fds_need_only_reflexivity_steps() {
+        let s = Schema::new(["A", "B"]).unwrap();
+        let fds = FdSet::default();
+        let proof = derive(&fds, &Fd::parse(&s, "A B -> A").unwrap()).expect("trivial");
+        assert!(proof.validate(&fds));
+    }
+
+    #[test]
+    fn invalid_trees_fail_validation() {
+        let s = Schema::new(["A", "B"]).unwrap();
+        let fds = FdSet::parse(&s, "A->B").unwrap();
+        // A fabricated "reflexivity" of a non-trivial FD.
+        let bogus = Proof::Reflexivity {
+            fd: Fd::parse(&s, "A -> B").unwrap(),
+        };
+        assert!(!bogus.validate(&fds));
+        // A premise with the wrong index.
+        let bogus = Proof::Premise {
+            index: 3,
+            fd: Fd::parse(&s, "A -> B").unwrap(),
+        };
+        assert!(!bogus.validate(&fds));
+        // Mismatched transitivity.
+        let bogus = Proof::Transitivity {
+            left: Box::new(Proof::Reflexivity {
+                fd: Fd::parse(&s, "A B -> A").unwrap(),
+            }),
+            right: Box::new(Proof::Reflexivity {
+                fd: Fd::parse(&s, "B -> B").unwrap(),
+            }),
+        };
+        assert!(!bogus.validate(&fds));
+    }
+
+    #[test]
+    fn derivations_valid_on_random_premise_sets() {
+        use rand::prelude::*;
+        use relvu_relation::Attr;
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..150 {
+            let n = rng.gen_range(2..7usize);
+            let attrs: Vec<Attr> = (0..n).map(Attr::new).collect();
+            let mut fds = FdSet::default();
+            for _ in 0..rng.gen_range(1..6) {
+                let l: AttrSet = attrs
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.4))
+                    .collect();
+                let r: AttrSet = attrs
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.3))
+                    .collect();
+                if !r.is_empty() {
+                    fds.push(Fd::from_sets(l, r));
+                }
+            }
+            let x: AttrSet = attrs
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(0.4))
+                .collect();
+            let y: AttrSet = attrs
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(0.4))
+                .collect();
+            let target = Fd::from_sets(x, y);
+            match derive(&fds, &target) {
+                Some(proof) => {
+                    assert!(proof.validate(&fds), "derivation must validate");
+                    assert_eq!(proof.conclusion().lhs(), target.lhs());
+                    assert_eq!(proof.conclusion().rhs(), target.rhs());
+                    assert!(crate::closure::implies_fd(&fds, &target));
+                }
+                None => {
+                    assert!(!crate::closure::implies_fd(&fds, &target));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The dependency basis (Beeri's algorithm).
+//!
+//! For a set `M` of MVDs over `U`, the *dependency basis* `DEP(X)` is the
+//! unique partition of `U − X` such that `M ⊨ X →→ Y` iff `Y − X` is a
+//! union of partition blocks. This is the classical structure behind MVD
+//! reasoning (Fagin \[18\], Beeri; the paper's Theorem 1 sits on MVD
+//! implication) and gives a second, independently derived implication
+//! procedure that the chase-based one in `relvu-chase` is cross-checked
+//! against.
+//!
+//! FDs participate via their MVD weakenings (`W → Z` implies `W →→ Z`);
+//! full FD reasoning still needs the closure of `relvu_deps::closure`.
+
+use relvu_relation::AttrSet;
+
+use crate::{FdSet, Mvd};
+
+/// Compute `DEP(X)`: the dependency basis of `x` under `mvds` over
+/// `universe`, as a sorted list of disjoint blocks covering `U − X`.
+///
+/// Refinement loop: starting from the single block `U − X`, each MVD
+/// `W →→ Z` splits any block `B` it *applies to* (`W ∩ B = ∅`) that it
+/// properly cuts (`B ∩ Z` and `B − Z` both nonempty), until no MVD cuts
+/// any block.
+pub fn dependency_basis(universe: AttrSet, mvds: &[Mvd], x: AttrSet) -> Vec<AttrSet> {
+    let mut blocks: Vec<AttrSet> = vec![universe - x];
+    blocks.retain(|b| !b.is_empty());
+    loop {
+        let mut changed = false;
+        'outer: for (i, &b) in blocks.iter().enumerate() {
+            for m in mvds {
+                // The MVD applies when its LHS avoids the block entirely
+                // (it is then determined by attributes outside B, in
+                // particular expressible from X ∪ other blocks).
+                if !m.lhs().is_disjoint(&b) {
+                    continue;
+                }
+                let cut = m.rhs() & b;
+                if cut.is_empty() || cut == b {
+                    continue;
+                }
+                let rest = b - cut;
+                blocks.swap_remove(i);
+                blocks.push(cut);
+                blocks.push(rest);
+                changed = true;
+                break 'outer;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    blocks.sort();
+    blocks
+}
+
+/// Does `M ⊨ X →→ Y` by the dependency basis: `Y − X` must be a union of
+/// blocks of `DEP(X)`.
+pub fn implies_mvd_via_basis(universe: AttrSet, mvds: &[Mvd], target: &Mvd) -> bool {
+    let x = target.lhs();
+    let y = (target.rhs() - x) & universe;
+    let basis = dependency_basis(universe, mvds, x);
+    // Y is a union of blocks iff every block is contained in or disjoint
+    // from Y.
+    basis.iter().all(|b| b.is_subset(&y) || b.is_disjoint(&y))
+}
+
+/// The MVD weakenings of an FD set: each `W → Z` contributes `W →→ Z`.
+pub fn fd_weakenings(fds: &FdSet) -> Vec<Mvd> {
+    fds.iter().map(|f| Mvd::new(f.lhs(), f.rhs())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fd;
+    use relvu_relation::Schema;
+
+    #[test]
+    fn basis_partitions_the_rest() {
+        let s = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let mvds = vec![Mvd::new(s.set(["A"]).unwrap(), s.set(["B"]).unwrap())];
+        let basis = dependency_basis(s.universe(), &mvds, s.set(["A"]).unwrap());
+        // Blocks: {B} and {C, D}.
+        assert_eq!(basis.len(), 2);
+        let union: AttrSet = basis.iter().fold(AttrSet::new(), |acc, b| acc | *b);
+        assert_eq!(union, s.universe() - s.set(["A"]).unwrap());
+        assert!(basis.contains(&s.set(["B"]).unwrap()));
+        assert!(basis.contains(&s.set(["C", "D"]).unwrap()));
+    }
+
+    #[test]
+    fn basis_implication_basics() {
+        let s = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let mvds = vec![Mvd::new(s.set(["A"]).unwrap(), s.set(["B"]).unwrap())];
+        // A ->> B ✓, A ->> CD ✓ (complement), A ->> BC ✗.
+        assert!(implies_mvd_via_basis(
+            s.universe(),
+            &mvds,
+            &Mvd::new(s.set(["A"]).unwrap(), s.set(["B"]).unwrap())
+        ));
+        assert!(implies_mvd_via_basis(
+            s.universe(),
+            &mvds,
+            &Mvd::new(s.set(["A"]).unwrap(), s.set(["C", "D"]).unwrap())
+        ));
+        assert!(!implies_mvd_via_basis(
+            s.universe(),
+            &mvds,
+            &Mvd::new(s.set(["A"]).unwrap(), s.set(["B", "C"]).unwrap())
+        ));
+    }
+
+    #[test]
+    fn fd_weakenings_feed_the_basis() {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        let fds = FdSet::new([
+            Fd::parse(&s, "E -> D").unwrap(),
+            Fd::parse(&s, "D -> M").unwrap(),
+        ]);
+        let mvds = fd_weakenings(&fds);
+        // D ->> M holds (D -> M).
+        assert!(implies_mvd_via_basis(
+            s.universe(),
+            &mvds,
+            &Mvd::new(s.set(["D"]).unwrap(), s.set(["M"]).unwrap())
+        ));
+        // The paper's complementarity split *[ED, DM]: D ->> E.
+        assert!(implies_mvd_via_basis(
+            s.universe(),
+            &mvds,
+            &Mvd::from_views(s.set(["E", "D"]).unwrap(), s.set(["D", "M"]).unwrap())
+        ));
+    }
+
+    #[test]
+    fn empty_rest_gives_empty_basis() {
+        let s = Schema::new(["A", "B"]).unwrap();
+        let basis = dependency_basis(s.universe(), &[], s.universe());
+        assert!(basis.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Attribute closure and FD implication.
+//!
+//! The paper's algorithms repeatedly need `Σ ⊨ X → Y`, which reduces to
+//! `Y ⊆ X⁺`. Two implementations are provided:
+//!
+//! * [`closure_naive`] — the textbook quadratic fixpoint, kept as a
+//!   correctness oracle for property tests;
+//! * [`closure`] — the linear-time counting algorithm of Beeri & Bernstein
+//!   \[4\], which the paper cites for its `O(|Σ|)` bounds (condition (b) of
+//!   Theorem 3, step (3) of Test 1).
+
+use relvu_relation::AttrSet;
+
+use crate::{Fd, FdSet};
+
+/// `X⁺` under `fds`, by the naive fixpoint (`O(|Σ|²)` worst case).
+pub fn closure_naive(fds: &FdSet, x: AttrSet) -> AttrSet {
+    let mut closure = x;
+    loop {
+        let mut changed = false;
+        for fd in fds {
+            if fd.lhs().is_subset(&closure) && !fd.rhs().is_subset(&closure) {
+                closure = closure | fd.rhs();
+                changed = true;
+            }
+        }
+        if !changed {
+            return closure;
+        }
+    }
+}
+
+/// `X⁺` under `fds`, by the Beeri–Bernstein counting algorithm: linear in
+/// the total size of `fds` plus the universe.
+///
+/// Each FD keeps a count of left-hand-side attributes not yet in the
+/// closure; an attribute entering the closure decrements the counts of the
+/// FDs whose LHS mentions it, and an FD firing (count = 0) pushes its RHS.
+pub fn closure(fds: &FdSet, x: AttrSet) -> AttrSet {
+    // attr -> indices of FDs whose LHS contains it.
+    let n_fds = fds.len();
+    let mut counts: Vec<usize> = Vec::with_capacity(n_fds);
+    let mut by_attr: std::collections::HashMap<u16, Vec<usize>> = std::collections::HashMap::new();
+    for (i, fd) in fds.iter().enumerate() {
+        counts.push(fd.lhs().len());
+        for a in fd.lhs().iter() {
+            by_attr.entry(a.index() as u16).or_default().push(i);
+        }
+    }
+    let mut result = x;
+    let mut queue: Vec<relvu_relation::Attr> = x.iter().collect();
+    // FDs with empty LHS fire immediately.
+    for (i, fd) in fds.iter().enumerate() {
+        if counts[i] == 0 {
+            for a in fd.rhs().iter() {
+                if result.insert(a) {
+                    queue.push(a);
+                }
+            }
+        }
+    }
+    while let Some(a) = queue.pop() {
+        if let Some(idxs) = by_attr.get(&(a.index() as u16)) {
+            for &i in idxs {
+                counts[i] -= 1;
+                if counts[i] == 0 {
+                    for b in fds.as_slice()[i].rhs().iter() {
+                        if result.insert(b) {
+                            queue.push(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Does `Σ ⊨ fd`? (Armstrong-complete via closure.)
+pub fn implies_fd(fds: &FdSet, fd: &Fd) -> bool {
+    fd.rhs().is_subset(&closure(fds, fd.lhs()))
+}
+
+/// Does `Σ ⊨ X → Y`?
+pub fn implies(fds: &FdSet, x: AttrSet, y: AttrSet) -> bool {
+    y.is_subset(&closure(fds, x))
+}
+
+/// Are two FD sets equivalent (each implies the other)?
+pub fn equivalent(a: &FdSet, b: &FdSet) -> bool {
+    a.iter().all(|fd| implies_fd(b, fd)) && b.iter().all(|fd| implies_fd(a, fd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relvu_relation::Schema;
+
+    fn edm() -> (Schema, FdSet) {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        let fds = FdSet::parse(&s, "E->D; D->M").unwrap();
+        (s, fds)
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let (s, fds) = edm();
+        let e = s.set(["E"]).unwrap();
+        assert_eq!(closure(&fds, e), s.universe());
+        assert_eq!(closure_naive(&fds, e), s.universe());
+        let d = s.set(["D"]).unwrap();
+        assert_eq!(closure(&fds, d), s.set(["D", "M"]).unwrap());
+    }
+
+    #[test]
+    fn empty_fdset_closure_is_identity() {
+        let s = Schema::numbered(4).unwrap();
+        let x = s.set(["A0", "A2"]).unwrap();
+        assert_eq!(closure(&FdSet::default(), x), x);
+    }
+
+    #[test]
+    fn empty_lhs_fd_always_fires() {
+        let s = Schema::new(["A", "B"]).unwrap();
+        let fds = FdSet::new([Fd::from_sets(AttrSet::new(), s.set(["B"]).unwrap())]);
+        assert_eq!(closure(&fds, AttrSet::new()), s.set(["B"]).unwrap());
+    }
+
+    #[test]
+    fn implication() {
+        let (s, fds) = edm();
+        assert!(implies(&fds, s.set(["E"]).unwrap(), s.set(["M"]).unwrap()));
+        assert!(!implies(&fds, s.set(["M"]).unwrap(), s.set(["E"]).unwrap()));
+        assert!(implies_fd(&fds, &Fd::parse(&s, "E -> E D M").unwrap()));
+    }
+
+    #[test]
+    fn equivalence() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        let f1 = FdSet::parse(&s, "A->B; B->C").unwrap();
+        let f2 = FdSet::parse(&s, "A->B C; B->C").unwrap();
+        let f3 = FdSet::parse(&s, "A->B").unwrap();
+        assert!(equivalent(&f1, &f2));
+        assert!(!equivalent(&f1, &f3));
+    }
+
+    #[test]
+    fn linear_matches_naive_on_random_inputs() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..12usize);
+            let s = Schema::numbered(n).unwrap();
+            let attrs: Vec<_> = s.attrs().collect();
+            let mut fds = FdSet::default();
+            for _ in 0..rng.gen_range(0..10) {
+                let l: AttrSet = attrs
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.3))
+                    .collect();
+                let r: AttrSet = attrs
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.3))
+                    .collect();
+                fds.push(Fd::from_sets(l, r));
+            }
+            let x: AttrSet = attrs
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(0.4))
+                .collect();
+            assert_eq!(closure(&fds, x), closure_naive(&fds, x));
+        }
+    }
+}

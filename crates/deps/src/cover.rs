@@ -1,0 +1,170 @@
+//! Minimal covers of FD sets.
+//!
+//! A minimal (canonical) cover is an equivalent FD set with
+//! single-attribute right-hand sides, no extraneous left-hand-side
+//! attributes, and no redundant dependency. Engines normalize Σ this way
+//! before running the paper's chases: fewer, smaller FDs mean fewer chase
+//! rules.
+
+use crate::closure::{closure, implies_fd};
+use crate::{Fd, FdSet};
+
+/// Remove extraneous LHS attributes from each FD of an atomized set.
+fn reduce_lhs(fds: &FdSet) -> FdSet {
+    let mut out: Vec<Fd> = fds.iter().cloned().collect();
+    for i in 0..out.len() {
+        loop {
+            let fd = out[i].clone();
+            let mut shrunk = None;
+            for a in fd.lhs().iter() {
+                let mut lhs = fd.lhs();
+                lhs.remove(a);
+                // `a` is extraneous iff lhs still determines the RHS
+                // under the *current* full set.
+                let test = Fd::from_sets(lhs, fd.rhs());
+                let all = FdSet::new(out.iter().cloned());
+                if implies_fd(&all, &test) {
+                    shrunk = Some(test);
+                    break;
+                }
+            }
+            match shrunk {
+                Some(s) => out[i] = s,
+                None => break,
+            }
+        }
+    }
+    FdSet::new(out)
+}
+
+/// Remove FDs implied by the rest.
+fn remove_redundant(fds: &FdSet) -> FdSet {
+    let mut out: Vec<Fd> = fds.iter().cloned().collect();
+    let mut i = 0;
+    while i < out.len() {
+        let fd = out[i].clone();
+        let rest = FdSet::new(
+            out.iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, f)| f.clone()),
+        );
+        if implies_fd(&rest, &fd) {
+            out.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    FdSet::new(out)
+}
+
+/// Compute a minimal cover of `fds`: atomized, LHS-reduced, non-redundant,
+/// and equivalent to the input.
+pub fn minimal_cover(fds: &FdSet) -> FdSet {
+    remove_redundant(&reduce_lhs(&fds.atomized()))
+}
+
+/// Is `fds` already a minimal cover (of itself)?
+pub fn is_minimal(fds: &FdSet) -> bool {
+    // Single-attr RHS, nontrivial.
+    if fds.iter().any(|f| f.rhs().len() != 1 || f.is_trivial()) {
+        return false;
+    }
+    // No extraneous LHS attribute.
+    for fd in fds {
+        for a in fd.lhs().iter() {
+            let mut lhs = fd.lhs();
+            lhs.remove(a);
+            if fd.rhs().is_subset(&closure(fds, lhs)) {
+                return false;
+            }
+        }
+    }
+    // No redundant FD.
+    for i in 0..fds.len() {
+        let rest = FdSet::new(
+            fds.iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, f)| f.clone()),
+        );
+        if implies_fd(&rest, &fds.as_slice()[i]) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::equivalent;
+    use relvu_relation::Schema;
+
+    #[test]
+    fn removes_redundancy_and_extraneous() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        // A->C is redundant (A->B->C); in `A B -> C`, B is extraneous.
+        let fds = FdSet::parse(&s, "A->B; B->C; A->C; A B -> C").unwrap();
+        let cover = minimal_cover(&fds);
+        assert!(equivalent(&fds, &cover));
+        assert!(is_minimal(&cover));
+        assert_eq!(cover.len(), 2);
+    }
+
+    #[test]
+    fn already_minimal_is_fixed_point() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        let fds = FdSet::parse(&s, "A->B; B->C").unwrap();
+        let cover = minimal_cover(&fds);
+        assert_eq!(cover, fds);
+        assert!(is_minimal(&fds));
+    }
+
+    #[test]
+    fn splits_compound_rhs() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        let fds = FdSet::parse(&s, "A -> B C").unwrap();
+        let cover = minimal_cover(&fds);
+        assert_eq!(cover.len(), 2);
+        assert!(is_minimal(&cover));
+        assert!(!is_minimal(&fds)); // compound RHS
+    }
+
+    #[test]
+    fn empty_is_minimal() {
+        assert!(is_minimal(&FdSet::default()));
+        assert!(minimal_cover(&FdSet::default()).is_empty());
+    }
+
+    #[test]
+    fn cover_equivalent_on_random_sets() {
+        use rand::prelude::*;
+        use relvu_relation::AttrSet;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let n = rng.gen_range(2..8usize);
+            let s = Schema::numbered(n).unwrap();
+            let attrs: Vec<_> = s.attrs().collect();
+            let mut fds = FdSet::default();
+            for _ in 0..rng.gen_range(1..8) {
+                let l: AttrSet = attrs
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.4))
+                    .collect();
+                let r: AttrSet = attrs
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.3))
+                    .collect();
+                if !r.is_empty() {
+                    fds.push(Fd::from_sets(l, r));
+                }
+            }
+            let cover = minimal_cover(&fds);
+            assert!(equivalent(&fds, &cover), "cover must preserve semantics");
+            assert!(is_minimal(&cover), "cover must be minimal");
+        }
+    }
+}

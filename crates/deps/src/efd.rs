@@ -1,0 +1,229 @@
+//! Explicit functional dependencies (§5).
+//!
+//! An EFD `X →ₑ Y` states that `π_{XY}(R) = f(π_X(R))` for an
+//! *instance-independent* witness function `f`: the `Y` part is redundant
+//! information computable from the `X` part (e.g.
+//! `Cost, ProfitRate →ₑ Price`). Propositions 1 and 2 show EFD implication
+//! reduces to FD implication of the underlying FDs `Σ_F`, which is how
+//! [`crate::closure`] is reused here.
+
+use std::fmt;
+use std::sync::Arc;
+
+use relvu_relation::{Relation, Schema, Tuple, Value};
+
+use crate::closure::implies_fd;
+use crate::{Fd, FdSet};
+
+/// A witness function for an EFD: maps the LHS values of a tuple (dense,
+/// ascending attribute order) to its RHS values (same convention).
+pub type Witness = Arc<dyn Fn(&[Value]) -> Vec<Value> + Send + Sync>;
+
+/// An explicit functional dependency `X →ₑ Y` with an optional concrete
+/// witness.
+///
+/// The *definition* of an EFD only asserts a witness exists; implication
+/// (Prop 1) quantifies over all witnesses, so [`Efd`]s without a concrete
+/// witness participate fully in inference. A concrete witness enables
+/// instance checks ([`Efd::check_witness`]) and computed columns in the
+/// engine.
+#[derive(Clone)]
+pub struct Efd {
+    fd: Fd,
+    witness: Option<Witness>,
+}
+
+impl Efd {
+    /// An EFD with no concrete witness (pure inference object).
+    pub fn abstract_of(fd: Fd) -> Self {
+        Efd { fd, witness: None }
+    }
+
+    /// An EFD carrying a concrete witness function.
+    pub fn with_witness(fd: Fd, witness: Witness) -> Self {
+        Efd {
+            fd,
+            witness: Some(witness),
+        }
+    }
+
+    /// The underlying FD `X → Y`.
+    pub fn fd(&self) -> &Fd {
+        &self.fd
+    }
+
+    /// The concrete witness, if any.
+    pub fn witness(&self) -> Option<&Witness> {
+        self.witness.as_ref()
+    }
+
+    /// Evaluate the witness on a tuple of `rel`'s attribute set, returning
+    /// the computed RHS values (ascending attribute order), or `None` if no
+    /// concrete witness was attached.
+    pub fn compute(&self, attrs: relvu_relation::AttrSet, t: &Tuple) -> Option<Vec<Value>> {
+        let w = self.witness.as_ref()?;
+        let lhs_vals: Vec<Value> = self.fd.lhs().iter().map(|a| t.get(&attrs, a)).collect();
+        Some(w(&lhs_vals))
+    }
+
+    /// Does `rel` satisfy this EFD *with its concrete witness*, i.e. does
+    /// every tuple's RHS equal `f(LHS)`? Returns `None` if no witness.
+    pub fn check_witness(&self, rel: &Relation) -> Option<bool> {
+        let attrs = rel.attrs();
+        if !self.fd.lhs().is_subset(&attrs) || !self.fd.rhs().is_subset(&attrs) {
+            return Some(false);
+        }
+        let w = self.witness.as_ref()?;
+        for t in rel {
+            let lhs_vals: Vec<Value> = self.fd.lhs().iter().map(|a| t.get(&attrs, a)).collect();
+            let got = w(&lhs_vals);
+            let want: Vec<Value> = self.fd.rhs().iter().map(|a| t.get(&attrs, a)).collect();
+            if got != want {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    /// Render against a schema, e.g. `Cost Rate ->e Price`.
+    pub fn show(&self, schema: &Schema) -> String {
+        format!(
+            "{} ->e {}",
+            schema.set_names(&self.fd.lhs()).join(" "),
+            schema.set_names(&self.fd.rhs()).join(" ")
+        )
+    }
+}
+
+impl fmt::Debug for Efd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Efd({:?} ->e {:?}{})",
+            self.fd.lhs(),
+            self.fd.rhs(),
+            if self.witness.is_some() {
+                ", witness"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// A collection of EFDs.
+#[derive(Clone, Debug, Default)]
+pub struct EfdSet {
+    efds: Vec<Efd>,
+}
+
+impl EfdSet {
+    /// Build from any iterator of EFDs.
+    pub fn new<I: IntoIterator<Item = Efd>>(efds: I) -> Self {
+        EfdSet {
+            efds: efds.into_iter().collect(),
+        }
+    }
+
+    /// Number of EFDs.
+    pub fn len(&self) -> usize {
+        self.efds.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.efds.is_empty()
+    }
+
+    /// Append an EFD.
+    pub fn push(&mut self, e: Efd) {
+        self.efds.push(e);
+    }
+
+    /// Iterate.
+    pub fn iter(&self) -> std::slice::Iter<'_, Efd> {
+        self.efds.iter()
+    }
+
+    /// The underlying FD set (the paper's `Σ_F` restricted to these EFDs).
+    pub fn to_fds(&self) -> FdSet {
+        FdSet::new(self.efds.iter().map(|e| e.fd().clone()))
+    }
+
+    /// Proposition 1: `Σ ⊨ X →ₑ Y` iff `Σ_F ⊨ X → Y`.
+    pub fn implies_efd(&self, target: &Fd) -> bool {
+        implies_fd(&self.to_fds(), target)
+    }
+}
+
+impl<'a> IntoIterator for &'a EfdSet {
+    type Item = &'a Efd;
+    type IntoIter = std::slice::Iter<'a, Efd>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.efds.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relvu_relation::{tup, Schema};
+
+    fn price_schema() -> Schema {
+        Schema::new(["Cost", "Rate", "Price"]).unwrap()
+    }
+
+    fn price_efd(s: &Schema) -> Efd {
+        // Price = Cost * (1 + Rate/100), integer arithmetic for the test.
+        let fd = Fd::parse(s, "Cost Rate -> Price").unwrap();
+        Efd::with_witness(
+            fd,
+            Arc::new(|lhs: &[Value]| {
+                let (c, r) = match (lhs[0], lhs[1]) {
+                    (Value::Const(c), Value::Const(r)) => (c, r),
+                    _ => return vec![Value::Null(0)],
+                };
+                vec![Value::int(c * (100 + r) / 100)]
+            }),
+        )
+    }
+
+    #[test]
+    fn witness_check_accepts_and_rejects() {
+        let s = price_schema();
+        let e = price_efd(&s);
+        let good =
+            Relation::from_rows(s.universe(), [tup![100, 10, 110], tup![200, 50, 300]]).unwrap();
+        assert_eq!(e.check_witness(&good), Some(true));
+        let bad = Relation::from_rows(s.universe(), [tup![100, 10, 999]]).unwrap();
+        assert_eq!(e.check_witness(&bad), Some(false));
+    }
+
+    #[test]
+    fn abstract_efd_has_no_witness() {
+        let s = price_schema();
+        let e = Efd::abstract_of(Fd::parse(&s, "Cost -> Price").unwrap());
+        assert!(e.witness().is_none());
+        let r = Relation::new(s.universe());
+        assert_eq!(e.check_witness(&r), None);
+    }
+
+    #[test]
+    fn proposition_1_reduces_to_fd_closure() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        let efds = EfdSet::new([
+            Efd::abstract_of(Fd::parse(&s, "A -> B").unwrap()),
+            Efd::abstract_of(Fd::parse(&s, "B -> C").unwrap()),
+        ]);
+        assert!(efds.implies_efd(&Fd::parse(&s, "A -> C").unwrap()));
+        assert!(!efds.implies_efd(&Fd::parse(&s, "C -> A").unwrap()));
+    }
+
+    #[test]
+    fn compute_evaluates_witness() {
+        let s = price_schema();
+        let e = price_efd(&s);
+        let t = tup![100, 10, 0];
+        assert_eq!(e.compute(s.universe(), &t), Some(vec![Value::int(110)]));
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for dependency parsing and construction.
+
+use std::fmt;
+
+use relvu_relation::RelationError;
+
+/// Errors raised while building or parsing dependencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepsError {
+    /// A dependency string failed to parse.
+    Parse {
+        /// The offending input.
+        input: String,
+        /// Why it failed.
+        reason: &'static str,
+    },
+    /// An underlying schema/relation error (e.g. unknown attribute).
+    Relation(RelationError),
+}
+
+impl fmt::Display for DepsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepsError::Parse { input, reason } => {
+                write!(f, "cannot parse dependency `{input}`: {reason}")
+            }
+            DepsError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DepsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DepsError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for DepsError {
+    fn from(e: RelationError) -> Self {
+        DepsError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_input() {
+        let e = DepsError::Parse {
+            input: "A => B".into(),
+            reason: "expected `->`",
+        };
+        assert!(e.to_string().contains("A => B"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Functional dependencies.
+
+use std::fmt;
+
+use relvu_relation::{Attr, AttrSet, Schema};
+
+use crate::{DepsError, Result};
+
+/// A functional dependency `X → Y`.
+///
+/// The paper assumes each FD has a single-attribute right-hand side
+/// ("this is easy to enforce", §3.1); [`FdSet::atomized`] performs that
+/// normalization. `Fd` itself allows set RHSs for user convenience.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    lhs: AttrSet,
+    rhs: AttrSet,
+}
+
+impl Fd {
+    /// Build `lhs → rhs` from attribute iterators.
+    pub fn new<L, R>(lhs: L, rhs: R) -> Self
+    where
+        L: IntoIterator<Item = Attr>,
+        R: IntoIterator<Item = Attr>,
+    {
+        Fd {
+            lhs: lhs.into_iter().collect(),
+            rhs: rhs.into_iter().collect(),
+        }
+    }
+
+    /// Build `lhs → rhs` from attribute sets.
+    pub fn from_sets(lhs: AttrSet, rhs: AttrSet) -> Self {
+        Fd { lhs, rhs }
+    }
+
+    /// Parse `"A B -> C"` against a schema. Attribute names are separated
+    /// by whitespace and/or commas.
+    ///
+    /// # Errors
+    /// Fails on syntax errors or unknown attribute names.
+    pub fn parse(schema: &Schema, s: &str) -> Result<Self> {
+        let (l, r) = s.split_once("->").ok_or_else(|| DepsError::Parse {
+            input: s.to_string(),
+            reason: "expected `->`",
+        })?;
+        let side = |part: &str| -> Result<AttrSet> {
+            let mut set = AttrSet::new();
+            for name in part.split([' ', ',', '\t']).filter(|w| !w.is_empty()) {
+                set.insert(schema.attr_checked(name).map_err(DepsError::Relation)?);
+            }
+            Ok(set)
+        };
+        let fd = Fd {
+            lhs: side(l)?,
+            rhs: side(r)?,
+        };
+        if fd.rhs.is_empty() {
+            return Err(DepsError::Parse {
+                input: s.to_string(),
+                reason: "empty right-hand side",
+            });
+        }
+        Ok(fd)
+    }
+
+    /// The left-hand side `X`.
+    #[inline]
+    pub fn lhs(&self) -> AttrSet {
+        self.lhs
+    }
+
+    /// The right-hand side `Y`.
+    #[inline]
+    pub fn rhs(&self) -> AttrSet {
+        self.rhs
+    }
+
+    /// Is the dependency trivial (`Y ⊆ X`)?
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(&self.lhs)
+    }
+
+    /// Split into the equivalent single-attribute-RHS FDs `X → A`, `A ∈ Y`.
+    pub fn atomize(&self) -> impl Iterator<Item = Fd> + '_ {
+        self.rhs.iter().map(move |a| Fd {
+            lhs: self.lhs,
+            rhs: AttrSet::singleton(a),
+        })
+    }
+
+    /// Render against a schema, e.g. `E D -> M`.
+    pub fn show(&self, schema: &Schema) -> String {
+        format!(
+            "{} -> {}",
+            schema.set_names(&self.lhs).join(" "),
+            schema.set_names(&self.rhs).join(" ")
+        )
+    }
+}
+
+impl fmt::Debug for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fd({:?} -> {:?})", self.lhs, self.rhs)
+    }
+}
+
+/// An ordered collection of FDs (the paper's Σ when only FDs are present).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// Build from any iterator of FDs.
+    pub fn new<I: IntoIterator<Item = Fd>>(fds: I) -> Self {
+        FdSet {
+            fds: fds.into_iter().collect(),
+        }
+    }
+
+    /// Parse a `;`- or newline-separated list of FDs, e.g. `"E->D; D->M"`.
+    ///
+    /// # Errors
+    /// Propagates [`Fd::parse`] errors.
+    pub fn parse(schema: &Schema, s: &str) -> Result<Self> {
+        let mut fds = Vec::new();
+        for part in s
+            .split([';', '\n'])
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+        {
+            fds.push(Fd::parse(schema, part)?);
+        }
+        Ok(FdSet { fds })
+    }
+
+    /// Number of FDs (the paper's `|Σ|` counts dependencies).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Append an FD.
+    pub fn push(&mut self, fd: Fd) {
+        self.fds.push(fd);
+    }
+
+    /// Iterate over the FDs.
+    pub fn iter(&self) -> std::slice::Iter<'_, Fd> {
+        self.fds.iter()
+    }
+
+    /// Borrow as a slice.
+    pub fn as_slice(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// The equivalent set with single-attribute right-hand sides, trivial
+    /// FDs dropped (§3.1's normalization).
+    pub fn atomized(&self) -> FdSet {
+        let mut out = Vec::new();
+        for fd in &self.fds {
+            for a in fd.atomize() {
+                if !a.is_trivial() && !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+        }
+        FdSet { fds: out }
+    }
+
+    /// Total number of attribute occurrences — the input length the
+    /// linear-time closure algorithm is measured against.
+    pub fn weight(&self) -> usize {
+        self.fds.iter().map(|f| f.lhs.len() + f.rhs.len()).sum()
+    }
+
+    /// Render against a schema, e.g. `E -> D; D -> M`.
+    pub fn show(&self, schema: &Schema) -> String {
+        self.fds
+            .iter()
+            .map(|f| f.show(schema))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+impl FromIterator<Fd> for FdSet {
+    fn from_iter<I: IntoIterator<Item = Fd>>(iter: I) -> Self {
+        FdSet::new(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a FdSet {
+    type Item = &'a Fd;
+    type IntoIter = std::slice::Iter<'a, Fd>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.fds.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["E", "D", "M"]).unwrap()
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let s = schema();
+        let fd = Fd::parse(&s, "E D -> M").unwrap();
+        assert_eq!(fd.lhs().len(), 2);
+        assert_eq!(fd.rhs().len(), 1);
+        assert_eq!(fd.show(&s), "E D -> M");
+    }
+
+    #[test]
+    fn parse_errors() {
+        let s = schema();
+        assert!(Fd::parse(&s, "E D M").is_err());
+        assert!(Fd::parse(&s, "E -> Z").is_err());
+        assert!(Fd::parse(&s, "E ->").is_err());
+    }
+
+    #[test]
+    fn fdset_parse_multi() {
+        let s = schema();
+        let fds = FdSet::parse(&s, "E->D; D->M").unwrap();
+        assert_eq!(fds.len(), 2);
+        assert_eq!(fds.show(&s), "E -> D; D -> M");
+    }
+
+    #[test]
+    fn atomize_splits_and_drops_trivial() {
+        let s = schema();
+        let fds = FdSet::parse(&s, "E -> D M; D M -> M").unwrap();
+        let at = fds.atomized();
+        assert_eq!(at.len(), 2); // E->D, E->M; DM->M is trivial.
+        assert!(at.iter().all(|f| f.rhs().len() == 1));
+    }
+
+    #[test]
+    fn trivial_detection() {
+        let s = schema();
+        assert!(Fd::parse(&s, "E D -> D").unwrap().is_trivial());
+        assert!(!Fd::parse(&s, "E -> D").unwrap().is_trivial());
+    }
+
+    #[test]
+    fn weight_counts_attributes() {
+        let s = schema();
+        let fds = FdSet::parse(&s, "E D -> M; D -> M").unwrap();
+        assert_eq!(fds.weight(), 5);
+    }
+}

@@ -1,0 +1,128 @@
+//! Join dependencies.
+
+use relvu_relation::{AttrSet, Schema};
+
+use crate::Mvd;
+
+/// A join dependency `*[R₁, …, R_q]`: every legal instance is the natural
+/// join of its projections on the components.
+///
+/// Components must jointly cover the universe; [`Jd::binary`] builds the
+/// paper's `*[X, Y]`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Jd {
+    components: Vec<AttrSet>,
+}
+
+impl Jd {
+    /// Build from components.
+    ///
+    /// # Panics
+    /// Panics if fewer than two components are supplied.
+    pub fn new<I: IntoIterator<Item = AttrSet>>(components: I) -> Self {
+        let components: Vec<AttrSet> = components.into_iter().collect();
+        assert!(components.len() >= 2, "a JD needs at least two components");
+        Jd { components }
+    }
+
+    /// The binary JD `*[X, Y]`.
+    pub fn binary(x: AttrSet, y: AttrSet) -> Self {
+        Jd {
+            components: vec![x, y],
+        }
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[AttrSet] {
+        &self.components
+    }
+
+    /// Number of components `q`.
+    pub fn arity(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The attributes covered (must equal the universe for a valid JD).
+    pub fn covered(&self) -> AttrSet {
+        self.components
+            .iter()
+            .fold(AttrSet::new(), |acc, c| acc | *c)
+    }
+
+    /// The paper's `M(j)` (§2, proof of Theorem 1): the set of MVDs
+    /// `*[∪_{i∈S₁} Rᵢ, ∪_{i∈S₂} Rᵢ]` over all 2-partitions `S₁, S₂` of
+    /// the components.
+    ///
+    /// There are `2^(q−1) − 1` nontrivial partitions, so this is
+    /// exponential in `q`; the chase-based implication test in
+    /// `relvu-chase` avoids materializing it.
+    pub fn mvd_expansion(&self) -> Vec<Mvd> {
+        let q = self.components.len();
+        let mut out = Vec::new();
+        // Iterate over subsets S1 with component 0 ∈ S1 to avoid mirrored
+        // duplicates; skip the full set (S2 empty).
+        for mask in 0..(1u64 << (q - 1)) {
+            let mask = mask << 1 | 1; // component 0 always in S1
+            if mask == (1u64 << q) - 1 {
+                continue;
+            }
+            let mut s1 = AttrSet::new();
+            let mut s2 = AttrSet::new();
+            for (i, c) in self.components.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    s1 = s1 | *c;
+                } else {
+                    s2 = s2 | *c;
+                }
+            }
+            out.push(Mvd::from_views(s1, s2));
+        }
+        out
+    }
+
+    /// Render against a schema, e.g. `*[{E, D}, {D, M}]`.
+    pub fn show(&self, schema: &Schema) -> String {
+        let parts: Vec<String> = self.components.iter().map(|c| schema.show_set(c)).collect();
+        format!("*[{}]", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relvu_relation::Attr;
+
+    fn set(ids: &[usize]) -> AttrSet {
+        ids.iter().map(|&i| Attr::new(i)).collect()
+    }
+
+    #[test]
+    fn binary_jd() {
+        let jd = Jd::binary(set(&[0, 1]), set(&[1, 2]));
+        assert_eq!(jd.arity(), 2);
+        assert_eq!(jd.covered(), set(&[0, 1, 2]));
+        let mvds = jd.mvd_expansion();
+        assert_eq!(mvds.len(), 1);
+        assert_eq!(mvds[0], Mvd::from_views(set(&[0, 1]), set(&[1, 2])));
+    }
+
+    #[test]
+    fn ternary_expansion_count() {
+        let jd = Jd::new([set(&[0, 1]), set(&[1, 2]), set(&[2, 3])]);
+        // 2^(3-1) - 1 = 3 partitions.
+        assert_eq!(jd.mvd_expansion().len(), 3);
+    }
+
+    #[test]
+    fn show_renders() {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        let jd = Jd::binary(s.set(["E", "D"]).unwrap(), s.set(["D", "M"]).unwrap());
+        assert_eq!(jd.show(&s), "*[{E, D}, {D, M}]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn unary_jd_panics() {
+        let _ = Jd::new([set(&[0])]);
+    }
+}

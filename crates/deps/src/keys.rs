@@ -1,0 +1,158 @@
+//! Superkeys and candidate keys.
+//!
+//! Theorem 1 characterizes complementary projections by "the common part of
+//! the projections must be a superkey of one of the projections"; the
+//! translatability conditions (Theorems 3, 8, 9) test `Σ ⊨ X∩Y → Y` and
+//! `Σ ⊭ X∩Y → X`. These helpers package those tests.
+
+use relvu_relation::AttrSet;
+
+use crate::closure::implies;
+use crate::FdSet;
+
+/// Is `x` a superkey of the attribute set `of` under `fds`, i.e.
+/// `Σ ⊨ x → of`? (Both sets are taken within the same universe.)
+pub fn is_superkey(fds: &FdSet, x: AttrSet, of: AttrSet) -> bool {
+    implies(fds, x, of)
+}
+
+/// Is `x` a *key* of `of`: a superkey no proper subset of which is one?
+pub fn is_key(fds: &FdSet, x: AttrSet, of: AttrSet) -> bool {
+    if !is_superkey(fds, x, of) {
+        return false;
+    }
+    for a in x.iter() {
+        let mut smaller = x;
+        smaller.remove(a);
+        if is_superkey(fds, smaller, of) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Shrink a superkey `x` of `of` to a key by greedy attribute removal
+/// (the same shape as the paper's Corollary 2 for complements).
+pub fn minimize_key(fds: &FdSet, x: AttrSet, of: AttrSet) -> AttrSet {
+    debug_assert!(is_superkey(fds, x, of));
+    let mut key = x;
+    for a in x.iter() {
+        let mut candidate = key;
+        candidate.remove(a);
+        if is_superkey(fds, candidate, of) {
+            key = candidate;
+        }
+    }
+    key
+}
+
+/// Enumerate all candidate keys of `universe` under `fds`, up to `limit`
+/// keys (candidate-key count can be exponential).
+///
+/// Uses the standard successor expansion: start from the minimized
+/// universe; for each found key `K` and FD `W → Z` with `Z ∩ K ≠ ∅`,
+/// `(K − Z) ∪ W` is a superkey whose minimization may be a new key.
+pub fn candidate_keys(fds: &FdSet, universe: AttrSet, limit: usize) -> Vec<AttrSet> {
+    let mut keys: Vec<AttrSet> = Vec::new();
+    let mut queue: Vec<AttrSet> = vec![minimize_key(fds, universe, universe)];
+    while let Some(k) = queue.pop() {
+        if keys.contains(&k) {
+            continue;
+        }
+        keys.push(k);
+        if keys.len() >= limit {
+            break;
+        }
+        for fd in fds {
+            if !fd.rhs().intersect(&k).is_empty() {
+                let candidate = (k - fd.rhs()) | fd.lhs();
+                let minimized = minimize_key(fds, candidate, universe);
+                if !keys.contains(&minimized) && !queue.contains(&minimized) {
+                    queue.push(minimized);
+                }
+            }
+        }
+    }
+    keys.sort();
+    keys
+}
+
+/// Attributes that appear in some candidate key (prime attributes),
+/// bounded by the same `limit` as [`candidate_keys`].
+pub fn prime_attrs(fds: &FdSet, universe: AttrSet, limit: usize) -> AttrSet {
+    let mut out = AttrSet::new();
+    for k in candidate_keys(fds, universe, limit) {
+        out = out | k;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::implies_fd;
+    use crate::Fd;
+    use relvu_relation::Schema;
+
+    #[test]
+    fn superkey_and_key() {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        let fds = FdSet::parse(&s, "E->D; D->M").unwrap();
+        let u = s.universe();
+        let e = s.set(["E"]).unwrap();
+        let ed = s.set(["E", "D"]).unwrap();
+        assert!(is_superkey(&fds, e, u));
+        assert!(is_superkey(&fds, ed, u));
+        assert!(is_key(&fds, e, u));
+        assert!(!is_key(&fds, ed, u));
+        assert_eq!(minimize_key(&fds, u, u), e);
+    }
+
+    #[test]
+    fn multiple_candidate_keys() {
+        // A->B, B->A, AB is the universe with C: keys {A,C}, {B,C}? No C here:
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        let fds = FdSet::parse(&s, "A->B; B->A; A->C").unwrap();
+        let keys = candidate_keys(&fds, s.universe(), 64);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&s.set(["A"]).unwrap()));
+        assert!(keys.contains(&s.set(["B"]).unwrap()));
+        assert_eq!(
+            prime_attrs(&fds, s.universe(), 64),
+            s.set(["A", "B"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn cyclic_schema_many_keys() {
+        // Ring: A->B, B->C, C->A — every single attribute is a key.
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        let fds = FdSet::parse(&s, "A->B; B->C; C->A").unwrap();
+        let keys = candidate_keys(&fds, s.universe(), 64);
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    fn no_fds_key_is_universe() {
+        let s = Schema::numbered(3).unwrap();
+        let keys = candidate_keys(&FdSet::default(), s.universe(), 16);
+        assert_eq!(keys, vec![s.universe()]);
+    }
+
+    #[test]
+    fn limit_respected() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        let fds = FdSet::parse(&s, "A->B; B->C; C->A").unwrap();
+        assert_eq!(candidate_keys(&fds, s.universe(), 1).len(), 1);
+    }
+
+    #[test]
+    fn keys_actually_determine_universe() {
+        let s = Schema::numbered(5).unwrap();
+        let fds = FdSet::parse(&s, "A0 A1 -> A2; A2 -> A3; A3 A4 -> A0").unwrap();
+        for k in candidate_keys(&fds, s.universe(), 64) {
+            assert!(implies_fd(&fds, &Fd::from_sets(k, s.universe())));
+            assert!(is_key(&fds, k, s.universe()));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Dependency theory for `relvu`.
+//!
+//! The paper's integrity constraints Σ are, in increasing generality:
+//!
+//! * functional dependencies ([`Fd`], §3 onward — the main setting),
+//! * multivalued dependencies ([`Mvd`]) and join dependencies ([`Jd`],
+//!   Theorem 1's characterization of complementary views),
+//! * embedded MVDs ([`Emvd`], Theorem 10), and
+//! * explicit functional dependencies ([`Efd`], §5) with witness functions.
+//!
+//! This crate provides those representations plus:
+//!
+//! * [`closure`] — attribute closure `X⁺` under a set of FDs, via both the
+//!   naive fixpoint and the linear-time counting algorithm of Beeri &
+//!   Bernstein \[4\] (the paper's Corollary to Theorem 3 relies on the
+//!   latter's `O(|Σ|)` FD-inference bound),
+//! * [`keys`] — superkey tests and candidate-key enumeration,
+//! * [`cover`] — minimal covers,
+//! * [`check`] — satisfaction of each dependency class by an instance,
+//! * [`armstrong`] — explainable FD implication: Armstrong-axiom proof
+//!   trees,
+//! * [`basis`] — the dependency basis (Beeri's MVD-implication
+//!   structure).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod armstrong;
+pub mod basis;
+pub mod check;
+pub mod closure;
+pub mod cover;
+mod efd;
+mod error;
+mod fd;
+mod jd;
+pub mod keys;
+mod mvd;
+
+pub use efd::{Efd, EfdSet, Witness};
+pub use error::DepsError;
+pub use fd::{Fd, FdSet};
+pub use jd::Jd;
+pub use mvd::{Emvd, Mvd};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DepsError>;
+
+/// A structured dependency set `Σ`: FDs, JDs and EFDs together, as the
+/// paper's most general setting (Theorem 10).
+#[derive(Clone, Debug, Default)]
+pub struct DepSet {
+    /// Functional dependencies.
+    pub fds: FdSet,
+    /// Join dependencies.
+    pub jds: Vec<Jd>,
+    /// Explicit functional dependencies.
+    pub efds: EfdSet,
+}
+
+impl DepSet {
+    /// A dependency set of FDs only (the setting of §3 and §4).
+    pub fn fds_only(fds: FdSet) -> Self {
+        DepSet {
+            fds,
+            jds: Vec::new(),
+            efds: EfdSet::default(),
+        }
+    }
+
+    /// `Σ_F` (§5): the FDs of Σ together with the FD underlying each EFD.
+    pub fn sigma_f(&self) -> FdSet {
+        let mut out = self.fds.clone();
+        for e in self.efds.iter() {
+            out.push(e.fd().clone());
+        }
+        out
+    }
+}

@@ -1,0 +1,163 @@
+//! Multivalued dependencies, plain and embedded.
+
+use relvu_relation::{AttrSet, Schema};
+
+/// A multivalued dependency `X →→ Y` over a universe `U`
+/// (equivalently the binary join dependency `*[XY, X(U−Y)]`).
+///
+/// The paper writes the binary JD form `*[X, Y]` for two view sets with
+/// `X ∪ Y = U`; that corresponds to [`Mvd::from_views`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Mvd {
+    lhs: AttrSet,
+    rhs: AttrSet,
+}
+
+impl Mvd {
+    /// Build `lhs →→ rhs`.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
+        Mvd { lhs, rhs }
+    }
+
+    /// The paper's `*[X, Y]` for view sets `X, Y` with `X ∪ Y = U`:
+    /// the MVD `X∩Y →→ X−Y` (equivalently `X∩Y →→ Y−X`).
+    pub fn from_views(x: AttrSet, y: AttrSet) -> Self {
+        Mvd {
+            lhs: x & y,
+            rhs: x - y,
+        }
+    }
+
+    /// The left-hand side `X`.
+    #[inline]
+    pub fn lhs(&self) -> AttrSet {
+        self.lhs
+    }
+
+    /// The right-hand side `Y` (modulo `X`; `X →→ Y` ≡ `X →→ Y−X`).
+    #[inline]
+    pub fn rhs(&self) -> AttrSet {
+        self.rhs
+    }
+
+    /// The complementary RHS within `universe`: `U − X − Y`.
+    /// (`X →→ Y` holds iff `X →→ U−X−Y` holds.)
+    pub fn complement_rhs(&self, universe: AttrSet) -> AttrSet {
+        universe - self.lhs - self.rhs
+    }
+
+    /// Is the MVD trivial within `universe` (`Y ⊆ X` or `X ∪ Y = U`)?
+    pub fn is_trivial(&self, universe: AttrSet) -> bool {
+        self.rhs.is_subset(&self.lhs) || (self.lhs | self.rhs) == universe
+    }
+
+    /// Render against a schema, e.g. `D ->> E | M`.
+    pub fn show(&self, schema: &Schema) -> String {
+        let rest = self.complement_rhs(schema.universe());
+        format!(
+            "{} ->> {} | {}",
+            schema.set_names(&self.lhs).join(" "),
+            schema.set_names(&(self.rhs - self.lhs)).join(" "),
+            schema.set_names(&rest).join(" "),
+        )
+    }
+}
+
+/// An embedded multivalued dependency `X →→ Y | Z` within context
+/// `X ∪ Y ∪ Z` (a projection of the universe).
+///
+/// Theorem 10(a) characterizes EFD-extended complementarity via the
+/// embedded MVD `X∩Y →→ X−Y | Y−X` holding in `π_{X∪Y}(R)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Emvd {
+    lhs: AttrSet,
+    left: AttrSet,
+    right: AttrSet,
+}
+
+impl Emvd {
+    /// Build `lhs →→ left | right`; the context is `lhs ∪ left ∪ right`.
+    pub fn new(lhs: AttrSet, left: AttrSet, right: AttrSet) -> Self {
+        Emvd { lhs, left, right }
+    }
+
+    /// The embedded MVD of Theorem 10(a) for view sets `X`, `Y`:
+    /// `X∩Y →→ X−Y | Y−X` within context `X ∪ Y`.
+    pub fn from_views(x: AttrSet, y: AttrSet) -> Self {
+        Emvd {
+            lhs: x & y,
+            left: x - y,
+            right: y - x,
+        }
+    }
+
+    /// The shared left-hand side.
+    #[inline]
+    pub fn lhs(&self) -> AttrSet {
+        self.lhs
+    }
+
+    /// The first component.
+    #[inline]
+    pub fn left(&self) -> AttrSet {
+        self.left
+    }
+
+    /// The second component.
+    #[inline]
+    pub fn right(&self) -> AttrSet {
+        self.right
+    }
+
+    /// The context `X ∪ Y ∪ Z` this embedded MVD lives in.
+    pub fn context(&self) -> AttrSet {
+        self.lhs | self.left | self.right
+    }
+
+    /// As a plain MVD when the context covers `universe`.
+    pub fn as_plain(&self, universe: AttrSet) -> Option<Mvd> {
+        (self.context() == universe).then_some(Mvd::new(self.lhs, self.left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> AttrSet {
+        ids.iter().map(|&i| relvu_relation::Attr::new(i)).collect()
+    }
+
+    #[test]
+    fn from_views_matches_paper() {
+        // X = ED (0,1), Y = DM (1,2): *[X,Y] is D ->> E.
+        let m = Mvd::from_views(set(&[0, 1]), set(&[1, 2]));
+        assert_eq!(m.lhs(), set(&[1]));
+        assert_eq!(m.rhs(), set(&[0]));
+        assert_eq!(m.complement_rhs(set(&[0, 1, 2])), set(&[2]));
+    }
+
+    #[test]
+    fn triviality() {
+        let u = set(&[0, 1, 2]);
+        assert!(Mvd::new(set(&[0]), set(&[0])).is_trivial(u));
+        assert!(Mvd::new(set(&[0]), set(&[1, 2])).is_trivial(u));
+        assert!(!Mvd::new(set(&[0]), set(&[1])).is_trivial(u));
+    }
+
+    #[test]
+    fn show_renders() {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        let m = Mvd::from_views(s.set(["E", "D"]).unwrap(), s.set(["D", "M"]).unwrap());
+        assert_eq!(m.show(&s), "D ->> E | M");
+    }
+
+    #[test]
+    fn embedded_context_and_plain() {
+        let e = Emvd::from_views(set(&[0, 1]), set(&[1, 2]));
+        assert_eq!(e.lhs(), set(&[1]));
+        assert_eq!(e.context(), set(&[0, 1, 2]));
+        assert!(e.as_plain(set(&[0, 1, 2])).is_some());
+        assert!(e.as_plain(set(&[0, 1, 2, 3])).is_none());
+    }
+}

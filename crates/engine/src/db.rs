@@ -1,0 +1,716 @@
+//! The database: universal relation + Σ + registered views.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use relvu_core::select_view::{SelectionReject, SelectionView};
+use relvu_core::{
+    are_complementary, minimal_complement, translate_delete, translate_insert, translate_replace,
+    RejectReason, Test1, Test2, Translatability, Translation,
+};
+use relvu_deps::check::satisfies_fds;
+use relvu_deps::FdSet;
+use relvu_relation::{ops, AttrSet, Pred, Relation, Schema, Tuple};
+
+use crate::log::{LogEntry, UpdateOp};
+use crate::view::ViewDef;
+use crate::{EngineError, Policy, Result};
+
+/// What an applied update did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The translated database update.
+    pub translation: Translation,
+    /// Base cardinality before.
+    pub base_rows_before: usize,
+    /// Base cardinality after.
+    pub base_rows_after: usize,
+}
+
+/// Per-view update counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Updates translated and applied.
+    pub accepted: u64,
+    /// Updates rejected as untranslatable.
+    pub rejected: u64,
+}
+
+struct Inner {
+    schema: Schema,
+    fds: FdSet,
+    base: Relation,
+    views: HashMap<String, ViewDef>,
+    stats: HashMap<String, ViewStats>,
+    log: Vec<LogEntry>,
+    seq: u64,
+}
+
+/// A thread-safe updatable-view database over a single universal relation.
+pub struct Database {
+    inner: RwLock<Inner>,
+}
+
+impl Database {
+    /// Create a database from a schema, dependency set, and legal base
+    /// instance.
+    ///
+    /// # Errors
+    /// [`EngineError::IllegalBase`] if `base` violates Σ or is not over
+    /// the full universe.
+    pub fn new(schema: Schema, fds: FdSet, base: Relation) -> Result<Self> {
+        if base.attrs() != schema.universe() || !satisfies_fds(&base, &fds) {
+            return Err(EngineError::IllegalBase);
+        }
+        Ok(Database {
+            inner: RwLock::new(Inner {
+                schema,
+                fds,
+                base,
+                views: HashMap::new(),
+                stats: HashMap::new(),
+                log: Vec::new(),
+                seq: 0,
+            }),
+        })
+    }
+
+    /// Register a view `X` with a declared complement (or, when `None`, a
+    /// minimal complement derived per Corollary 2) and an insertion policy.
+    ///
+    /// # Errors
+    /// [`EngineError::DuplicateView`] on a name clash,
+    /// [`EngineError::NotComplementary`] if the declared pair fails
+    /// Theorem 1's test.
+    pub fn create_view(
+        &self,
+        name: &str,
+        x: AttrSet,
+        y: Option<AttrSet>,
+        policy: Policy,
+    ) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.views.contains_key(name) {
+            return Err(EngineError::DuplicateView {
+                name: name.to_string(),
+            });
+        }
+        let y = match y {
+            Some(y) => {
+                if !are_complementary(&inner.schema, &inner.fds, x, y) {
+                    return Err(EngineError::NotComplementary);
+                }
+                y
+            }
+            None => minimal_complement(&inner.schema, &inner.fds, x),
+        };
+        let test2 = matches!(policy, Policy::Test2)
+            .then(|| Test2::prepare(&inner.schema, &inner.fds, x, y));
+        inner.views.insert(
+            name.to_string(),
+            ViewDef::new(name.to_string(), x, y, policy, test2),
+        );
+        Ok(())
+    }
+
+    /// Register a selection view `σ_pred(π_x(R))` (§6(2)) whose constant
+    /// complement is the pair `(σ_{¬pred}(π_x(R)), π_y(R))`. Only the
+    /// exact test is supported for selection views.
+    ///
+    /// # Errors
+    /// As for [`Database::create_view`], plus an input error if the
+    /// predicate mentions attributes outside `x`.
+    pub fn create_selection_view(
+        &self,
+        name: &str,
+        x: AttrSet,
+        y: Option<AttrSet>,
+        pred: Pred,
+    ) -> Result<()> {
+        // Validate predicate geometry early (SelectionView::new checks it).
+        let _probe = SelectionView::new(x, x, pred.clone())?;
+        self.create_view(name, x, y, Policy::Exact)?;
+        let mut inner = self.inner.write();
+        let def = inner.views.remove(name).expect("just created");
+        inner.views.insert(name.to_string(), def.with_pred(pred));
+        Ok(())
+    }
+
+    /// Per-view accepted/rejected counters.
+    pub fn stats(&self, name: &str) -> Result<ViewStats> {
+        let inner = self.inner.read();
+        if !inner.views.contains_key(name) {
+            return Err(EngineError::UnknownView {
+                name: name.to_string(),
+            });
+        }
+        Ok(inner.stats.get(name).cloned().unwrap_or_default())
+    }
+
+    /// Apply a batch of updates atomically: either every update applies
+    /// (in order), or the base is left untouched and the first failure is
+    /// returned together with its position.
+    ///
+    /// # Errors
+    /// The first failing update's error, tagged with its index.
+    pub fn apply_batch(&self, updates: Vec<(String, UpdateOp)>) -> Result<Vec<UpdateReport>> {
+        // One write lock for the whole batch: concurrent writers cannot
+        // interleave, so the rollback is a true transaction abort.
+        let mut inner = self.inner.write();
+        let snapshot_base = inner.base.clone();
+        let snapshot_len = inner.log.len();
+        let snapshot_seq = inner.seq;
+        let snapshot_stats = inner.stats.clone();
+        let mut reports = Vec::with_capacity(updates.len());
+        for (view, op) in updates {
+            match self.apply_inner(&mut inner, &view, op) {
+                Ok(r) => reports.push(r),
+                Err(e) => {
+                    inner.base = snapshot_base;
+                    inner.log.truncate(snapshot_len);
+                    inner.seq = snapshot_seq;
+                    inner.stats = snapshot_stats;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+    /// The names of the registered views, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut names: Vec<String> = inner.views.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// A registered view's definition.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if absent.
+    pub fn view_def(&self, name: &str) -> Result<ViewDef> {
+        let inner = self.inner.read();
+        inner
+            .views
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownView {
+                name: name.to_string(),
+            })
+    }
+
+    /// The current instance of a view: `π_X(R)`.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if absent.
+    pub fn view_instance(&self, name: &str) -> Result<Relation> {
+        let inner = self.inner.read();
+        let def = inner
+            .views
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownView {
+                name: name.to_string(),
+            })?;
+        let full = ops::project(&inner.base, def.x())?;
+        Ok(match def.pred() {
+            Some(p) => {
+                let x = def.x();
+                ops::select(&full, |t| p.eval(&x, t))
+            }
+            None => full,
+        })
+    }
+
+    /// Snapshot of the base relation.
+    pub fn base(&self) -> Relation {
+        self.inner.read().base.clone()
+    }
+
+    /// Export the persistent parts (schema, Σ, base, view definitions)
+    /// for serialization; view definitions are sorted by name.
+    pub(crate) fn export_parts(&self) -> (Schema, FdSet, Relation, Vec<ViewDef>) {
+        let inner = self.inner.read();
+        let mut views: Vec<ViewDef> = inner.views.values().cloned().collect();
+        views.sort_by(|a, b| a.name().cmp(b.name()));
+        (
+            inner.schema.clone(),
+            inner.fds.clone(),
+            inner.base.clone(),
+            views,
+        )
+    }
+
+    /// Snapshot of the audit log.
+    pub fn log(&self) -> Vec<LogEntry> {
+        self.inner.read().log.clone()
+    }
+
+    /// Insert `t` through the named view under its policy.
+    ///
+    /// # Errors
+    /// [`EngineError::Rejected`] when untranslatable (or unprovable under
+    /// Test 1/2); input errors otherwise.
+    pub fn insert_via(&self, name: &str, t: Tuple) -> Result<UpdateReport> {
+        self.apply(name, UpdateOp::Insert { t })
+    }
+
+    /// Delete `t` through the named view (Theorem 8).
+    ///
+    /// # Errors
+    /// As for [`Database::insert_via`].
+    pub fn delete_via(&self, name: &str, t: Tuple) -> Result<UpdateReport> {
+        self.apply(name, UpdateOp::Delete { t })
+    }
+
+    /// Replace `t1` by `t2` through the named view (Theorem 9).
+    ///
+    /// # Errors
+    /// As for [`Database::insert_via`].
+    pub fn replace_via(&self, name: &str, t1: Tuple, t2: Tuple) -> Result<UpdateReport> {
+        self.apply(name, UpdateOp::Replace { t1, t2 })
+    }
+
+    fn apply(&self, name: &str, op: UpdateOp) -> Result<UpdateReport> {
+        let mut inner = self.inner.write();
+        self.apply_inner(&mut inner, name, op)
+    }
+
+    fn apply_inner(&self, inner: &mut Inner, name: &str, op: UpdateOp) -> Result<UpdateReport> {
+        let def = inner
+            .views
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownView {
+                name: name.to_string(),
+            })?;
+        let v = ops::project(&inner.base, def.x())?;
+        // Selection views translate through the σ_P machinery (§6(2)).
+        if let Some(pred) = def.pred() {
+            let sel = SelectionView::new(def.x(), def.y(), pred.clone())?;
+            let w = sel.instance(&v);
+            let w_bar = sel.anti_instance(&v);
+            let verdict = match &op {
+                UpdateOp::Insert { t } => {
+                    sel.translate_insert(&inner.schema, &inner.fds, &w, &w_bar, t)?
+                }
+                UpdateOp::Delete { t } => {
+                    sel.translate_delete(&inner.schema, &inner.fds, &w, &w_bar, t)?
+                }
+                UpdateOp::Replace { t1, t2 } => {
+                    sel.translate_replace(&inner.schema, &inner.fds, &w, &w_bar, t1, t2)?
+                }
+            };
+            let translation = match verdict {
+                Ok(Translatability::Translatable(tr)) => tr,
+                Ok(Translatability::Rejected(reason))
+                | Err(SelectionReject::Projective(reason)) => {
+                    inner.stats.entry(name.to_string()).or_default().rejected += 1;
+                    return Err(EngineError::Rejected(reason));
+                }
+                Err(SelectionReject::PredicateMismatch) => {
+                    inner.stats.entry(name.to_string()).or_default().rejected += 1;
+                    return Err(EngineError::Rejected(RejectReason::IntersectionNotInView));
+                }
+            };
+            return self.commit(inner, name, op, def.x(), def.y(), translation);
+        }
+        let verdict: Translatability = match &op {
+            UpdateOp::Insert { t } => match def.policy() {
+                Policy::Exact => {
+                    translate_insert(&inner.schema, &inner.fds, def.x(), def.y(), &v, t)?
+                }
+                Policy::Test1 => Test1.check(&inner.schema, &inner.fds, def.x(), def.y(), &v, t)?,
+                Policy::Test2 => def.test2.as_ref().expect("prepared at creation").check(
+                    &inner.schema,
+                    &inner.fds,
+                    &v,
+                    t,
+                )?,
+            },
+            UpdateOp::Delete { t } => {
+                translate_delete(&inner.schema, &inner.fds, def.x(), def.y(), &v, t)?
+            }
+            UpdateOp::Replace { t1, t2 } => {
+                translate_replace(&inner.schema, &inner.fds, def.x(), def.y(), &v, t1, t2)?
+            }
+        };
+        let translation = match verdict {
+            Translatability::Translatable(tr) => tr,
+            Translatability::Rejected(reason) => {
+                inner.stats.entry(name.to_string()).or_default().rejected += 1;
+                return Err(EngineError::Rejected(reason));
+            }
+        };
+        self.commit(inner, name, op, def.x(), def.y(), translation)
+    }
+
+    /// Apply a verified translation to the base, with legality and
+    /// constant-complement assertions, logging and stats.
+    fn commit(
+        &self,
+        inner: &mut Inner,
+        name: &str,
+        op: UpdateOp,
+        x: AttrSet,
+        y: AttrSet,
+        translation: Translation,
+    ) -> Result<UpdateReport> {
+        let rows_before = inner.base.len();
+        let new_base = translation.apply(&inner.base, x, y)?;
+        debug_assert!(
+            satisfies_fds(&new_base, &inner.fds),
+            "translated update must preserve legality"
+        );
+        debug_assert_eq!(
+            ops::project(&new_base, y).expect("complement within U"),
+            ops::project(&inner.base, y).expect("complement within U"),
+            "complement must stay constant"
+        );
+        let rows_after = new_base.len();
+        inner.base = new_base;
+        inner.seq += 1;
+        inner.stats.entry(name.to_string()).or_default().accepted += 1;
+        let entry = LogEntry {
+            seq: inner.seq,
+            view: name.to_string(),
+            op,
+            translation: translation.clone(),
+            rows_before,
+            rows_after,
+        };
+        inner.log.push(entry);
+        Ok(UpdateReport {
+            translation,
+            base_rows_before: rows_before,
+            base_rows_after: rows_after,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relvu_core::RejectReason;
+    use relvu_relation::tup;
+    use relvu_workload::fixtures;
+
+    fn edm_db() -> (fixtures::EdmFixture, Database) {
+        let f = fixtures::edm();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        (f, db)
+    }
+
+    #[test]
+    fn illegal_base_rejected() {
+        let f = fixtures::edm();
+        let mut bad = f.base.clone();
+        // Same employee, second department: violates Emp -> Dept.
+        bad.insert(Tuple::new([
+            f.dict.sym("ada"),
+            f.dict.sym("books"),
+            f.dict.sym("hopper"),
+        ]))
+        .unwrap();
+        let err = match Database::new(f.schema.clone(), f.fds.clone(), bad) {
+            Err(e) => e,
+            Ok(_) => panic!("illegal base accepted"),
+        };
+        assert_eq!(err, EngineError::IllegalBase);
+    }
+
+    #[test]
+    fn create_view_with_auto_complement() {
+        let (f, db) = edm_db();
+        db.create_view("staff", f.x, None, Policy::Exact).unwrap();
+        let def = db.view_def("staff").unwrap();
+        assert!(are_complementary(&f.schema, &f.fds, f.x, def.y()));
+        assert_eq!(db.view_names(), vec!["staff".to_string()]);
+    }
+
+    #[test]
+    fn bad_complement_rejected() {
+        let (f, db) = edm_db();
+        // Y = {Mgr} alone is not a complement.
+        let y = f.schema.set(["Mgr"]).unwrap();
+        assert_eq!(
+            db.create_view("staff", f.x, Some(y), Policy::Exact)
+                .unwrap_err(),
+            EngineError::NotComplementary
+        );
+    }
+
+    #[test]
+    fn duplicate_view_rejected() {
+        let (f, db) = edm_db();
+        db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        assert!(matches!(
+            db.create_view("staff", f.x, Some(f.y), Policy::Exact),
+            Err(EngineError::DuplicateView { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_delete_replace_roundtrip() {
+        let (f, db) = edm_db();
+        db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        let dan = Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]);
+        let rep = db.insert_via("staff", dan.clone()).unwrap();
+        assert_eq!(rep.base_rows_after, 4);
+        // Replace dan by eve in the same department.
+        let eve = Tuple::new([f.dict.sym("eve"), f.dict.sym("toys")]);
+        db.replace_via("staff", dan, eve.clone()).unwrap();
+        // Delete eve (toys still has ada and bob).
+        db.delete_via("staff", eve).unwrap();
+        assert_eq!(db.base().len(), 3);
+        assert_eq!(db.log().len(), 3);
+        assert_eq!(db.log()[2].seq, 3);
+    }
+
+    #[test]
+    fn untranslatable_insert_surfaces_reason() {
+        let (f, db) = edm_db();
+        db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        // New department: complement would change.
+        let t = Tuple::new([f.dict.sym("dan"), f.dict.sym("games")]);
+        match db.insert_via("staff", t).unwrap_err() {
+            EngineError::Rejected(RejectReason::IntersectionNotInView) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Base untouched after a rejection.
+        assert_eq!(db.base().len(), 3);
+        assert!(db.log().is_empty());
+    }
+
+    #[test]
+    fn policies_agree_on_simple_cases() {
+        let f = fixtures::edm();
+        for policy in [Policy::Exact, Policy::Test1, Policy::Test2] {
+            let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+            db.create_view("staff", f.x, Some(f.y), policy).unwrap();
+            if policy == Policy::Test2 {
+                assert_eq!(
+                    db.view_def("staff").unwrap().complement_is_good(),
+                    Some(true)
+                );
+            }
+            let dan = Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]);
+            assert!(db.insert_via("staff", dan).is_ok(), "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn complement_constant_across_updates() {
+        let (f, db) = edm_db();
+        db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        let before = ops::project(&db.base(), f.y).unwrap();
+        let dan = Tuple::new([f.dict.sym("dan"), f.dict.sym("books")]);
+        db.insert_via("staff", dan).unwrap();
+        let after = ops::project(&db.base(), f.y).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn unknown_view_errors() {
+        let (_, db) = edm_db();
+        assert!(matches!(
+            db.view_instance("nope"),
+            Err(EngineError::UnknownView { .. })
+        ));
+        assert!(matches!(
+            db.insert_via("nope", tup![1, 2]),
+            Err(EngineError::UnknownView { .. })
+        ));
+    }
+
+    #[test]
+    fn supplier_fixture_updates() {
+        let f = fixtures::supplier_part();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        db.create_view("orders", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        // New part order for supplier 1 (city on record): translatable.
+        db.insert_via("orders", tup![1, 102, 7]).unwrap();
+        assert_eq!(db.base().len(), 4);
+        // Unknown supplier 3: complement (its city) missing → rejected.
+        assert!(matches!(
+            db.insert_via("orders", tup![3, 100, 2]),
+            Err(EngineError::Rejected(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod selection_tests {
+    use super::*;
+    use relvu_relation::{tup, CmpOp, Value};
+    use relvu_workload::fixtures;
+
+    fn orders_db() -> (fixtures::SupplierFixture, Database) {
+        let f = fixtures::supplier_part();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        (f, db)
+    }
+
+    #[test]
+    fn selection_view_shows_only_matching_rows() {
+        let (f, db) = orders_db();
+        let pred = Pred::cmp(f.schema.attr("S").unwrap(), CmpOp::Eq, 1);
+        db.create_selection_view("s1_orders", f.x, Some(f.y), pred)
+            .unwrap();
+        let v = db.view_instance("s1_orders").unwrap();
+        assert_eq!(v.len(), 2);
+        assert!(v
+            .iter()
+            .all(|t| t.get(&f.x, f.schema.attr("S").unwrap()) == Value::int(1)));
+    }
+
+    #[test]
+    fn selection_insert_and_rejections() {
+        let (f, db) = orders_db();
+        let pred = Pred::cmp(f.schema.attr("S").unwrap(), CmpOp::Eq, 1);
+        db.create_selection_view("s1_orders", f.x, Some(f.y), pred)
+            .unwrap();
+        // In-predicate insert for a known supplier: applies.
+        db.insert_via("s1_orders", tup![1, 102, 7]).unwrap();
+        assert_eq!(db.base().len(), 4);
+        // Out-of-predicate insert: rejected, base untouched.
+        assert!(matches!(
+            db.insert_via("s1_orders", tup![2, 103, 4]),
+            Err(EngineError::Rejected(_))
+        ));
+        assert_eq!(db.base().len(), 4);
+        let stats = db.stats("s1_orders").unwrap();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn selection_anti_component_stays_constant() {
+        let (f, db) = orders_db();
+        let s_attr = f.schema.attr("S").unwrap();
+        let pred = Pred::cmp(s_attr, CmpOp::Eq, 1);
+        db.create_selection_view("s1_orders", f.x, Some(f.y), pred.clone())
+            .unwrap();
+        let before_full = ops::project(&db.base(), f.x).unwrap();
+        let before_anti = ops::select(&before_full, |t| !pred.eval(&f.x, t));
+        db.insert_via("s1_orders", tup![1, 102, 7]).unwrap();
+        db.replace_via("s1_orders", tup![1, 100, 5], tup![1, 100, 6])
+            .unwrap();
+        let after_full = ops::project(&db.base(), f.x).unwrap();
+        let after_anti = ops::select(&after_full, |t| !pred.eval(&f.x, t));
+        assert_eq!(before_anti, after_anti, "σ_¬P component constant");
+    }
+
+    #[test]
+    fn predicate_outside_projection_rejected() {
+        let (f, db) = orders_db();
+        let pred = Pred::cmp(f.schema.attr("City").unwrap(), CmpOp::Eq, 70);
+        let x = f.schema.set(["S", "P"]).unwrap();
+        assert!(db.create_selection_view("bad", x, None, pred).is_err());
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use relvu_workload::fixtures;
+
+    #[test]
+    fn batch_applies_all_or_nothing() {
+        let f = fixtures::edm();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        let t = |e: &str, d: &str| Tuple::new([f.dict.sym(e), f.dict.sym(d)]);
+
+        // All-good batch.
+        let reports = db
+            .apply_batch(vec![
+                (
+                    "staff".into(),
+                    UpdateOp::Insert {
+                        t: t("dan", "toys"),
+                    },
+                ),
+                (
+                    "staff".into(),
+                    UpdateOp::Insert {
+                        t: t("eve", "books"),
+                    },
+                ),
+            ])
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(db.base().len(), 5);
+        assert_eq!(db.stats("staff").unwrap().accepted, 2);
+
+        // Failing batch rolls everything back.
+        let err = db.apply_batch(vec![
+            (
+                "staff".into(),
+                UpdateOp::Insert {
+                    t: t("fay", "toys"),
+                },
+            ),
+            (
+                "staff".into(),
+                UpdateOp::Insert {
+                    t: t("gus", "games"),
+                },
+            ), // unknown dept
+        ]);
+        assert!(matches!(err, Err(EngineError::Rejected(_))));
+        assert_eq!(db.base().len(), 5, "rollback must undo the first insert");
+        assert_eq!(db.log().len(), 2, "log truncated to the snapshot");
+        assert_eq!(db.stats("staff").unwrap().accepted, 2, "stats restored");
+    }
+
+    #[test]
+    fn batch_with_unknown_view_rolls_back() {
+        let f = fixtures::edm();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        let t = Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]);
+        let err = db.apply_batch(vec![
+            ("staff".into(), UpdateOp::Insert { t: t.clone() }),
+            ("nope".into(), UpdateOp::Insert { t }),
+        ]);
+        assert!(matches!(err, Err(EngineError::UnknownView { .. })));
+        assert_eq!(db.base().len(), 3);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        use std::sync::Arc;
+        let f = fixtures::edm();
+        let db = Arc::new(Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap());
+        db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        let dict = Arc::new(f.dict);
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let db = Arc::clone(&db);
+            let dict = Arc::clone(&dict);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..5 {
+                    let name = format!("w{i}_{j}");
+                    let t = Tuple::new([dict.sym(&name), dict.sym("toys")]);
+                    db.insert_via("staff", t).unwrap();
+                    let _ = db.view_instance("staff").unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.base().len(), 3 + 20);
+        assert_eq!(db.stats("staff").unwrap().accepted, 20);
+    }
+}

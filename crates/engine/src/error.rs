@@ -1,0 +1,79 @@
+//! Engine error type.
+
+use std::fmt;
+
+use relvu_core::{CoreError, RejectReason};
+use relvu_relation::RelationError;
+
+/// Errors surfaced by the engine API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// No view registered under this name.
+    UnknownView {
+        /// The requested name.
+        name: String,
+    },
+    /// A view with this name already exists.
+    DuplicateView {
+        /// The conflicting name.
+        name: String,
+    },
+    /// The supplied base instance violates Σ.
+    IllegalBase,
+    /// The declared view/complement pair is not complementary (Theorem 1).
+    NotComplementary,
+    /// The update was rejected as untranslatable, with the paper's reason.
+    Rejected(RejectReason),
+    /// An input error from the core algorithms.
+    Core(CoreError),
+    /// An underlying relation error.
+    Relation(RelationError),
+    /// A dump could not be parsed back into a database.
+    Load {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownView { name } => write!(f, "unknown view `{name}`"),
+            EngineError::DuplicateView { name } => {
+                write!(f, "a view named `{name}` already exists")
+            }
+            EngineError::IllegalBase => {
+                write!(f, "the base instance violates the declared dependencies")
+            }
+            EngineError::NotComplementary => {
+                write!(f, "the declared complement does not determine the database")
+            }
+            EngineError::Rejected(r) => write!(f, "update rejected as untranslatable: {r:?}"),
+            EngineError::Core(e) => write!(f, "{e}"),
+            EngineError::Relation(e) => write!(f, "{e}"),
+            EngineError::Load { reason } => write!(f, "cannot load dump: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            EngineError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<RelationError> for EngineError {
+    fn from(e: RelationError) -> Self {
+        EngineError::Relation(e)
+    }
+}

@@ -1,0 +1,40 @@
+//! An updatable-view database engine built on `relvu-core`.
+//!
+//! This is the "database system" the paper sketches around its algorithms:
+//! a universal relation plus Σ, registered projective views each with a
+//! declared (or auto-derived) constant complement, and an update API that
+//! translates view updates into base-table updates — or rejects them with
+//! the paper's precise reasons. Thread-safe behind a `parking_lot`
+//! read–write lock.
+//!
+//! ```
+//! use relvu_engine::{Database, Policy};
+//! use relvu_workload::fixtures;
+//!
+//! let f = fixtures::edm();
+//! let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+//! db.create_view("staff", f.x, Some(f.y), Policy::Exact).unwrap();
+//! // Hire "dan" into the toys department (whose manager is on record):
+//! let dan = relvu_relation::Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]);
+//! let report = db.insert_via("staff", dan).unwrap();
+//! assert_eq!(report.base_rows_after, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod db;
+mod error;
+mod log;
+mod policy;
+mod snapshot;
+mod view;
+
+pub use db::{Database, UpdateReport, ViewStats};
+pub use error::EngineError;
+pub use log::{LogEntry, UpdateOp};
+pub use policy::Policy;
+pub use view::ViewDef;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

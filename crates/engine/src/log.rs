@@ -1,0 +1,43 @@
+//! Audit log of translated updates.
+
+use relvu_core::Translation;
+use relvu_relation::Tuple;
+
+/// The view-level operation a log entry records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// An insertion through a view.
+    Insert {
+        /// The inserted view tuple.
+        t: Tuple,
+    },
+    /// A deletion through a view.
+    Delete {
+        /// The deleted view tuple.
+        t: Tuple,
+    },
+    /// A replacement through a view.
+    Replace {
+        /// The replaced tuple.
+        t1: Tuple,
+        /// The replacing tuple.
+        t2: Tuple,
+    },
+}
+
+/// One successfully applied view update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// The view the update went through.
+    pub view: String,
+    /// The view-level operation.
+    pub op: UpdateOp,
+    /// The translated database update that was applied.
+    pub translation: Translation,
+    /// Base cardinality before the update.
+    pub rows_before: usize,
+    /// Base cardinality after the update.
+    pub rows_after: usize,
+}

@@ -1,0 +1,28 @@
+//! Translatability policies.
+
+/// Which of the paper's translatability tests a view uses for insertions
+/// (deletions and replacements always use the exact Theorems 8/9 tests,
+/// which are already cheap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Theorem 3's exact chase test: accepts exactly the translatable
+    /// insertions; `O(|V|³ log |V|)` worst case.
+    #[default]
+    Exact,
+    /// Test 1: two-tuple chases; sound but may reject translatable
+    /// insertions; faster.
+    Test1,
+    /// Test 2: exact when the complement is good (checked once at view
+    /// creation), rejects everything otherwise.
+    Test2,
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Policy::Exact => write!(f, "exact"),
+            Policy::Test1 => write!(f, "test1"),
+            Policy::Test2 => write!(f, "test2"),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Registered view definitions.
+
+use relvu_core::Test2;
+use relvu_relation::{AttrSet, Pred};
+
+use crate::Policy;
+
+/// A registered view: projection attributes, its constant complement, and
+/// the translatability policy for insertions.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    name: String,
+    x: AttrSet,
+    y: AttrSet,
+    policy: Policy,
+    /// Selection predicate for σ_P(π_X) views (§6(2)); `None` for plain
+    /// projections.
+    pub(crate) pred: Option<Pred>,
+    /// Prepared Test 2 state (goodness analysis), present iff the policy
+    /// is [`Policy::Test2`].
+    pub(crate) test2: Option<Test2>,
+}
+
+impl ViewDef {
+    pub(crate) fn new(
+        name: String,
+        x: AttrSet,
+        y: AttrSet,
+        policy: Policy,
+        test2: Option<Test2>,
+    ) -> Self {
+        ViewDef {
+            name,
+            x,
+            y,
+            policy,
+            pred: None,
+            test2,
+        }
+    }
+
+    pub(crate) fn with_pred(mut self, pred: Pred) -> Self {
+        self.pred = Some(pred);
+        self
+    }
+
+    /// The selection predicate, if this is a σ_P(π_X) view.
+    pub fn pred(&self) -> Option<&Pred> {
+        self.pred.as_ref()
+    }
+
+    /// The view's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The view attributes `X`.
+    pub fn x(&self) -> AttrSet {
+        self.x
+    }
+
+    /// The constant complement `Y`.
+    pub fn y(&self) -> AttrSet {
+        self.y
+    }
+
+    /// The insertion policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// For [`Policy::Test2`] views: is the declared complement good?
+    pub fn complement_is_good(&self) -> Option<bool> {
+        self.test2.as_ref().map(|t| t.goodness().is_good())
+    }
+}

@@ -1,0 +1,232 @@
+//! 3-CNF formulas.
+
+use std::fmt;
+
+use rand::Rng;
+
+/// A literal: variable index plus polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Lit {
+    /// 0-based variable index.
+    pub var: usize,
+    /// `true` for a negated literal `¬x`.
+    pub neg: bool,
+}
+
+impl Lit {
+    /// Positive literal `x_var`.
+    pub fn pos(var: usize) -> Lit {
+        Lit { var, neg: false }
+    }
+
+    /// Negative literal `¬x_var`.
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, neg: true }
+    }
+
+    /// Evaluate under an assignment.
+    #[inline]
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] ^ self.neg
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.neg {
+            write!(f, "¬x{}", self.var)
+        } else {
+            write!(f, "x{}", self.var)
+        }
+    }
+}
+
+/// A clause of exactly three literals (3-CNF).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Clause(pub [Lit; 3]);
+
+impl Clause {
+    /// Evaluate under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.eval(assignment))
+    }
+
+    /// Do the three literals mention three distinct variables?
+    /// (Theorem 7 assumes this "with no loss of generality".)
+    pub fn distinct_vars(&self) -> bool {
+        let [a, b, c] = self.0;
+        a.var != b.var && a.var != c.var && b.var != c.var
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} ∨ {} ∨ {})", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+/// A formula in 3-conjunctive normal form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables `n` (indices `0..n`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Build a formula, validating literal indices.
+    ///
+    /// # Panics
+    /// Panics if a literal references a variable `>= num_vars`.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        for c in &clauses {
+            for l in c.0 {
+                assert!(l.var < num_vars, "literal variable out of range");
+            }
+        }
+        Cnf { num_vars, clauses }
+    }
+
+    /// Number of clauses `m`.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Evaluate under a full assignment.
+    ///
+    /// # Panics
+    /// Panics if the assignment is shorter than `num_vars`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars);
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// A uniformly random 3-CNF with distinct variables per clause.
+    ///
+    /// # Panics
+    /// Panics if `num_vars < 3`.
+    pub fn random<R: Rng>(rng: &mut R, num_vars: usize, num_clauses: usize) -> Self {
+        assert!(num_vars >= 3, "3-CNF needs at least 3 variables");
+        let clauses = (0..num_clauses)
+            .map(|_| {
+                let mut vars = [0usize; 3];
+                vars[0] = rng.gen_range(0..num_vars);
+                loop {
+                    vars[1] = rng.gen_range(0..num_vars);
+                    if vars[1] != vars[0] {
+                        break;
+                    }
+                }
+                loop {
+                    vars[2] = rng.gen_range(0..num_vars);
+                    if vars[2] != vars[0] && vars[2] != vars[1] {
+                        break;
+                    }
+                }
+                Clause([
+                    Lit {
+                        var: vars[0],
+                        neg: rng.gen_bool(0.5),
+                    },
+                    Lit {
+                        var: vars[1],
+                        neg: rng.gen_bool(0.5),
+                    },
+                    Lit {
+                        var: vars[2],
+                        neg: rng.gen_bool(0.5),
+                    },
+                ])
+            })
+            .collect();
+        Cnf { num_vars, clauses }
+    }
+
+    /// A trivially unsatisfiable 3-CNF on 3 variables: all 8 polarity
+    /// combinations of `(x0 ∨ x1 ∨ x2)`.
+    pub fn contradiction() -> Self {
+        let clauses = (0..8u8)
+            .map(|mask| {
+                Clause([
+                    Lit {
+                        var: 0,
+                        neg: mask & 1 != 0,
+                    },
+                    Lit {
+                        var: 1,
+                        neg: mask & 2 != 0,
+                    },
+                    Lit {
+                        var: 2,
+                        neg: mask & 4 != 0,
+                    },
+                ])
+            })
+            .collect();
+        Cnf {
+            num_vars: 3,
+            clauses,
+        }
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_basics() {
+        let c = Clause([Lit::pos(0), Lit::neg(1), Lit::pos(2)]);
+        assert!(c.eval(&[true, true, false]));
+        assert!(!c.eval(&[false, true, false]));
+        let f = Cnf::new(3, vec![c]);
+        assert!(f.eval(&[true, false, false]));
+    }
+
+    #[test]
+    fn contradiction_never_true() {
+        let f = Cnf::contradiction();
+        for mask in 0..8u8 {
+            let a = [mask & 1 != 0, mask & 2 != 0, mask & 4 != 0];
+            assert!(!f.eval(&a));
+        }
+    }
+
+    #[test]
+    fn random_clauses_have_distinct_vars() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let f = Cnf::random(&mut rng, 5, 20);
+        assert_eq!(f.num_clauses(), 20);
+        assert!(f.clauses.iter().all(Clause::distinct_vars));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_literal_panics() {
+        let _ = Cnf::new(2, vec![Clause([Lit::pos(0), Lit::pos(1), Lit::pos(2)])]);
+    }
+
+    #[test]
+    fn display_renders() {
+        let f = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::neg(1), Lit::pos(2)])]);
+        assert_eq!(f.to_string(), "(x0 ∨ ¬x1 ∨ x2)");
+        assert_eq!(Cnf::new(0, vec![]).to_string(), "⊤");
+    }
+}

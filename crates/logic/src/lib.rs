@@ -1,0 +1,22 @@
+//! Propositional-logic substrate for `relvu`.
+//!
+//! Theorems 2, 4, 5 and 7 of the paper are reductions from 3-SAT, ∀∃-QBF
+//! (Π₂) and UNSAT. This crate builds both sides of those reductions:
+//!
+//! * [`Cnf`] — 3-CNF formulas with random generation,
+//! * [`sat`] — a DPLL SAT solver (unit propagation),
+//! * [`qbf`] — a ∀∃ (2-QBF) evaluator,
+//! * [`reductions`] — generators that turn a formula into the paper's
+//!   schema/view/update gadgets, so the reductions can be cross-validated
+//!   end-to-end against the logic oracles on small instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+pub mod dimacs;
+pub mod qbf;
+pub mod reductions;
+pub mod sat;
+
+pub use cnf::{Clause, Cnf, Lit};

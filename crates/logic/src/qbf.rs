@@ -1,0 +1,104 @@
+//! ∀∃ (Π₂) quantified Boolean formula evaluation.
+//!
+//! Theorem 4 reduces `∀X ∃Y G(X, Y)` to insertion translatability over a
+//! succinct view; this module is the logic-side oracle for that
+//! correspondence.
+
+use crate::sat::find_model_with_prefix;
+use crate::Cnf;
+
+/// Evaluate `∀x₀…x_{k−1} ∃x_k…x_{n−1} G`: for every assignment of the
+/// first `k` variables, the remainder of `G` must be satisfiable.
+///
+/// Exponential in `k` (the problem is Π₂ᵖ-complete); intended for the
+/// small `k` the cross-validation tests and benches use.
+///
+/// # Panics
+/// Panics if `k > cnf.num_vars` or `k > 30`.
+pub fn forall_exists(cnf: &Cnf, k: usize) -> bool {
+    assert!(k <= cnf.num_vars, "prefix longer than the variable count");
+    assert!(k <= 30, "forall_exists capped at 30 universal variables");
+    (0u64..(1 << k)).all(|mask| {
+        let prefix: Vec<bool> = (0..k).map(|i| mask & (1 << i) != 0).collect();
+        find_model_with_prefix(cnf, &prefix).is_some()
+    })
+}
+
+/// The assignments of the universal prefix for which the ∃-part fails —
+/// the witnesses of a false Π₂ sentence. Empty iff [`forall_exists`].
+pub fn failing_prefixes(cnf: &Cnf, k: usize) -> Vec<Vec<bool>> {
+    assert!(k <= cnf.num_vars && k <= 30);
+    (0u64..(1 << k))
+        .filter_map(|mask| {
+            let prefix: Vec<bool> = (0..k).map(|i| mask & (1 << i) != 0).collect();
+            if find_model_with_prefix(cnf, &prefix).is_none() {
+                Some(prefix)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clause, Lit};
+
+    #[test]
+    fn tautology_holds() {
+        // ∀x0 ∃x1: (x0 ∨ x1 ∨ ¬x1) — always true.
+        let f = Cnf::new(2, vec![Clause([Lit::pos(0), Lit::pos(1), Lit::neg(1)])]);
+        assert!(forall_exists(&f, 1));
+        assert!(failing_prefixes(&f, 1).is_empty());
+    }
+
+    #[test]
+    fn exists_can_rescue() {
+        // ∀x0 ∃x1: (x0 ∨ x1 ∨ x1) — for x0=false pick x1=true.
+        let f = Cnf::new(2, vec![Clause([Lit::pos(0), Lit::pos(1), Lit::pos(1)])]);
+        assert!(forall_exists(&f, 1));
+    }
+
+    #[test]
+    fn forall_fails_when_prefix_blocks() {
+        // ∀x0 ∃x1: (x0 ∨ x0 ∨ x0) — fails at x0=false.
+        let f = Cnf::new(2, vec![Clause([Lit::pos(0), Lit::pos(0), Lit::pos(0)])]);
+        assert!(!forall_exists(&f, 1));
+        assert_eq!(failing_prefixes(&f, 1), vec![vec![false]]);
+    }
+
+    #[test]
+    fn zero_universals_is_plain_sat() {
+        let f = Cnf::contradiction();
+        assert!(!forall_exists(&f, 0));
+        let g = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::pos(1), Lit::pos(2)])]);
+        assert!(forall_exists(&g, 0));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let f = Cnf::random(&mut rng, 6, 10);
+            let k = 3;
+            // Brute force both quantifiers.
+            let brute = (0u64..(1 << k)).all(|xm| {
+                (0u64..(1 << (f.num_vars - k))).any(|ym| {
+                    let a: Vec<bool> = (0..f.num_vars)
+                        .map(|i| {
+                            if i < k {
+                                xm & (1 << i) != 0
+                            } else {
+                                ym & (1 << (i - k)) != 0
+                            }
+                        })
+                        .collect();
+                    f.eval(&a)
+                })
+            });
+            assert_eq!(forall_exists(&f, k), brute);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Generators for the paper's hardness reductions.
+//!
+//! Each submodule builds the schema/dependency/view/update gadget of one
+//! theorem from a 3-CNF formula, exposing enough structure for tests to
+//! cross-validate the reduction against the SAT/QBF oracles:
+//!
+//! * [`thm2`] — Theorem 2: φ satisfiable ⟺ the view has a complement of
+//!   size `n + 1` (minimum complement is NP-complete).
+//! * [`thm4`] — Theorem 4: `∀X ∃Y G` ⟺ a tuple insertion into a succinct
+//!   view is translatable (Π₂ᵖ-hardness).
+//! * [`thm5`] — Theorem 5: `G` unsatisfiable ⟺ Test 1 accepts an insertion
+//!   into a succinct view (co-NP-completeness).
+//! * [`thm7`] — Theorem 7: `G` satisfiable ⟺ some complement renders an
+//!   insertion translatable (NP-hardness of complement finding).
+
+pub mod thm2;
+pub mod thm4;
+pub mod thm5;
+pub mod thm7;
+
+use relvu_relation::{Relation, Tuple, Value};
+
+/// The two-tuple relation `S_{XᵢXᵢ'} = {(0,1), (1,0)}` used by every
+/// succinct-view gadget: each row encodes one truth value of `xᵢ`
+/// (`Xᵢ = 1` means true, and `Xᵢ' = 1 − Xᵢ`).
+pub(crate) fn bool_pair(xi: relvu_relation::Attr, xip: relvu_relation::Attr) -> Relation {
+    let attrs: relvu_relation::AttrSet = [xi, xip].into_iter().collect();
+    // Rows are given in ascending attribute order of {xi, xip}.
+    let (first_true, second_true) = if xi < xip {
+        (
+            Tuple::new([Value::int(1), Value::int(0)]),
+            Tuple::new([Value::int(0), Value::int(1)]),
+        )
+    } else {
+        (
+            Tuple::new([Value::int(0), Value::int(1)]),
+            Tuple::new([Value::int(1), Value::int(0)]),
+        )
+    };
+    Relation::from_rows(attrs, [first_true, second_true]).expect("two rows, arity 2")
+}

@@ -1,0 +1,152 @@
+//! Theorem 2: minimum complement is NP-complete.
+//!
+//! From a 3-CNF φ with variables `x₁…x_n` and clauses `f₁…f_m`, build the
+//! schema `S_φ = (U, Σ)` with `U = F₁…F_m X₁X₁'…X_nX_n' A` and
+//!
+//! * `F₁…F_m Xᵢ → Xᵢ'` and `F₁…F_m Xᵢ' → Xᵢ` for each `i`,
+//! * `L_{j1} → F_j`, `L_{j2} → F_j`, `L_{j3} → F_j` for each clause `f_j`
+//!   (`L = Xᵢ` for the literal `xᵢ`, `L = Xᵢ'` for `¬xᵢ`).
+//!
+//! The view is `X = F₁…F_m X₁X₁'…X_nX_n'` (everything but `A`); φ is
+//! satisfiable iff `X` has a complement of `n + 1` attributes (one column
+//! per variable, plus `A`).
+
+use relvu_deps::{Fd, FdSet};
+use relvu_relation::{Attr, AttrSet, Schema};
+
+use crate::{Cnf, Lit};
+
+/// The generated Theorem 2 gadget.
+#[derive(Clone, Debug)]
+pub struct Thm2Instance {
+    /// The schema `(U, ·)`.
+    pub schema: Schema,
+    /// The FD set Σ (FDs only, as the paper notes suffices).
+    pub fds: FdSet,
+    /// The view `X = U − {A}`.
+    pub view: AttrSet,
+    /// The complement size to ask for: `n + 1`.
+    pub target_size: usize,
+    /// The result attribute `A`.
+    pub a: Attr,
+    /// `(Xᵢ, Xᵢ')` per variable.
+    pub var_attrs: Vec<(Attr, Attr)>,
+    /// `F_j` per clause.
+    pub clause_attrs: Vec<Attr>,
+}
+
+impl Thm2Instance {
+    /// Build the gadget from a formula.
+    pub fn generate(cnf: &Cnf) -> Self {
+        let n = cnf.num_vars;
+        let m = cnf.num_clauses();
+        let mut schema = Schema::new(Vec::<String>::new()).expect("empty ok");
+        let clause_attrs: Vec<Attr> = (0..m)
+            .map(|j| schema.add_attr(format!("F{j}")).expect("fresh"))
+            .collect();
+        let var_attrs: Vec<(Attr, Attr)> = (0..n)
+            .map(|i| {
+                let xi = schema.add_attr(format!("X{i}")).expect("fresh");
+                let xip = schema.add_attr(format!("X{i}p")).expect("fresh");
+                (xi, xip)
+            })
+            .collect();
+        let a = schema.add_attr("A").expect("fresh");
+
+        let all_f: AttrSet = clause_attrs.iter().copied().collect();
+        let mut fds = FdSet::default();
+        for &(xi, xip) in &var_attrs {
+            fds.push(Fd::from_sets(
+                all_f | AttrSet::singleton(xi),
+                AttrSet::singleton(xip),
+            ));
+            fds.push(Fd::from_sets(
+                all_f | AttrSet::singleton(xip),
+                AttrSet::singleton(xi),
+            ));
+        }
+        let lit_attr = |l: Lit| {
+            let (xi, xip) = var_attrs[l.var];
+            if l.neg {
+                xip
+            } else {
+                xi
+            }
+        };
+        for (j, clause) in cnf.clauses.iter().enumerate() {
+            for &l in &clause.0 {
+                fds.push(Fd::from_sets(
+                    AttrSet::singleton(lit_attr(l)),
+                    AttrSet::singleton(clause_attrs[j]),
+                ));
+            }
+        }
+        let view = schema.universe() - AttrSet::singleton(a);
+        Thm2Instance {
+            schema,
+            fds,
+            view,
+            target_size: n + 1,
+            a,
+            var_attrs,
+            clause_attrs,
+        }
+    }
+
+    /// The complement `Y = L₁…L_n A` a satisfying assignment induces:
+    /// `Lᵢ = Xᵢ` if `h(xᵢ)` is true, `Xᵢ'` otherwise.
+    pub fn complement_for(&self, assignment: &[bool]) -> AttrSet {
+        let mut y = AttrSet::singleton(self.a);
+        for (&(xi, xip), &b) in self.var_attrs.iter().zip(assignment) {
+            y.insert(if b { xi } else { xip });
+        }
+        y
+    }
+
+    /// Recover the assignment a size-`n+1` complement encodes, if it has
+    /// the expected shape (contains `A` and exactly one of each pair).
+    pub fn assignment_of(&self, y: AttrSet) -> Option<Vec<bool>> {
+        if !y.contains(self.a) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.var_attrs.len());
+        for &(xi, xip) in &self.var_attrs {
+            match (y.contains(xi), y.contains(xip)) {
+                (true, false) => out.push(true),
+                (false, true) => out.push(false),
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clause;
+
+    #[test]
+    fn shape_matches_paper() {
+        let f = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::neg(1), Lit::pos(2)])]);
+        let inst = Thm2Instance::generate(&f);
+        // |U| = m + 2n + 1.
+        assert_eq!(inst.schema.arity(), 1 + 6 + 1);
+        // FDs: 2n pair FDs + 3m clause FDs.
+        assert_eq!(inst.fds.len(), 6 + 3);
+        assert_eq!(inst.view.len(), inst.schema.arity() - 1);
+        assert_eq!(inst.target_size, 4);
+    }
+
+    #[test]
+    fn assignment_roundtrip() {
+        let f = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::neg(1), Lit::pos(2)])]);
+        let inst = Thm2Instance::generate(&f);
+        let h = vec![true, false, true];
+        let y = inst.complement_for(&h);
+        assert_eq!(y.len(), inst.target_size);
+        assert_eq!(inst.assignment_of(y), Some(h));
+        // Malformed complements are rejected.
+        assert_eq!(inst.assignment_of(AttrSet::singleton(inst.a)), None);
+    }
+}

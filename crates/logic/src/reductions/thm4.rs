@@ -1,0 +1,210 @@
+//! Theorem 4: translatability is Π₂ᵖ-hard for succinct views.
+//!
+//! From a 3-CNF `G(x₁…x_n)` and a universal prefix `x₁…x_k`, build
+//! `U = B X₁X₁'…X_nX_n' A F₁…F_m C` with Σ:
+//!
+//! * `X₁X₁'…X_kX_k' → A`,
+//! * `F₁…F_m → C`,
+//! * `B A → C`,
+//! * `L_{ji} A → F_j` per clause literal.
+//!
+//! The view is `B X₁X₁'…X_nX_n'`, its complement the rest plus the `X`
+//! columns; the view instance is the succinct
+//! `s_B × S_{X₁X₁'} × … × S_{X_nX_n'} ∪ {s}` — one row per truth
+//! assignment, plus the special row `s` (`s[B] = a`, all `X` columns 1).
+//! Inserting `t` (`t[B] = b`, all `X` columns 1) is translatable iff
+//! `∀X ∃Y G(X, Y) = 1`.
+
+use relvu_deps::{Fd, FdSet};
+use relvu_relation::{Attr, AttrSet, Relation, Schema, SuccinctView, Tuple, Value};
+
+use super::bool_pair;
+use crate::{Cnf, Lit};
+
+/// Constant for `s[B] = a`.
+pub const CONST_A: u64 = 100;
+/// Constant for the inserted tuple's `t[B] = b`.
+pub const CONST_B: u64 = 101;
+
+/// The generated Theorem 4 gadget.
+#[derive(Clone, Debug)]
+pub struct Thm4Instance {
+    /// The schema `(U, ·)`.
+    pub schema: Schema,
+    /// Σ.
+    pub fds: FdSet,
+    /// The view `X = B X₁X₁'…X_nX_n'`.
+    pub view: AttrSet,
+    /// The complement `Y = X₁X₁'…X_nX_n' A F₁…F_m C`.
+    pub complement: AttrSet,
+    /// The view instance, succinctly.
+    pub succinct: SuccinctView,
+    /// The tuple to insert (over the view attributes).
+    pub tuple: Tuple,
+    /// Number of universally quantified variables.
+    pub k: usize,
+    /// `(Xᵢ, Xᵢ')` per variable.
+    pub var_attrs: Vec<(Attr, Attr)>,
+}
+
+impl Thm4Instance {
+    /// Build the gadget for `∀x₀…x_{k−1} ∃x_k…x_{n−1} G`.
+    ///
+    /// # Panics
+    /// Panics if `k > cnf.num_vars`.
+    pub fn generate(cnf: &Cnf, k: usize) -> Self {
+        assert!(k <= cnf.num_vars);
+        let n = cnf.num_vars;
+        let m = cnf.num_clauses();
+        let mut schema = Schema::new(Vec::<String>::new()).expect("empty ok");
+        let b = schema.add_attr("B").expect("fresh");
+        let var_attrs: Vec<(Attr, Attr)> = (0..n)
+            .map(|i| {
+                let xi = schema.add_attr(format!("X{i}")).expect("fresh");
+                let xip = schema.add_attr(format!("X{i}p")).expect("fresh");
+                (xi, xip)
+            })
+            .collect();
+        let a = schema.add_attr("A").expect("fresh");
+        let clause_attrs: Vec<Attr> = (0..m)
+            .map(|j| schema.add_attr(format!("F{j}")).expect("fresh"))
+            .collect();
+        let c = schema.add_attr("C").expect("fresh");
+
+        let mut fds = FdSet::default();
+        // X1X1'…XkXk' → A.
+        let forall_cols: AttrSet = var_attrs[..k]
+            .iter()
+            .flat_map(|&(xi, xip)| [xi, xip])
+            .collect();
+        fds.push(Fd::from_sets(forall_cols, AttrSet::singleton(a)));
+        // F1…Fm → C.
+        let all_f: AttrSet = clause_attrs.iter().copied().collect();
+        fds.push(Fd::from_sets(all_f, AttrSet::singleton(c)));
+        // B A → C.
+        fds.push(Fd::from_sets(
+            AttrSet::singleton(b) | AttrSet::singleton(a),
+            AttrSet::singleton(c),
+        ));
+        // L_{ji} A → F_j.
+        let lit_attr = |l: Lit| {
+            let (xi, xip) = var_attrs[l.var];
+            if l.neg {
+                xip
+            } else {
+                xi
+            }
+        };
+        for (j, clause) in cnf.clauses.iter().enumerate() {
+            for &l in &clause.0 {
+                fds.push(Fd::from_sets(
+                    AttrSet::singleton(lit_attr(l)) | AttrSet::singleton(a),
+                    AttrSet::singleton(clause_attrs[j]),
+                ));
+            }
+        }
+
+        let x_cols: AttrSet = var_attrs.iter().flat_map(|&(xi, xip)| [xi, xip]).collect();
+        let view = AttrSet::singleton(b) | x_cols;
+        let complement = schema.universe() - AttrSet::singleton(b);
+
+        // Succinct V = s_B × Π S_{XiXi'} ∪ {s}.
+        let mut succinct = SuccinctView::new(view);
+        let mut factors: Vec<Relation> = Vec::with_capacity(n + 1);
+        factors.push(
+            Relation::from_rows(AttrSet::singleton(b), [Tuple::new([Value::int(CONST_B)])])
+                .expect("one row"),
+        );
+        for &(xi, xip) in &var_attrs {
+            factors.push(bool_pair(xi, xip));
+        }
+        succinct.add_term(factors).expect("well-formed term");
+        // The special row s: B = a, every X column 1.
+        let s_row = Tuple::from_pairs(
+            &view,
+            view.iter().map(|attr| {
+                let v = if attr == b {
+                    Value::int(CONST_A)
+                } else {
+                    Value::int(1)
+                };
+                (attr, v)
+            }),
+        )
+        .expect("covers view");
+        succinct
+            .add_term(vec![Relation::from_rows(view, [s_row]).expect("one row")])
+            .expect("well-formed term");
+
+        // t: B = b, all X columns 1.
+        let tuple = Tuple::from_pairs(
+            &view,
+            view.iter().map(|attr| {
+                let v = if attr == b {
+                    Value::int(CONST_B)
+                } else {
+                    Value::int(1)
+                };
+                (attr, v)
+            }),
+        )
+        .expect("covers view");
+
+        Thm4Instance {
+            schema,
+            fds,
+            view,
+            complement,
+            succinct,
+            tuple,
+            k,
+            var_attrs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clause;
+
+    #[test]
+    fn shape_matches_paper() {
+        let g = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::neg(1), Lit::pos(2)])]);
+        let inst = Thm4Instance::generate(&g, 2);
+        // |U| = 1 + 2n + 1 + m + 1.
+        assert_eq!(inst.schema.arity(), 1 + 6 + 1 + 1 + 1);
+        // Σ: 1 + 1 + 1 + 3m.
+        assert_eq!(inst.fds.len(), 3 + 3);
+        // View and complement cover U and overlap on the X columns.
+        assert_eq!(inst.view | inst.complement, inst.schema.universe());
+        assert_eq!((inst.view & inst.complement).len(), 6);
+    }
+
+    #[test]
+    fn view_instance_lists_assignments_plus_s() {
+        let g = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::pos(1), Lit::pos(2)])]);
+        let inst = Thm4Instance::generate(&g, 1);
+        let v = inst.succinct.expand().unwrap();
+        // 2^n assignment rows + s.
+        assert_eq!(v.len(), 8 + 1);
+        // t is not in V.
+        assert!(!v.contains(&inst.tuple));
+        // But t agrees with s on the X columns (membership via projection).
+        let shared = inst.view & inst.complement;
+        let t_proj = inst.tuple.project(&inst.view, &shared);
+        let matches = v
+            .iter()
+            .filter(|r| r.project(&inst.view, &shared) == t_proj)
+            .count();
+        assert_eq!(matches, 1, "only the special row s agrees with t on X∩Y");
+    }
+
+    #[test]
+    fn repr_size_linear_but_instance_exponential() {
+        let g = Cnf::new(8, vec![Clause([Lit::pos(0), Lit::pos(1), Lit::pos(2)])]);
+        let inst = Thm4Instance::generate(&g, 4);
+        assert!(inst.succinct.repr_size() <= 2 * 8 + 2);
+        assert_eq!(inst.succinct.size_bound(), 256 + 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Theorem 5: Test 1 acceptance is co-NP-complete for succinct views.
+//!
+//! From a 3-CNF `G`, build `U = B X₁X₁'…X_nX_n' C` with Σ:
+//!
+//! * `B → C`,
+//! * `L_{j1} L_{j2} L_{j3} → C` per clause `f_j`.
+//!
+//! View `B X₁X₁'…X_nX_n'`, complement `X₁X₁'…X_nX_n' C`; the view instance
+//! is `s_B × S_{X₁X₁'} × … ∪ {s}` with `s[B] = a` and every `X` column 0.
+//! Inserting `t` (`t[B] = b`, all `X` columns 0) is accepted by Test 1 iff
+//! `G` is unsatisfiable.
+
+use relvu_deps::{Fd, FdSet};
+use relvu_relation::{Attr, AttrSet, Relation, Schema, SuccinctView, Tuple, Value};
+
+use super::bool_pair;
+use crate::{Cnf, Lit};
+
+/// Constant for `s[B] = a`.
+pub const CONST_A: u64 = 100;
+/// Constant for the inserted tuple's `t[B] = b`.
+pub const CONST_B: u64 = 101;
+
+/// The generated Theorem 5 gadget.
+#[derive(Clone, Debug)]
+pub struct Thm5Instance {
+    /// The schema `(U, ·)`.
+    pub schema: Schema,
+    /// Σ.
+    pub fds: FdSet,
+    /// The view `B X₁X₁'…X_nX_n'`.
+    pub view: AttrSet,
+    /// The complement `X₁X₁'…X_nX_n' C`.
+    pub complement: AttrSet,
+    /// The view instance, succinctly.
+    pub succinct: SuccinctView,
+    /// The tuple to insert (over the view attributes).
+    pub tuple: Tuple,
+    /// `(Xᵢ, Xᵢ')` per variable.
+    pub var_attrs: Vec<(Attr, Attr)>,
+}
+
+impl Thm5Instance {
+    /// Build the gadget from a formula.
+    pub fn generate(cnf: &Cnf) -> Self {
+        let n = cnf.num_vars;
+        let mut schema = Schema::new(Vec::<String>::new()).expect("empty ok");
+        let b = schema.add_attr("B").expect("fresh");
+        let var_attrs: Vec<(Attr, Attr)> = (0..n)
+            .map(|i| {
+                let xi = schema.add_attr(format!("X{i}")).expect("fresh");
+                let xip = schema.add_attr(format!("X{i}p")).expect("fresh");
+                (xi, xip)
+            })
+            .collect();
+        let c = schema.add_attr("C").expect("fresh");
+
+        let mut fds = FdSet::default();
+        fds.push(Fd::from_sets(AttrSet::singleton(b), AttrSet::singleton(c)));
+        let lit_attr = |l: Lit| {
+            let (xi, xip) = var_attrs[l.var];
+            if l.neg {
+                xip
+            } else {
+                xi
+            }
+        };
+        for clause in &cnf.clauses {
+            let lhs: AttrSet = clause.0.iter().map(|&l| lit_attr(l)).collect();
+            fds.push(Fd::from_sets(lhs, AttrSet::singleton(c)));
+        }
+
+        let x_cols: AttrSet = var_attrs.iter().flat_map(|&(xi, xip)| [xi, xip]).collect();
+        let view = AttrSet::singleton(b) | x_cols;
+        let complement = x_cols | AttrSet::singleton(c);
+
+        let mut succinct = SuccinctView::new(view);
+        let mut factors: Vec<Relation> = Vec::with_capacity(n + 1);
+        factors.push(
+            Relation::from_rows(AttrSet::singleton(b), [Tuple::new([Value::int(CONST_B)])])
+                .expect("one row"),
+        );
+        for &(xi, xip) in &var_attrs {
+            factors.push(bool_pair(xi, xip));
+        }
+        succinct.add_term(factors).expect("well-formed term");
+        // Special row s: B = a, every X column 0.
+        let s_row = Tuple::from_pairs(
+            &view,
+            view.iter().map(|attr| {
+                let v = if attr == b {
+                    Value::int(CONST_A)
+                } else {
+                    Value::int(0)
+                };
+                (attr, v)
+            }),
+        )
+        .expect("covers view");
+        succinct
+            .add_term(vec![Relation::from_rows(view, [s_row]).expect("one row")])
+            .expect("well-formed term");
+
+        let tuple = Tuple::from_pairs(
+            &view,
+            view.iter().map(|attr| {
+                let v = if attr == b {
+                    Value::int(CONST_B)
+                } else {
+                    Value::int(0)
+                };
+                (attr, v)
+            }),
+        )
+        .expect("covers view");
+
+        Thm5Instance {
+            schema,
+            fds,
+            view,
+            complement,
+            succinct,
+            tuple,
+            var_attrs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clause;
+
+    #[test]
+    fn shape_matches_paper() {
+        let g = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::neg(1), Lit::pos(2)])]);
+        let inst = Thm5Instance::generate(&g);
+        assert_eq!(inst.schema.arity(), 1 + 6 + 1);
+        assert_eq!(inst.fds.len(), 1 + 1);
+        assert_eq!(inst.view | inst.complement, inst.schema.universe());
+    }
+
+    #[test]
+    fn only_s_agrees_with_t_on_intersection() {
+        let g = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::pos(1), Lit::pos(2)])]);
+        let inst = Thm5Instance::generate(&g);
+        let v = inst.succinct.expand().unwrap();
+        assert_eq!(v.len(), 9);
+        assert!(!v.contains(&inst.tuple));
+        let shared = inst.view & inst.complement;
+        let t_proj = inst.tuple.project(&inst.view, &shared);
+        let matches = v
+            .iter()
+            .filter(|r| r.project(&inst.view, &shared) == t_proj)
+            .count();
+        assert_eq!(matches, 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Theorem 7: finding a translatability-restoring complement is NP-hard
+//! for succinct views.
+//!
+//! From a 3-CNF `G` (distinct variables per clause), build
+//! `U = X₁X₁'…X_nX_n' F₁…F_m` with Σ containing `L_{ji} → F_j` per clause
+//! literal. The view is `X = X₁X₁'…X_nX_n'`, the instance
+//! `V = S_{X₁X₁'} × … × S_{X_nX_n'}` (all truth assignments), and the
+//! insertion is the all-ones tuple `t`. A complement
+//! `Y = W ∪ F₁…F_m (W ⊆ X)` making the insertion translatable exists iff
+//! `G` is satisfiable — `W` must pick one column per pair, i.e. encode a
+//! satisfying assignment.
+
+use relvu_deps::{Fd, FdSet};
+use relvu_relation::{Attr, AttrSet, Relation, Schema, SuccinctView, Tuple, Value};
+
+use super::bool_pair;
+use crate::{Cnf, Lit};
+
+/// The generated Theorem 7 gadget.
+#[derive(Clone, Debug)]
+pub struct Thm7Instance {
+    /// The schema `(U, ·)`.
+    pub schema: Schema,
+    /// Σ.
+    pub fds: FdSet,
+    /// The view `X = X₁X₁'…X_nX_n'`.
+    pub view: AttrSet,
+    /// The view instance, succinctly (a single Cartesian product).
+    pub succinct: SuccinctView,
+    /// The all-ones tuple to insert.
+    pub tuple: Tuple,
+    /// `(Xᵢ, Xᵢ')` per variable.
+    pub var_attrs: Vec<(Attr, Attr)>,
+    /// `F_j` per clause.
+    pub clause_attrs: Vec<Attr>,
+}
+
+impl Thm7Instance {
+    /// Build the gadget from a formula.
+    ///
+    /// # Panics
+    /// Panics if some clause repeats a variable (the theorem assumes
+    /// distinct variables per clause, w.l.o.g.).
+    pub fn generate(cnf: &Cnf) -> Self {
+        assert!(
+            cnf.clauses.iter().all(|c| c.distinct_vars()),
+            "Theorem 7 requires distinct variables within each clause"
+        );
+        let n = cnf.num_vars;
+        let m = cnf.num_clauses();
+        let mut schema = Schema::new(Vec::<String>::new()).expect("empty ok");
+        let var_attrs: Vec<(Attr, Attr)> = (0..n)
+            .map(|i| {
+                let xi = schema.add_attr(format!("X{i}")).expect("fresh");
+                let xip = schema.add_attr(format!("X{i}p")).expect("fresh");
+                (xi, xip)
+            })
+            .collect();
+        let clause_attrs: Vec<Attr> = (0..m)
+            .map(|j| schema.add_attr(format!("F{j}")).expect("fresh"))
+            .collect();
+
+        let lit_attr = |l: Lit| {
+            let (xi, xip) = var_attrs[l.var];
+            if l.neg {
+                xip
+            } else {
+                xi
+            }
+        };
+        let mut fds = FdSet::default();
+        for (j, clause) in cnf.clauses.iter().enumerate() {
+            for &l in &clause.0 {
+                fds.push(Fd::from_sets(
+                    AttrSet::singleton(lit_attr(l)),
+                    AttrSet::singleton(clause_attrs[j]),
+                ));
+            }
+        }
+
+        let view: AttrSet = var_attrs.iter().flat_map(|&(xi, xip)| [xi, xip]).collect();
+        let mut succinct = SuccinctView::new(view);
+        succinct
+            .add_term(
+                var_attrs
+                    .iter()
+                    .map(|&(xi, xip)| bool_pair(xi, xip))
+                    .collect::<Vec<Relation>>(),
+            )
+            .expect("well-formed term");
+
+        let tuple = Tuple::new(view.iter().map(|_| Value::int(1)));
+
+        Thm7Instance {
+            schema,
+            fds,
+            view,
+            succinct,
+            tuple,
+            var_attrs,
+            clause_attrs,
+        }
+    }
+
+    /// The complement `Y = W ∪ F₁…F_m` induced by an assignment
+    /// (`W` picks `Xᵢ` for true variables, `Xᵢ'` for false ones).
+    pub fn complement_for(&self, assignment: &[bool]) -> AttrSet {
+        let mut y: AttrSet = self.clause_attrs.iter().copied().collect();
+        for (&(xi, xip), &b) in self.var_attrs.iter().zip(assignment) {
+            y.insert(if b { xi } else { xip });
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clause;
+
+    #[test]
+    fn shape_matches_paper() {
+        let g = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::neg(1), Lit::pos(2)])]);
+        let inst = Thm7Instance::generate(&g);
+        assert_eq!(inst.schema.arity(), 6 + 1);
+        assert_eq!(inst.fds.len(), 3);
+        assert_eq!(inst.view.len(), 6);
+        let v = inst.succinct.expand().unwrap();
+        assert_eq!(v.len(), 8);
+        assert!(!v.contains(&inst.tuple));
+    }
+
+    #[test]
+    fn complement_encodes_assignment() {
+        let g = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::pos(1), Lit::pos(2)])]);
+        let inst = Thm7Instance::generate(&g);
+        let y = inst.complement_for(&[true, false, true]);
+        assert_eq!(y.len(), 3 + 1);
+        assert!(y.contains(inst.var_attrs[0].0));
+        assert!(y.contains(inst.var_attrs[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct variables")]
+    fn repeated_variable_rejected() {
+        let g = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::pos(0), Lit::pos(1)])]);
+        let _ = Thm7Instance::generate(&g);
+    }
+}

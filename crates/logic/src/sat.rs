@@ -1,0 +1,189 @@
+//! A small DPLL SAT solver.
+//!
+//! The oracle that certifies the Theorem 2 / 5 / 7 reductions on concrete
+//! instances. DPLL with unit propagation is ample for the gadget sizes the
+//! benches use (n ≤ ~24).
+
+use crate::{Cnf, Lit};
+
+/// Tri-state assignment.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Val {
+    True,
+    False,
+    Unset,
+}
+
+/// Is `cnf` satisfiable?
+pub fn is_satisfiable(cnf: &Cnf) -> bool {
+    find_model(cnf).is_some()
+}
+
+/// Find a satisfying assignment, if any.
+pub fn find_model(cnf: &Cnf) -> Option<Vec<bool>> {
+    find_model_with_prefix(cnf, &[])
+}
+
+/// Find a satisfying assignment whose first `prefix.len()` variables are
+/// fixed to `prefix`. This is the ∃-stage of the ∀∃ evaluator.
+pub fn find_model_with_prefix(cnf: &Cnf, prefix: &[bool]) -> Option<Vec<bool>> {
+    let mut assign = vec![Val::Unset; cnf.num_vars];
+    for (i, &b) in prefix.iter().enumerate() {
+        assign[i] = if b { Val::True } else { Val::False };
+    }
+    if dpll(cnf, &mut assign) {
+        Some(assign.into_iter().map(|v| matches!(v, Val::True)).collect())
+    } else {
+        None
+    }
+}
+
+fn lit_val(l: Lit, assign: &[Val]) -> Val {
+    match assign[l.var] {
+        Val::Unset => Val::Unset,
+        Val::True => {
+            if l.neg {
+                Val::False
+            } else {
+                Val::True
+            }
+        }
+        Val::False => {
+            if l.neg {
+                Val::True
+            } else {
+                Val::False
+            }
+        }
+    }
+}
+
+/// Unit propagation. Returns `false` on conflict; records flipped vars in
+/// `trail` for backtracking.
+fn propagate(cnf: &Cnf, assign: &mut [Val], trail: &mut Vec<usize>) -> bool {
+    loop {
+        let mut changed = false;
+        for c in &cnf.clauses {
+            let mut unset = None;
+            let mut n_unset = 0;
+            let mut satisfied = false;
+            for &l in &c.0 {
+                match lit_val(l, assign) {
+                    Val::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    Val::Unset => {
+                        n_unset += 1;
+                        unset = Some(l);
+                    }
+                    Val::False => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unset {
+                0 => return false, // conflict
+                1 => {
+                    let l = unset.expect("one unset literal");
+                    assign[l.var] = if l.neg { Val::False } else { Val::True };
+                    trail.push(l.var);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn dpll(cnf: &Cnf, assign: &mut [Val]) -> bool {
+    let mut trail = Vec::new();
+    if !propagate(cnf, assign, &mut trail) {
+        for v in trail {
+            assign[v] = Val::Unset;
+        }
+        return false;
+    }
+    // Pick a branch variable.
+    let var = match assign.iter().position(|v| matches!(v, Val::Unset)) {
+        None => {
+            // Fully assigned and propagation found no conflict: since every
+            // clause is checked in propagate, the formula is satisfied.
+            return true;
+        }
+        Some(v) => v,
+    };
+    for &val in &[Val::True, Val::False] {
+        assign[var] = val;
+        if dpll(cnf, assign) {
+            return true;
+        }
+        assign[var] = Val::Unset;
+    }
+    for v in trail {
+        assign[v] = Val::Unset;
+    }
+    false
+}
+
+/// Brute-force satisfiability (exponential) — the oracle the DPLL solver is
+/// property-tested against.
+pub fn is_satisfiable_brute(cnf: &Cnf) -> bool {
+    assert!(cnf.num_vars <= 24, "brute force capped at 24 variables");
+    let n = cnf.num_vars;
+    (0u64..(1 << n)).any(|mask| {
+        let a: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        cnf.eval(&a)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clause;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let f = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::pos(1), Lit::pos(2)])]);
+        let m = find_model(&f).expect("satisfiable");
+        assert!(f.eval(&m));
+        assert!(!is_satisfiable(&Cnf::contradiction()));
+    }
+
+    #[test]
+    fn prefix_respected() {
+        // (x0 ∨ x1 ∨ x2) with x0=x1=x2... prefix forces x0=false.
+        let f = Cnf::new(3, vec![Clause([Lit::pos(0), Lit::pos(0), Lit::pos(0)])]);
+        assert!(find_model_with_prefix(&f, &[false]).is_none());
+        assert!(find_model_with_prefix(&f, &[true]).is_some());
+    }
+
+    #[test]
+    fn models_actually_satisfy() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let f = Cnf::random(&mut rng, 8, 30);
+            if let Some(m) = find_model(&f) {
+                assert!(f.eval(&m), "returned model must satisfy the formula");
+            }
+        }
+    }
+
+    #[test]
+    fn dpll_matches_brute_force() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..300 {
+            let f = Cnf::random(&mut rng, 6, 22);
+            assert_eq!(
+                is_satisfiable(&f),
+                is_satisfiable_brute(&f),
+                "DPLL and brute force disagree on {f}"
+            );
+        }
+    }
+}

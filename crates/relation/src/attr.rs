@@ -1,0 +1,387 @@
+//! Interned attributes and bitset attribute sets.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Sub};
+
+/// Maximum number of attributes in a universe.
+///
+/// Every set operation the paper performs (`X ∩ Y`, `Y − X`, `X ⊆ Y⁺`, …)
+/// is word-parallel over a fixed `[u64; 4]`, and `AttrSet` stays `Copy`.
+/// 256 attributes comfortably covers the paper's reduction gadgets (the
+/// Theorem 2 schema for an `n`-variable, `m`-clause formula uses
+/// `2n + m + 1` attributes).
+pub const MAX_ATTRS: usize = 256;
+
+const WORDS: usize = MAX_ATTRS / 64;
+
+/// An attribute, interned as an index into a [`crate::Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attr(pub(crate) u16);
+
+impl Attr {
+    /// Create an attribute from a raw index.
+    ///
+    /// # Panics
+    /// Panics if `index >= MAX_ATTRS`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(index < MAX_ATTRS, "attribute index {index} out of range");
+        Attr(index as u16)
+    }
+
+    /// The raw index of this attribute within its schema.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Attr({})", self.0)
+    }
+}
+
+/// A set of attributes, represented as a 256-bit bitset.
+///
+/// `AttrSet` is `Copy`, so the pervasive set algebra of the paper
+/// (`X ∩ Y`, `X ∪ Y`, `Y − X`) costs no allocation. Operators `&`, `|`
+/// and `-` are implemented with those meanings.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AttrSet {
+    words: [u64; WORDS],
+}
+
+impl AttrSet {
+    /// The empty attribute set.
+    pub const EMPTY: AttrSet = AttrSet { words: [0; WORDS] };
+
+    /// Create an empty set.
+    #[inline]
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// The set containing the single attribute `a`.
+    #[inline]
+    pub fn singleton(a: Attr) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(a);
+        s
+    }
+
+    /// The set `{0, 1, …, n-1}` of the first `n` attribute indices.
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_ATTRS`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= MAX_ATTRS);
+        let mut s = Self::EMPTY;
+        for i in 0..n {
+            s.insert(Attr::new(i));
+        }
+        s
+    }
+
+    /// Insert attribute `a`. Returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, a: Attr) -> bool {
+        let (w, b) = (a.index() / 64, a.index() % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Remove attribute `a`. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, a: Attr) -> bool {
+        let (w, b) = (a.index() / 64, a.index() % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Does the set contain `a`?
+    #[inline]
+    pub fn contains(&self, a: Attr) -> bool {
+        let (w, b) = (a.index() / 64, a.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of attributes in the set (the paper's `|X|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Is `self ⊆ other`?
+    #[inline]
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Is `self ⊇ other`?
+    #[inline]
+    pub fn is_superset(&self, other: &AttrSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Do the two sets share no attribute?
+    #[inline]
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Set union `self ∪ other`.
+    #[inline]
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(other.words.iter()) {
+            *w |= o;
+        }
+        AttrSet { words }
+    }
+
+    /// Set intersection `self ∩ other`.
+    #[inline]
+    pub fn intersect(&self, other: &AttrSet) -> AttrSet {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(other.words.iter()) {
+            *w &= o;
+        }
+        AttrSet { words }
+    }
+
+    /// Set difference `self − other`.
+    #[inline]
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(other.words.iter()) {
+            *w &= !o;
+        }
+        AttrSet { words }
+    }
+
+    /// The position of `a` among the set's members in ascending order,
+    /// i.e. how many members are strictly smaller than `a`.
+    ///
+    /// This is how a [`crate::Tuple`] over an `AttrSet` locates the column
+    /// of an attribute.
+    #[inline]
+    pub fn rank(&self, a: Attr) -> Option<usize> {
+        if !self.contains(a) {
+            return None;
+        }
+        let (w, b) = (a.index() / 64, a.index() % 64);
+        let mut r = 0usize;
+        for word in &self.words[..w] {
+            r += word.count_ones() as usize;
+        }
+        r += (self.words[w] & ((1u64 << b) - 1)).count_ones() as usize;
+        Some(r)
+    }
+
+    /// Iterate over members in ascending attribute order.
+    #[inline]
+    pub fn iter(&self) -> AttrSetIter {
+        AttrSetIter {
+            words: self.words,
+            word_idx: 0,
+        }
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<Attr> {
+        self.iter().next()
+    }
+}
+
+impl BitAnd for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitand(self, rhs: AttrSet) -> AttrSet {
+        self.intersect(&rhs)
+    }
+}
+
+impl BitOr for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitor(self, rhs: AttrSet) -> AttrSet {
+        self.union(&rhs)
+    }
+}
+
+impl Sub for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn sub(self, rhs: AttrSet) -> AttrSet {
+        self.difference(&rhs)
+    }
+}
+
+impl FromIterator<Attr> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = Attr>>(iter: I) -> Self {
+        let mut s = AttrSet::new();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+}
+
+impl Extend<Attr> for AttrSet {
+    fn extend<I: IntoIterator<Item = Attr>>(&mut self, iter: I) {
+        for a in iter {
+            self.insert(a);
+        }
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = Attr;
+    type IntoIter = AttrSetIter;
+    fn into_iter(self) -> AttrSetIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &AttrSet {
+    type Item = Attr;
+    type IntoIter = AttrSetIter;
+    fn into_iter(self) -> AttrSetIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.iter().map(|a| a.index()))
+            .finish()
+    }
+}
+
+/// Iterator over the members of an [`AttrSet`] in ascending order.
+pub struct AttrSetIter {
+    words: [u64; WORDS],
+    word_idx: usize,
+}
+
+impl Iterator for AttrSetIter {
+    type Item = Attr;
+
+    #[inline]
+    fn next(&mut self) -> Option<Attr> {
+        while self.word_idx < WORDS {
+            let w = self.words[self.word_idx];
+            if w != 0 {
+                let b = w.trailing_zeros() as usize;
+                self.words[self.word_idx] &= w - 1;
+                return Some(Attr::new(self.word_idx * 64 + b));
+            }
+            self.word_idx += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n: usize = self.words[self.word_idx.min(WORDS - 1)..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> AttrSet {
+        ids.iter().map(|&i| Attr::new(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = AttrSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Attr::new(3)));
+        assert!(!s.insert(Attr::new(3)));
+        assert!(s.contains(Attr::new(3)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Attr::new(3)));
+        assert!(!s.remove(Attr::new(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn works_across_word_boundaries() {
+        let s = set(&[0, 63, 64, 127, 128, 255]);
+        assert_eq!(s.len(), 6);
+        let got: Vec<usize> = s.iter().map(|a| a.index()).collect();
+        assert_eq!(got, vec![0, 63, 64, 127, 128, 255]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let x = set(&[1, 2, 3, 70]);
+        let y = set(&[2, 3, 4, 200]);
+        assert_eq!(x & y, set(&[2, 3]));
+        assert_eq!(x | y, set(&[1, 2, 3, 4, 70, 200]));
+        assert_eq!(x - y, set(&[1, 70]));
+        assert_eq!(y - x, set(&[4, 200]));
+        assert!(set(&[2, 3]).is_subset(&x));
+        assert!(!x.is_subset(&y));
+        assert!(x.is_superset(&set(&[1])));
+        assert!(set(&[5, 90]).is_disjoint(&x));
+        assert!(!x.is_disjoint(&y));
+    }
+
+    #[test]
+    fn rank_matches_iteration_order() {
+        let s = set(&[4, 9, 64, 130]);
+        for (i, a) in s.iter().enumerate() {
+            assert_eq!(s.rank(a), Some(i));
+        }
+        assert_eq!(s.rank(Attr::new(5)), None);
+    }
+
+    #[test]
+    fn first_n_and_first() {
+        let s = AttrSet::first_n(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.first(), Some(Attr::new(0)));
+        assert_eq!(AttrSet::EMPTY.first(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn attr_index_out_of_range_panics() {
+        let _ = Attr::new(MAX_ATTRS);
+    }
+
+    #[test]
+    fn empty_set_relations() {
+        let e = AttrSet::EMPTY;
+        let x = set(&[1, 2]);
+        assert!(e.is_subset(&x));
+        assert!(e.is_subset(&e));
+        assert!(e.is_disjoint(&x));
+        assert_eq!(e | x, x);
+        assert_eq!(e & x, e);
+        assert_eq!(x - e, x);
+    }
+}

@@ -1,0 +1,137 @@
+//! Pretty-printing helpers for tuples and relations.
+
+use std::fmt;
+
+use crate::{AttrSet, Relation, Schema, Tuple, Value, ValueDict};
+
+/// Renders a tuple against a schema (and optionally a [`ValueDict`]).
+pub struct TupleDisplay<'a> {
+    tuple: &'a Tuple,
+    attrs: AttrSet,
+    schema: &'a Schema,
+    dict: Option<&'a ValueDict>,
+}
+
+impl<'a> TupleDisplay<'a> {
+    /// Wrap `tuple` (over `attrs`) for display.
+    pub fn new(
+        tuple: &'a Tuple,
+        attrs: AttrSet,
+        schema: &'a Schema,
+        dict: Option<&'a ValueDict>,
+    ) -> Self {
+        TupleDisplay {
+            tuple,
+            attrs,
+            schema,
+            dict,
+        }
+    }
+
+    fn show(&self, v: Value) -> String {
+        match self.dict {
+            Some(d) => d.show(v),
+            None => format!("{v:?}"),
+        }
+    }
+}
+
+impl fmt::Display for TupleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(
+                f,
+                "{}={}",
+                self.schema.name(a),
+                self.show(self.tuple.get(&self.attrs, a))
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Renders a relation as an aligned text table.
+pub struct RelationDisplay<'a> {
+    rel: &'a Relation,
+    schema: &'a Schema,
+    dict: Option<&'a ValueDict>,
+}
+
+impl<'a> RelationDisplay<'a> {
+    /// Wrap `rel` for display against `schema`.
+    pub fn new(rel: &'a Relation, schema: &'a Schema, dict: Option<&'a ValueDict>) -> Self {
+        RelationDisplay { rel, schema, dict }
+    }
+}
+
+impl fmt::Display for RelationDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let attrs = self.rel.attrs();
+        let headers: Vec<String> = attrs
+            .iter()
+            .map(|a| self.schema.name(a).to_string())
+            .collect();
+        let show = |v: Value| match self.dict {
+            Some(d) => d.show(v),
+            None => format!("{v:?}"),
+        };
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rows: Vec<Vec<String>> = self
+            .rel
+            .iter()
+            .map(|t| t.values().map(show).collect())
+            .collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, c) in widths.iter().zip(cells) {
+                write!(f, " {c:<w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn table_renders() {
+        let schema = Schema::new(["Emp", "Dept"]).unwrap();
+        let r = Relation::from_rows(schema.universe(), [tup![1, 10], tup![2, 20]]).unwrap();
+        let s = RelationDisplay::new(&r, &schema, None).to_string();
+        assert!(s.contains("Emp"));
+        assert!(s.contains("Dept"));
+        assert!(s.contains("10"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn tuple_renders_with_dict() {
+        let schema = Schema::new(["Emp", "Dept"]).unwrap();
+        let dict = ValueDict::new();
+        let t = Tuple::new([dict.sym("smith"), dict.sym("toys")]);
+        let s = TupleDisplay::new(&t, schema.universe(), &schema, Some(&dict)).to_string();
+        assert_eq!(s, "(Emp=smith, Dept=toys)");
+    }
+}

@@ -1,0 +1,230 @@
+//! Relational algebra operators: projection, natural join, selection,
+//! union, difference, Cartesian product.
+//!
+//! These are the primitives the paper composes: views are projections
+//! `π_X(R)`, translated insertions join `t * π_Y(R)`, complements are
+//! checked via `π_X(R) * π_Y(R) = R` (Theorem 1).
+
+use std::collections::HashMap;
+
+use crate::{AttrSet, Relation, RelationError, Result, Tuple};
+
+/// Projection `π_X(r)`. `x` must be a subset of `r`'s attributes.
+///
+/// # Errors
+/// Fails with [`RelationError::NotASubset`] otherwise.
+pub fn project(r: &Relation, x: AttrSet) -> Result<Relation> {
+    if !x.is_subset(&r.attrs()) {
+        return Err(RelationError::NotASubset);
+    }
+    let from = r.attrs();
+    let mut out = Relation::new(x);
+    for t in r {
+        out.insert(t.project(&from, &x))?;
+    }
+    Ok(out)
+}
+
+/// Natural join `r * s` on the shared attributes.
+///
+/// Implemented as a hash join on `r.attrs() ∩ s.attrs()`; with an empty
+/// overlap this degenerates to the Cartesian product, as in the paper's
+/// `t * π_Y(R)` when `X ∩ Y = ∅`.
+pub fn natural_join(r: &Relation, s: &Relation) -> Result<Relation> {
+    let shared = r.attrs() & s.attrs();
+    let out_attrs = r.attrs() | s.attrs();
+    let mut out = Relation::new(out_attrs);
+    // Build side: index s by its shared-attr projection.
+    let s_attrs = s.attrs();
+    let r_attrs = r.attrs();
+    let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+    for t in s {
+        index
+            .entry(t.project(&s_attrs, &shared))
+            .or_default()
+            .push(t);
+    }
+    for t in r {
+        let key = t.project(&r_attrs, &shared);
+        if let Some(matches) = index.get(&key) {
+            for m in matches {
+                out.insert(t.joined(&r_attrs, m, &s_attrs))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Selection `σ_P(r)`.
+pub fn select<P: FnMut(&Tuple) -> bool>(r: &Relation, mut pred: P) -> Relation {
+    let mut out = Relation::new(r.attrs());
+    for t in r {
+        if pred(t) {
+            out.insert(t.clone()).expect("same arity");
+        }
+    }
+    out
+}
+
+/// Union `r ∪ s` (same attribute set required).
+///
+/// # Errors
+/// Fails with [`RelationError::SchemaMismatch`] if the attribute sets differ.
+pub fn union(r: &Relation, s: &Relation) -> Result<Relation> {
+    if r.attrs() != s.attrs() {
+        return Err(RelationError::SchemaMismatch);
+    }
+    let mut out = r.clone();
+    for t in s {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// Difference `r − s` (same attribute set required).
+///
+/// # Errors
+/// Fails with [`RelationError::SchemaMismatch`] if the attribute sets differ.
+pub fn difference(r: &Relation, s: &Relation) -> Result<Relation> {
+    if r.attrs() != s.attrs() {
+        return Err(RelationError::SchemaMismatch);
+    }
+    let mut out = Relation::new(r.attrs());
+    for t in r {
+        if !s.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Cartesian product `r × s` (disjoint attribute sets required).
+///
+/// # Errors
+/// Fails with [`RelationError::NotDisjoint`] if the attribute sets overlap.
+pub fn product(r: &Relation, s: &Relation) -> Result<Relation> {
+    if !r.attrs().is_disjoint(&s.attrs()) {
+        return Err(RelationError::NotDisjoint);
+    }
+    natural_join(r, s)
+}
+
+/// Join a single tuple `t` over `t_attrs` with a relation: the paper's
+/// `t * π_Y(R)` (§3.1).
+pub fn tuple_join(t: &Tuple, t_attrs: AttrSet, r: &Relation) -> Result<Relation> {
+    let single = Relation::from_rows(t_attrs, [t.clone()])?;
+    natural_join(&single, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tup, Attr};
+
+    fn set(ids: &[usize]) -> AttrSet {
+        ids.iter().map(|&i| Attr::new(i)).collect()
+    }
+
+    fn rel(attrs: &[usize], rows: &[&[u64]]) -> Relation {
+        Relation::from_rows(
+            set(attrs),
+            rows.iter()
+                .map(|r| r.iter().map(|&v| crate::Value::int(v)).collect()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn project_dedups() {
+        let r = rel(&[0, 1], &[&[1, 10], &[1, 20], &[2, 10]]);
+        let p = project(&r, set(&[0])).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&tup![1]));
+        assert!(p.contains(&tup![2]));
+        assert!(project(&r, set(&[5])).is_err());
+    }
+
+    #[test]
+    fn join_basic() {
+        // ED join DM on D — the classical Employee-Dept-Manager example.
+        let ed = rel(&[0, 1], &[&[1, 10], &[2, 10], &[3, 20]]);
+        let dm = rel(&[1, 2], &[&[10, 100], &[20, 200]]);
+        let j = natural_join(&ed, &dm).unwrap();
+        assert_eq!(j.attrs(), set(&[0, 1, 2]));
+        assert_eq!(j.len(), 3);
+        assert!(j.contains(&tup![1, 10, 100]));
+        assert!(j.contains(&tup![2, 10, 100]));
+        assert!(j.contains(&tup![3, 20, 200]));
+    }
+
+    #[test]
+    fn join_disjoint_is_product() {
+        let a = rel(&[0], &[&[1], &[2]]);
+        let b = rel(&[1], &[&[8], &[9]]);
+        let j = natural_join(&a, &b).unwrap();
+        assert_eq!(j.len(), 4);
+        let p = product(&a, &b).unwrap();
+        assert_eq!(j, p);
+        assert!(product(&a, &a).is_err());
+    }
+
+    #[test]
+    fn join_no_matches_is_empty() {
+        let a = rel(&[0, 1], &[&[1, 5]]);
+        let b = rel(&[1, 2], &[&[6, 7]]);
+        assert!(natural_join(&a, &b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn lossless_decomposition_example() {
+        // R over EDM with E→D, D→M decomposes losslessly into ED, DM.
+        let r = rel(&[0, 1, 2], &[&[1, 10, 100], &[2, 10, 100], &[3, 20, 200]]);
+        let ed = project(&r, set(&[0, 1])).unwrap();
+        let dm = project(&r, set(&[1, 2])).unwrap();
+        assert_eq!(natural_join(&ed, &dm).unwrap(), r);
+    }
+
+    #[test]
+    fn lossy_decomposition_example() {
+        // ED, EM is NOT independent (paper §2): join can create spurious rows
+        // only if M is not functionally tied; here it stays equal but in a
+        // genuinely lossy split rows appear.
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20]]);
+        let a = project(&r, set(&[0])).unwrap();
+        let b = project(&r, set(&[1])).unwrap();
+        let j = natural_join(&a, &b).unwrap();
+        assert_eq!(j.len(), 4); // spurious tuples
+        assert_ne!(j, r);
+    }
+
+    #[test]
+    fn union_difference() {
+        let a = rel(&[0], &[&[1], &[2]]);
+        let b = rel(&[0], &[&[2], &[3]]);
+        assert_eq!(union(&a, &b).unwrap().len(), 3);
+        let d = difference(&a, &b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&tup![1]));
+        let c = rel(&[1], &[&[1]]);
+        assert!(union(&a, &c).is_err());
+        assert!(difference(&a, &c).is_err());
+    }
+
+    #[test]
+    fn select_filters() {
+        let a = rel(&[0, 1], &[&[1, 5], &[2, 6]]);
+        let attrs = a.attrs();
+        let s = select(&a, |t| t.get(&attrs, Attr::new(0)) == crate::Value::int(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn tuple_join_matches_paper() {
+        // t over X joined with π_Y(R): shared attrs X∩Y select matching rows.
+        let pi_y = rel(&[1, 2], &[&[10, 100], &[20, 200]]);
+        let t = tup![7, 10]; // over {0,1}
+        let j = tuple_join(&t, set(&[0, 1]), &pi_y).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&tup![7, 10, 100]));
+    }
+}

@@ -1,0 +1,203 @@
+//! Relation instances with set semantics.
+
+use std::collections::HashSet;
+
+use crate::{AttrSet, RelationError, Result, Tuple, Value};
+
+/// A relation instance over an attribute set.
+///
+/// Rows are a *set* (duplicate inserts are ignored), matching the paper's
+/// pure relational model. Iteration order is insertion order, which keeps
+/// displays and tests deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    attrs: AttrSet,
+    rows: Vec<Tuple>,
+    seen: HashSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation over `attrs`.
+    pub fn new(attrs: AttrSet) -> Self {
+        Relation {
+            attrs,
+            rows: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Build from rows, deduplicating.
+    ///
+    /// # Errors
+    /// Fails if any row's arity differs from `attrs.len()`.
+    pub fn from_rows<I: IntoIterator<Item = Tuple>>(attrs: AttrSet, rows: I) -> Result<Self> {
+        let mut r = Relation::new(attrs);
+        for t in rows {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The attribute set this relation ranges over.
+    #[inline]
+    pub fn attrs(&self) -> AttrSet {
+        self.attrs
+    }
+
+    /// Number of tuples (the paper's `|V|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple. Returns `Ok(true)` if it was new.
+    ///
+    /// # Errors
+    /// Fails if the tuple's arity does not match.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool> {
+        if t.arity() != self.attrs.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.attrs.len(),
+                got: t.arity(),
+            });
+        }
+        if self.seen.contains(&t) {
+            return Ok(false);
+        }
+        self.seen.insert(t.clone());
+        self.rows.push(t);
+        Ok(true)
+    }
+
+    /// Remove a tuple. Returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if self.seen.remove(t) {
+            let i = self.rows.iter().position(|r| r == t).expect("in seen");
+            self.rows.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// Iterate over rows in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+
+    /// Borrow the rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Set equality: same attribute set, same tuples (order-insensitive).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.attrs == other.attrs
+            && self.rows.len() == other.rows.len()
+            && self.rows.iter().all(|t| other.seen.contains(t))
+    }
+
+    /// The value of attribute `a` in row `i`.
+    ///
+    /// # Panics
+    /// Panics if `a` is not in this relation's attribute set.
+    #[inline]
+    pub fn get(&self, i: usize, a: crate::Attr) -> Value {
+        self.rows[i].get(&self.attrs, a)
+    }
+
+    /// Largest labeled-null id in use, if any. Useful for allocating fresh
+    /// nulls (`NullGen::above`).
+    pub fn max_null_id(&self) -> Option<u64> {
+        self.rows
+            .iter()
+            .flat_map(|t| t.values())
+            .filter_map(|v| match v {
+                Value::Null(n) => Some(n),
+                _ => None,
+            })
+            .max()
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+
+impl Eq for Relation {}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tup, Attr};
+
+    fn set(ids: &[usize]) -> AttrSet {
+        ids.iter().map(|&i| Attr::new(i)).collect()
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = Relation::new(set(&[0, 1]));
+        assert!(r.insert(tup![1, 2]).unwrap());
+        assert!(!r.insert(tup![1, 2]).unwrap());
+        assert!(r.insert(tup![1, 3]).unwrap());
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&tup![1, 2]));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut r = Relation::new(set(&[0, 1]));
+        assert!(r.insert(tup![1]).is_err());
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut r = Relation::from_rows(set(&[0]), [tup![1], tup![2]]).unwrap();
+        assert!(r.remove(&tup![1]));
+        assert!(!r.remove(&tup![1]));
+        assert_eq!(r.len(), 1);
+        assert!(!r.contains(&tup![1]));
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let a = Relation::from_rows(set(&[0]), [tup![1], tup![2]]).unwrap();
+        let b = Relation::from_rows(set(&[0]), [tup![2], tup![1]]).unwrap();
+        assert_eq!(a, b);
+        let c = Relation::from_rows(set(&[0]), [tup![2]]).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn max_null_id() {
+        let mut r = Relation::new(set(&[0, 1]));
+        r.insert(Tuple::new([Value::int(1), Value::Null(7)]))
+            .unwrap();
+        assert_eq!(r.max_null_id(), Some(7));
+        let empty = Relation::new(set(&[0]));
+        assert_eq!(empty.max_null_id(), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! Database schemas: a named universe of attributes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Attr, AttrSet, RelationError, Result, MAX_ATTRS};
+
+/// A database schema `(U, ·)`: the universal set of attributes `U`,
+/// with stable names and interned indices.
+///
+/// The paper's schemas are pairs `(U, Σ)`; dependencies `Σ` live in
+/// `relvu-deps` and reference a `Schema` by its interned [`Attr`]s.
+///
+/// ```
+/// use relvu_relation::Schema;
+/// let s = Schema::new(["Emp", "Dept", "Mgr"]).unwrap();
+/// assert_eq!(s.arity(), 3);
+/// let dept = s.attr("Dept").unwrap();
+/// assert_eq!(s.name(dept), "Dept");
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    names: Vec<String>,
+    index: HashMap<String, Attr>,
+    universe: AttrSet,
+}
+
+impl Schema {
+    /// Build a schema from attribute names, in order.
+    ///
+    /// # Errors
+    /// Fails on duplicate names or more than [`MAX_ATTRS`] attributes.
+    pub fn new<I, S>(names: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut schema = Schema {
+            names: Vec::new(),
+            index: HashMap::new(),
+            universe: AttrSet::new(),
+        };
+        for n in names {
+            schema.add_attr(n)?;
+        }
+        Ok(schema)
+    }
+
+    /// Build a schema of `n` attributes named `A0, A1, …`.
+    pub fn numbered(n: usize) -> Result<Self> {
+        Self::new((0..n).map(|i| format!("A{i}")))
+    }
+
+    /// Append a fresh attribute, returning its handle.
+    ///
+    /// # Errors
+    /// Fails on a duplicate name or if the universe is full.
+    pub fn add_attr<S: Into<String>>(&mut self, name: S) -> Result<Attr> {
+        let name = name.into();
+        if self.index.contains_key(&name) {
+            return Err(RelationError::DuplicateAttr { name });
+        }
+        if self.names.len() >= MAX_ATTRS {
+            return Err(RelationError::AttrLimitExceeded);
+        }
+        let attr = Attr::new(self.names.len());
+        self.index.insert(name.clone(), attr);
+        self.names.push(name);
+        self.universe.insert(attr);
+        Ok(attr)
+    }
+
+    /// Number of attributes `|U|`.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The universe `U` as an attribute set.
+    #[inline]
+    pub fn universe(&self) -> AttrSet {
+        self.universe
+    }
+
+    /// Look up an attribute by name.
+    #[inline]
+    pub fn attr(&self, name: &str) -> Option<Attr> {
+        self.index.get(name).copied()
+    }
+
+    /// Look up an attribute by name, erroring if absent.
+    pub fn attr_checked(&self, name: &str) -> Result<Attr> {
+        self.attr(name).ok_or_else(|| RelationError::UnknownAttr {
+            name: name.to_string(),
+        })
+    }
+
+    /// The name of attribute `a`.
+    ///
+    /// # Panics
+    /// Panics if `a` does not belong to this schema.
+    #[inline]
+    pub fn name(&self, a: Attr) -> &str {
+        &self.names[a.index()]
+    }
+
+    /// Build an [`AttrSet`] from attribute names.
+    ///
+    /// # Errors
+    /// Fails on an unknown name.
+    pub fn set<'a, I: IntoIterator<Item = &'a str>>(&self, names: I) -> Result<AttrSet> {
+        let mut s = AttrSet::new();
+        for n in names {
+            s.insert(self.attr_checked(n)?);
+        }
+        Ok(s)
+    }
+
+    /// Render an attribute set as its sorted attribute names.
+    pub fn set_names(&self, set: &AttrSet) -> Vec<&str> {
+        set.iter().map(|a| self.name(a)).collect()
+    }
+
+    /// Render an attribute set compactly, e.g. `{Emp, Dept}`.
+    pub fn show_set(&self, set: &AttrSet) -> String {
+        format!("{{{}}}", self.set_names(set).join(", "))
+    }
+
+    /// Iterate over all attributes in index order.
+    pub fn attrs(&self) -> impl Iterator<Item = Attr> + '_ {
+        (0..self.names.len()).map(Attr::new)
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema({})", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.universe().len(), 3);
+        let d = s.attr("D").unwrap();
+        assert_eq!(s.name(d), "D");
+        assert_eq!(d.index(), 1);
+        assert!(s.attr("Z").is_none());
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let err = Schema::new(["A", "A"]).unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateAttr { .. }));
+    }
+
+    #[test]
+    fn attr_limit_enforced() {
+        let mut s = Schema::numbered(MAX_ATTRS).unwrap();
+        let err = s.add_attr("overflow").unwrap_err();
+        assert!(matches!(err, RelationError::AttrLimitExceeded));
+    }
+
+    #[test]
+    fn set_builder_and_display() {
+        let s = Schema::new(["E", "D", "M"]).unwrap();
+        let x = s.set(["E", "M"]).unwrap();
+        assert_eq!(s.show_set(&x), "{E, M}");
+        assert!(s.set(["E", "Q"]).is_err());
+    }
+
+    #[test]
+    fn numbered_names() {
+        let s = Schema::numbered(3).unwrap();
+        assert_eq!(s.name(Attr::new(2)), "A2");
+    }
+}

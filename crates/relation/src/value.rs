@@ -1,0 +1,208 @@
+//! Values: interned constants and labeled nulls.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// A single cell value.
+///
+/// The chase procedures of the paper (§3.1) fill the `Y − X` columns of a
+/// view "with new symbols"; those are `Null(id)` — labeled nulls that can be
+/// equated with each other or promoted to constants by the chase. Ordinary
+/// data are `Const(id)` where the id is either a raw integer or an interned
+/// symbol from a [`ValueDict`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A constant. Equal ids are equal values.
+    Const(u64),
+    /// A labeled null ("new symbol"). Distinct ids are *distinct but
+    /// unknown*; the chase may equate them.
+    Null(u64),
+}
+
+impl Value {
+    /// Convenience constructor for integer-valued constants.
+    #[inline]
+    pub fn int(v: u64) -> Value {
+        Value::Const(v)
+    }
+
+    /// Is this a constant?
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Is this a labeled null?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "{c}"),
+            Value::Null(n) => write!(f, "⊥{n}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Const(v)
+    }
+}
+
+/// Interns human-readable symbols to [`Value::Const`] ids.
+///
+/// Symbol ids are allocated from the top of the id space downward so they
+/// never collide with small integers used directly via [`Value::int`].
+///
+/// ```
+/// use relvu_relation::{Value, ValueDict};
+/// let dict = ValueDict::new();
+/// let smith = dict.sym("Smith");
+/// assert_eq!(dict.sym("Smith"), smith);
+/// assert_ne!(dict.sym("Jones"), smith);
+/// assert_eq!(dict.show(smith), "Smith");
+/// assert_eq!(dict.show(Value::int(7)), "7");
+/// ```
+#[derive(Default)]
+pub struct ValueDict {
+    inner: RwLock<DictInner>,
+}
+
+#[derive(Default)]
+struct DictInner {
+    by_name: HashMap<Arc<str>, u64>,
+    by_id: HashMap<u64, Arc<str>>,
+}
+
+/// Symbol ids start here and grow downward, keeping a huge disjoint range
+/// for raw integers.
+const SYM_BASE: u64 = u64::MAX;
+
+impl ValueDict {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its constant value (stable across calls).
+    pub fn sym(&self, name: &str) -> Value {
+        {
+            let inner = self.inner.read().expect("dict poisoned");
+            if let Some(&id) = inner.by_name.get(name) {
+                return Value::Const(id);
+            }
+        }
+        let mut inner = self.inner.write().expect("dict poisoned");
+        if let Some(&id) = inner.by_name.get(name) {
+            return Value::Const(id);
+        }
+        let id = SYM_BASE - inner.by_name.len() as u64;
+        let arc: Arc<str> = Arc::from(name);
+        inner.by_name.insert(arc.clone(), id);
+        inner.by_id.insert(id, arc);
+        Value::Const(id)
+    }
+
+    /// Render a value: interned symbols by name, integers as digits,
+    /// nulls as `⊥n`.
+    pub fn show(&self, v: Value) -> String {
+        match v {
+            Value::Const(id) => {
+                let inner = self.inner.read().expect("dict poisoned");
+                match inner.by_id.get(&id) {
+                    Some(name) => name.to_string(),
+                    None => id.to_string(),
+                }
+            }
+            Value::Null(n) => format!("⊥{n}"),
+        }
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("dict poisoned").by_name.len()
+    }
+
+    /// Is the dictionary empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Allocates fresh labeled nulls with distinct ids.
+#[derive(Debug, Default, Clone)]
+pub struct NullGen {
+    next: u64,
+}
+
+impl NullGen {
+    /// A generator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A generator whose ids start above every null used in `vals`.
+    pub fn above<'a, I: IntoIterator<Item = &'a Value>>(vals: I) -> Self {
+        let mut next = 0;
+        for v in vals {
+            if let Value::Null(n) = v {
+                next = next.max(n + 1);
+            }
+        }
+        NullGen { next }
+    }
+
+    /// Produce a fresh null.
+    pub fn fresh(&mut self) -> Value {
+        let v = Value::Null(self.next);
+        self.next += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_kinds() {
+        assert!(Value::int(3).is_const());
+        assert!(Value::Null(0).is_null());
+        assert_ne!(Value::Const(0), Value::Null(0));
+    }
+
+    #[test]
+    fn dict_interns_stably() {
+        let d = ValueDict::new();
+        let a = d.sym("a");
+        let b = d.sym("b");
+        assert_eq!(d.sym("a"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.show(a), "a");
+        assert_eq!(d.show(Value::Null(4)), "⊥4");
+    }
+
+    #[test]
+    fn syms_do_not_collide_with_small_ints() {
+        let d = ValueDict::new();
+        for i in 0..100 {
+            let s = d.sym(&format!("s{i}"));
+            assert_ne!(s, Value::int(i));
+        }
+    }
+
+    #[test]
+    fn nullgen_above_skips_used_ids() {
+        let vals = [Value::Null(5), Value::Const(9), Value::Null(2)];
+        let mut g = NullGen::above(vals.iter());
+        assert_eq!(g.fresh(), Value::Null(6));
+        assert_eq!(g.fresh(), Value::Null(7));
+    }
+}

@@ -1,0 +1,174 @@
+//! Classical fixed schemas used across examples and tests.
+
+use relvu_deps::FdSet;
+use relvu_relation::{tup, AttrSet, Relation, Schema, Tuple, ValueDict};
+
+/// The classical Employee–Dept–Manager setting of the paper's §2, with a
+/// small named instance.
+pub struct EdmFixture {
+    /// Schema `E, D, M`.
+    pub schema: Schema,
+    /// `E → D; D → M`.
+    pub fds: FdSet,
+    /// View `X = {E, D}`.
+    pub x: AttrSet,
+    /// Complement `Y = {D, M}`.
+    pub y: AttrSet,
+    /// A legal base instance.
+    pub base: Relation,
+    /// Name dictionary for display.
+    pub dict: ValueDict,
+}
+
+/// Build the EDM fixture.
+pub fn edm() -> EdmFixture {
+    let schema = Schema::new(["Emp", "Dept", "Mgr"]).expect("distinct");
+    let fds = FdSet::parse(&schema, "Emp -> Dept; Dept -> Mgr").expect("parses");
+    let x = schema.set(["Emp", "Dept"]).expect("attrs");
+    let y = schema.set(["Dept", "Mgr"]).expect("attrs");
+    let dict = ValueDict::new();
+    let row = |e: &str, d: &str, m: &str| -> Tuple {
+        Tuple::new([dict.sym(e), dict.sym(d), dict.sym(m)])
+    };
+    let base = Relation::from_rows(
+        schema.universe(),
+        [
+            row("ada", "toys", "grace"),
+            row("bob", "toys", "grace"),
+            row("cem", "books", "hopper"),
+        ],
+    )
+    .expect("legal");
+    EdmFixture {
+        schema,
+        fds,
+        x,
+        y,
+        base,
+        dict,
+    }
+}
+
+/// A supplier–part fixture: `S, P, Qty, City` with `S P → Qty`, `S → City`.
+/// View `X = {S, P, Qty}`, complement `Y = {S, City}`.
+pub struct SupplierFixture {
+    /// Schema `S, P, Qty, City`.
+    pub schema: Schema,
+    /// The FDs.
+    pub fds: FdSet,
+    /// View `{S, P, Qty}`.
+    pub x: AttrSet,
+    /// Complement `{S, City}`.
+    pub y: AttrSet,
+    /// A legal base instance (integer-coded).
+    pub base: Relation,
+}
+
+/// Build the supplier–part fixture.
+pub fn supplier_part() -> SupplierFixture {
+    let schema = Schema::new(["S", "P", "Qty", "City"]).expect("distinct");
+    let fds = FdSet::parse(&schema, "S P -> Qty; S -> City").expect("parses");
+    let x = schema.set(["S", "P", "Qty"]).expect("attrs");
+    let y = schema.set(["S", "City"]).expect("attrs");
+    let base = Relation::from_rows(
+        schema.universe(),
+        [
+            tup![1, 100, 5, 70],
+            tup![1, 101, 3, 70],
+            tup![2, 100, 9, 71],
+        ],
+    )
+    .expect("legal");
+    SupplierFixture {
+        schema,
+        fds,
+        x,
+        y,
+        base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relvu_core::are_complementary;
+    use relvu_deps::check::satisfies_fds;
+    use relvu_relation::ops;
+
+    #[test]
+    fn edm_fixture_is_consistent() {
+        let f = edm();
+        assert!(satisfies_fds(&f.base, &f.fds));
+        assert!(are_complementary(&f.schema, &f.fds, f.x, f.y));
+        assert_eq!(ops::project(&f.base, f.x).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn supplier_fixture_is_consistent() {
+        let f = supplier_part();
+        assert!(satisfies_fds(&f.base, &f.fds));
+        assert!(are_complementary(&f.schema, &f.fds, f.x, f.y));
+    }
+}
+
+/// A fixture on which Test 1 is *strictly* weaker than the exact test
+/// (§3.1: "our tests will be stronger than necessary").
+///
+/// `U = {A, B, C}`, `Σ = {B → C, A → C}`, `X = {A, B}`, `Y = {B, C}`,
+/// `V = {(1,10), (1,20), (2,20)}`, insert `t = (2, 10)`.
+///
+/// The exact chase succeeds through a three-row chain — `A → C` links the
+/// two `A = 1` rows, `B → C` links `(1,20)` with `(2,20)`, so the base
+/// chase already equates `C` across all rows — but no *two-tuple* chase
+/// derives anything, so Test 1 rejects a translatable insertion.
+pub struct Test1GapFixture {
+    /// Schema `A, B, C`.
+    pub schema: Schema,
+    /// `B → C; A → C`.
+    pub fds: FdSet,
+    /// View `{A, B}`.
+    pub x: AttrSet,
+    /// Complement `{B, C}`.
+    pub y: AttrSet,
+    /// The view instance.
+    pub v: Relation,
+    /// The insertion Test 1 wrongly rejects.
+    pub t: Tuple,
+}
+
+/// Build the Test 1 gap fixture.
+pub fn test1_gap() -> Test1GapFixture {
+    let schema = Schema::new(["A", "B", "C"]).expect("distinct");
+    let fds = FdSet::parse(&schema, "B -> C; A -> C").expect("parses");
+    let x = schema.set(["A", "B"]).expect("attrs");
+    let y = schema.set(["B", "C"]).expect("attrs");
+    let v = Relation::from_rows(x, [tup![1, 10], tup![1, 20], tup![2, 20]]).expect("well-formed");
+    Test1GapFixture {
+        schema,
+        fds,
+        x,
+        y,
+        v,
+        t: tup![2, 10],
+    }
+}
+
+#[cfg(test)]
+mod gap_tests {
+    use super::*;
+    use relvu_core::{translate_insert, Test1};
+
+    #[test]
+    fn test1_is_strictly_weaker_on_the_gap_fixture() {
+        let f = test1_gap();
+        let exact = translate_insert(&f.schema, &f.fds, f.x, f.y, &f.v, &f.t).unwrap();
+        assert!(exact.is_translatable(), "the insertion is translatable");
+        let t1 = Test1
+            .check(&f.schema, &f.fds, f.x, f.y, &f.v, &f.t)
+            .unwrap();
+        assert!(
+            !t1.is_translatable(),
+            "Test 1 must reject it (two-tuple chases cannot chain)"
+        );
+    }
+}

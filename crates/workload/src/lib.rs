@@ -1,0 +1,21 @@
+//! Reproducible workload generators for `relvu` benches and tests.
+//!
+//! The paper evaluates nothing empirically — its claims are complexity
+//! bounds parameterized by `|V|`, `|U|`, `|Σ|`, `|Y − X|`. These
+//! generators produce inputs whose parameters sweep exactly those axes:
+//!
+//! * [`schema_gen`] — random schemas and FD sets of controlled shape;
+//! * [`instance_gen`] — random *legal* view instances guaranteed to be the
+//!   `X`-projection of a legal database;
+//! * [`update_gen`] — insertion candidates biased toward translatable /
+//!   untranslatable mixes;
+//! * [`fixtures`] — the classical Employee–Dept–Manager schema of §2 and a
+//!   supplier–part schema for examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod instance_gen;
+pub mod schema_gen;
+pub mod update_gen;

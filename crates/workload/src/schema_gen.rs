@@ -1,0 +1,125 @@
+//! Schemas and FD sets of controlled shape.
+
+use rand::Rng;
+use relvu_deps::{Fd, FdSet};
+use relvu_relation::{Attr, AttrSet, Schema};
+
+/// A generated benchmark schema: universe, Σ, and a complementary view
+/// pair `(X, Y)` with `Σ ⊨ X∩Y → Y`, `Σ ⊭ X∩Y → X` (so insertions are not
+/// rejected for trivial reasons) and nonempty `Y − X`.
+#[derive(Clone, Debug)]
+pub struct BenchSchema {
+    /// The schema.
+    pub schema: Schema,
+    /// The dependencies Σ.
+    pub fds: FdSet,
+    /// The view `X`.
+    pub x: AttrSet,
+    /// The complement `Y`.
+    pub y: AttrSet,
+}
+
+/// The generalized Employee–Dept–Manager family: attributes
+/// `E, D, M0…M_{w−1}` with `E → D` and `D → Mᵢ`. View `X = {E, D}`,
+/// complement `Y = {D, M0…}` — `|Y − X| = w` sweeps the paper's
+/// `|Y − X|` axis.
+///
+/// # Panics
+/// Panics if `width == 0`.
+pub fn edm_family(width: usize) -> BenchSchema {
+    assert!(width > 0, "need at least one complement column");
+    let mut names = vec!["E".to_string(), "D".to_string()];
+    names.extend((0..width).map(|i| format!("M{i}")));
+    let schema = Schema::new(names).expect("distinct names");
+    let e = schema.attr("E").expect("E");
+    let d = schema.attr("D").expect("D");
+    let mut fds = FdSet::new([Fd::new([e], [d])]);
+    let mut y = AttrSet::singleton(d);
+    for i in 0..width {
+        let m = schema.attr(&format!("M{i}")).expect("Mi");
+        fds.push(Fd::new([d], [m]));
+        y.insert(m);
+    }
+    let x: AttrSet = [e, d].into_iter().collect();
+    BenchSchema { schema, fds, x, y }
+}
+
+/// A chain schema `A0 → A1 → … → A_{n−1}` with view `X = {A0…A_{n−2}}`
+/// and complement `Y = {A_{n−2}, A_{n−1}}`. Sweeps `|U|` with constant
+/// `|Y − X| = 1`.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn chain_family(n: usize) -> BenchSchema {
+    assert!(n >= 3, "chain needs at least three attributes");
+    let schema = Schema::numbered(n).expect("within limit");
+    let attrs: Vec<Attr> = schema.attrs().collect();
+    let fds = FdSet::new(attrs.windows(2).map(|w| Fd::new([w[0]], [w[1]])));
+    let x: AttrSet = attrs[..n - 1].iter().copied().collect();
+    let y: AttrSet = [attrs[n - 2], attrs[n - 1]].into_iter().collect();
+    BenchSchema { schema, fds, x, y }
+}
+
+/// Random FD sets: `n_fds` dependencies over `n_attrs` attributes, each
+/// with `lhs_size` left-hand attributes and a single right-hand attribute.
+pub fn random_fds<R: Rng>(
+    rng: &mut R,
+    n_attrs: usize,
+    n_fds: usize,
+    lhs_size: usize,
+) -> (Schema, FdSet) {
+    let schema = Schema::numbered(n_attrs).expect("within limit");
+    let attrs: Vec<Attr> = schema.attrs().collect();
+    let mut fds = FdSet::default();
+    for _ in 0..n_fds {
+        let mut lhs = AttrSet::new();
+        while lhs.len() < lhs_size.min(n_attrs) {
+            lhs.insert(attrs[rng.gen_range(0..n_attrs)]);
+        }
+        let rhs = attrs[rng.gen_range(0..n_attrs)];
+        if !lhs.contains(rhs) {
+            fds.push(Fd::from_sets(lhs, AttrSet::singleton(rhs)));
+        }
+    }
+    (schema, fds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use relvu_core::are_complementary;
+    use relvu_deps::closure;
+
+    #[test]
+    fn edm_family_is_well_formed() {
+        for w in [1, 4, 16] {
+            let b = edm_family(w);
+            assert_eq!(b.schema.arity(), 2 + w);
+            assert!(are_complementary(&b.schema, &b.fds, b.x, b.y));
+            let shared = b.x & b.y;
+            assert!(b.y.is_subset(&closure::closure(&b.fds, shared)));
+            assert!(!b.x.is_subset(&closure::closure(&b.fds, shared)));
+            assert_eq!((b.y - b.x).len(), w);
+        }
+    }
+
+    #[test]
+    fn chain_family_is_well_formed() {
+        for n in [3, 8, 32] {
+            let b = chain_family(n);
+            assert!(are_complementary(&b.schema, &b.fds, b.x, b.y));
+            assert_eq!((b.y - b.x).len(), 1);
+            assert_eq!(b.x | b.y, b.schema.universe());
+        }
+    }
+
+    #[test]
+    fn random_fds_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let (s, fds) = random_fds(&mut rng, 10, 20, 2);
+        assert_eq!(s.arity(), 10);
+        assert!(fds.len() <= 20);
+        assert!(fds.iter().all(|f| f.lhs().len() <= 2 && f.rhs().len() == 1));
+    }
+}

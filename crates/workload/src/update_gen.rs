@@ -1,0 +1,134 @@
+//! Update candidates: insertion tuples with controlled characteristics.
+
+use rand::Rng;
+use relvu_relation::{AttrSet, Relation, Tuple, Value};
+
+/// What kind of insertion candidate to produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertKind {
+    /// Keep a random existing row's `X∩Y` part, freshen the rest —
+    /// condition (a) holds, so the chase (condition (c)) decides.
+    SharedKept,
+    /// Freshen the `X∩Y` part — condition (a) fails (a guaranteed reject),
+    /// exercising the cheap rejection path.
+    SharedFresh,
+    /// Duplicate an existing row — the identity update.
+    Existing,
+}
+
+/// Generate an insertion candidate over view `x` from instance `v`.
+///
+/// Fresh values are drawn above `fresh_base`, which callers should keep
+/// disjoint from the instance's value pool.
+///
+/// # Panics
+/// Panics if `v` is empty.
+pub fn insert_candidate<R: Rng>(
+    rng: &mut R,
+    x: AttrSet,
+    shared: AttrSet,
+    v: &Relation,
+    kind: InsertKind,
+    fresh_base: u64,
+) -> Tuple {
+    assert!(!v.is_empty(), "need a nonempty view instance");
+    let row = &v.rows()[rng.gen_range(0..v.len())];
+    match kind {
+        InsertKind::Existing => row.clone(),
+        InsertKind::SharedKept => Tuple::from_pairs(
+            &x,
+            x.iter().map(|a| {
+                let val = if shared.contains(a) {
+                    row.get(&x, a)
+                } else {
+                    Value::int(fresh_base + rng.gen_range(0..1_000_000))
+                };
+                (a, val)
+            }),
+        )
+        .expect("covers x"),
+        InsertKind::SharedFresh => Tuple::from_pairs(
+            &x,
+            x.iter().map(|a| {
+                let val = if shared.contains(a) {
+                    Value::int(fresh_base + rng.gen_range(0..1_000_000))
+                } else {
+                    row.get(&x, a)
+                };
+                (a, val)
+            }),
+        )
+        .expect("covers x"),
+    }
+}
+
+/// A deterministic batch: one candidate per kind per seed step, for
+/// benches that need stable mixes.
+pub fn insert_batch<R: Rng>(
+    rng: &mut R,
+    x: AttrSet,
+    shared: AttrSet,
+    v: &Relation,
+    n: usize,
+    kind: InsertKind,
+    fresh_base: u64,
+) -> Vec<Tuple> {
+    (0..n)
+        .map(|_| insert_candidate(rng, x, shared, v, kind, fresh_base))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance_gen::{edm_instance, view_of};
+    use crate::schema_gen::edm_family;
+    use rand::SeedableRng;
+    use relvu_core::{translate_insert, RejectReason};
+
+    #[test]
+    fn kinds_behave_as_labeled() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let b = edm_family(2);
+        let r = edm_instance(&mut rng, &b.schema, 50, 5);
+        let v = view_of(&r, b.x);
+        let shared = b.x & b.y;
+
+        // Existing rows translate as identity.
+        let t = insert_candidate(&mut rng, b.x, shared, &v, InsertKind::Existing, 1 << 40);
+        let out = translate_insert(&b.schema, &b.fds, b.x, b.y, &v, &t).unwrap();
+        assert!(out.is_translatable());
+
+        // SharedFresh candidates fail condition (a).
+        let t = insert_candidate(&mut rng, b.x, shared, &v, InsertKind::SharedFresh, 1 << 40);
+        let out = translate_insert(&b.schema, &b.fds, b.x, b.y, &v, &t).unwrap();
+        assert_eq!(
+            out.reject_reason(),
+            Some(&RejectReason::IntersectionNotInView)
+        );
+
+        // SharedKept candidates pass (a); on the EDM family a fresh E with
+        // an existing D is translatable.
+        let t = insert_candidate(&mut rng, b.x, shared, &v, InsertKind::SharedKept, 1 << 40);
+        let out = translate_insert(&b.schema, &b.fds, b.x, b.y, &v, &t).unwrap();
+        assert!(out.is_translatable());
+    }
+
+    #[test]
+    fn batch_size() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let b = edm_family(1);
+        let r = edm_instance(&mut rng, &b.schema, 10, 3);
+        let v = view_of(&r, b.x);
+        let batch = insert_batch(
+            &mut rng,
+            b.x,
+            b.x & b.y,
+            &v,
+            17,
+            InsertKind::SharedKept,
+            1 << 40,
+        );
+        assert_eq!(batch.len(), 17);
+    }
+}

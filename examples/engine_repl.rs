@@ -1,0 +1,96 @@
+//! A tiny interactive shell over the view-update engine.
+//!
+//! ```sh
+//! cargo run --example engine_repl
+//! ```
+//!
+//! Commands (also runnable non-interactively: `echo "show" | cargo run
+//! --example engine_repl`):
+//!
+//! ```text
+//! show                 print the staff view
+//! base                 print the base relation
+//! insert <emp> <dept>  hire through the view
+//! delete <emp> <dept>  remove through the view
+//! move <emp> <d1> <d2> replace (emp,d1) by (emp,d2)
+//! log                  show the audit log
+//! quit
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use relvu::engine::{Database, EngineError, Policy};
+use relvu::relation::{RelationDisplay, Tuple};
+use relvu::workload::fixtures;
+
+fn main() {
+    let f = fixtures::edm();
+    let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).expect("legal base");
+    db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+        .expect("complementary");
+
+    println!("relvu engine shell — view `staff` over Emp/Dept, complement Dept/Mgr");
+    println!("commands: show | base | insert E D | delete E D | move E D1 D2 | log | quit");
+
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    print!("> ");
+    out.flush().ok();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            [] => {}
+            ["quit"] | ["exit"] => break,
+            ["show"] => {
+                let v = db.view_instance("staff").expect("registered");
+                print!("{}", RelationDisplay::new(&v, &f.schema, Some(&f.dict)));
+            }
+            ["base"] => {
+                let b = db.base();
+                print!("{}", RelationDisplay::new(&b, &f.schema, Some(&f.dict)));
+            }
+            ["insert", e, d] => {
+                report(db.insert_via("staff", Tuple::new([f.dict.sym(e), f.dict.sym(d)])));
+            }
+            ["delete", e, d] => {
+                report(db.delete_via("staff", Tuple::new([f.dict.sym(e), f.dict.sym(d)])));
+            }
+            ["move", e, d1, d2] => {
+                report(db.replace_via(
+                    "staff",
+                    Tuple::new([f.dict.sym(e), f.dict.sym(d1)]),
+                    Tuple::new([f.dict.sym(e), f.dict.sym(d2)]),
+                ));
+            }
+            ["log"] => {
+                for entry in db.log() {
+                    println!(
+                        "  #{} {:?} ({} → {} rows)",
+                        entry.seq, entry.op, entry.rows_before, entry.rows_after
+                    );
+                }
+            }
+            other => println!("unknown command: {other:?}"),
+        }
+        print!("> ");
+        out.flush().ok();
+    }
+    println!("bye");
+}
+
+fn report(result: Result<relvu::engine::UpdateReport, EngineError>) {
+    match result {
+        Ok(r) => println!(
+            "ok: base {} → {} rows",
+            r.base_rows_before, r.base_rows_after
+        ),
+        Err(EngineError::Rejected(reason)) => {
+            println!("rejected (untranslatable): {reason:?}");
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}

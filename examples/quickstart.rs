@@ -1,0 +1,84 @@
+//! Quickstart: define a view, get a complement, translate updates.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use relvu::prelude::*;
+
+fn main() {
+    // ── 1. A universal relation schema with FDs (the paper's §2 example).
+    let schema = Schema::new(["Emp", "Dept", "Mgr"]).expect("schema");
+    let fds = FdSet::parse(&schema, "Emp -> Dept; Dept -> Mgr").expect("fds");
+    println!("schema: Emp, Dept, Mgr   Σ: {}", fds.show(&schema));
+
+    // ── 2. A view X = {Emp, Dept} and its complement Y = {Dept, Mgr}.
+    let x = schema.set(["Emp", "Dept"]).expect("attrs");
+    let y = minimal_complement(&schema, &fds, x);
+    println!(
+        "view X = {}   minimal complement Y = {}",
+        schema.show_set(&x),
+        schema.show_set(&y)
+    );
+    assert!(are_complementary(&schema, &fds, x, y));
+
+    // ── 3. A database and its view instance.
+    let dict = ValueDict::new();
+    let row = |e: &str, d: &str, m: &str| -> Tuple {
+        Tuple::new([dict.sym(e), dict.sym(d), dict.sym(m)])
+    };
+    let base = Relation::from_rows(
+        schema.universe(),
+        [
+            row("ada", "toys", "grace"),
+            row("bob", "toys", "grace"),
+            row("cem", "books", "hopper"),
+        ],
+    )
+    .expect("legal base");
+    let v = ops::project(&base, x).expect("view instance");
+    println!("\ncurrent view π_X(R):");
+    print!(
+        "{}",
+        relvu::relation::RelationDisplay::new(&v, &schema, Some(&dict))
+    );
+
+    // ── 4. Translate an insertion under constant complement (Theorem 3).
+    let dan = Tuple::new([dict.sym("dan"), dict.sym("toys")]);
+    let verdict = translate_insert(&schema, &fds, x, y, &v, &dan).expect("well-formed");
+    match verdict {
+        Translatability::Translatable(Translation::InsertJoin { .. }) => {
+            println!("\ninsert (dan, toys): TRANSLATABLE as R ← R ∪ t*π_Y(R)");
+        }
+        other => panic!("expected a translatable insert, got {other:?}"),
+    }
+
+    // Applying the translation keeps the complement constant and the
+    // database legal:
+    let verdict = translate_insert(&schema, &fds, x, y, &v, &dan).expect("well-formed");
+    let new_base = verdict
+        .translation()
+        .expect("translatable")
+        .apply(&base, x, y)
+        .expect("applies");
+    assert_eq!(
+        ops::project(&new_base, y).unwrap(),
+        ops::project(&base, y).unwrap(),
+        "complement must not move"
+    );
+    println!("database after the update ({} rows):", new_base.len());
+    print!(
+        "{}",
+        relvu::relation::RelationDisplay::new(&new_base, &schema, Some(&dict))
+    );
+
+    // ── 5. Untranslatable updates are rejected with the paper's reasons.
+    let eve = Tuple::new([dict.sym("eve"), dict.sym("games")]);
+    let verdict = translate_insert(&schema, &fds, x, y, &v, &eve).expect("well-formed");
+    println!(
+        "\ninsert (eve, games): {:?}",
+        verdict.reject_reason().expect("new department is rejected")
+    );
+    println!("  (the games department has no manager on record, so the");
+    println!("   complement π_Y(R) would have to change — condition (a))");
+}

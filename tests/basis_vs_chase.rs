@@ -1,0 +1,125 @@
+//! Cross-validation of two independently derived MVD-implication
+//! procedures: Beeri's dependency basis (`relvu-deps`) against the
+//! tableau chase (`relvu-chase`). They rest on entirely different
+//! theory, so agreement on random inputs is strong evidence for both —
+//! and both feed Theorem 1's complementarity test.
+
+use rand::prelude::*;
+use relvu::deps::basis::{dependency_basis, fd_weakenings, implies_mvd_via_basis};
+use relvu::deps::{FdSet, Jd, Mvd};
+use relvu::prelude::*;
+use relvu_deps::check::{satisfies_fds, satisfies_mvd};
+
+#[test]
+fn basis_agrees_with_chase_on_random_mvd_sets() {
+    let mut rng = StdRng::seed_from_u64(29);
+    for _ in 0..150 {
+        let n = rng.gen_range(3..6usize);
+        let schema = Schema::numbered(n).unwrap();
+        let attrs: Vec<Attr> = schema.attrs().collect();
+        let rand_set = |rng: &mut StdRng, p: f64| -> AttrSet {
+            attrs.iter().copied().filter(|_| rng.gen_bool(p)).collect()
+        };
+        let k = rng.gen_range(1..4);
+        let mvds: Vec<Mvd> = (0..k)
+            .map(|_| Mvd::new(rand_set(&mut rng, 0.3), rand_set(&mut rng, 0.4)))
+            .collect();
+        let target = Mvd::new(rand_set(&mut rng, 0.3), rand_set(&mut rng, 0.4));
+        // Chase path: encode each MVD as its binary JD.
+        let jds: Vec<Jd> = mvds
+            .iter()
+            .map(|m| Jd::binary(m.lhs() | m.rhs(), schema.universe() - (m.rhs() - m.lhs())))
+            .collect();
+        let via_chase =
+            relvu::chase::infer::implies_mvd(schema.universe(), &FdSet::default(), &jds, &target)
+                .unwrap();
+        let via_basis = implies_mvd_via_basis(schema.universe(), &mvds, &target);
+        assert_eq!(
+            via_basis, via_chase,
+            "basis and chase disagree: Σ = {mvds:?}, target = {target:?}"
+        );
+    }
+}
+
+#[test]
+fn basis_implication_sound_on_instances() {
+    // If the basis says M ⊨ X →→ Y, every instance satisfying M (as FDs'
+    // weakenings here, to get easy instance generation) satisfies X →→ Y.
+    let mut rng = StdRng::seed_from_u64(31);
+    let schema = Schema::numbered(4).unwrap();
+    let attrs: Vec<Attr> = schema.attrs().collect();
+    for _ in 0..100 {
+        let fds = {
+            let mut f = FdSet::default();
+            for _ in 0..rng.gen_range(1..4) {
+                let l: AttrSet = attrs
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.4))
+                    .collect();
+                let r: AttrSet = attrs
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.3))
+                    .collect();
+                if !r.is_empty() {
+                    f.push(relvu::deps::Fd::from_sets(l, r));
+                }
+            }
+            f
+        };
+        let mvds = fd_weakenings(&fds);
+        let x: AttrSet = attrs
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.3))
+            .collect();
+        let y: AttrSet = attrs
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.4))
+            .collect();
+        let target = Mvd::new(x, y);
+        if !implies_mvd_via_basis(schema.universe(), &mvds, &target) {
+            continue;
+        }
+        // Random instance satisfying the FDs.
+        let mut r = Relation::new(schema.universe());
+        for _ in 0..rng.gen_range(0..8) {
+            let row: Tuple = (0..4).map(|_| Value::int(rng.gen_range(0..2))).collect();
+            r.insert(row).unwrap();
+        }
+        if satisfies_fds(&r, &fds) {
+            assert!(
+                satisfies_mvd(&r, &target),
+                "basis-implied MVD must hold on instances: {target:?} on {r:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn basis_blocks_are_a_partition() {
+    let mut rng = StdRng::seed_from_u64(37);
+    for _ in 0..100 {
+        let n = rng.gen_range(2..7usize);
+        let schema = Schema::numbered(n).unwrap();
+        let attrs: Vec<Attr> = schema.attrs().collect();
+        let rand_set = |rng: &mut StdRng, p: f64| -> AttrSet {
+            attrs.iter().copied().filter(|_| rng.gen_bool(p)).collect()
+        };
+        let mvds: Vec<Mvd> = (0..rng.gen_range(0..4))
+            .map(|_| Mvd::new(rand_set(&mut rng, 0.3), rand_set(&mut rng, 0.4)))
+            .collect();
+        let x = rand_set(&mut rng, 0.3);
+        let basis = dependency_basis(schema.universe(), &mvds, x);
+        // Disjoint, nonempty, covering U − X.
+        let mut seen = AttrSet::new();
+        for b in &basis {
+            assert!(!b.is_empty());
+            assert!(seen.is_disjoint(b), "blocks must be disjoint");
+            seen = seen | *b;
+        }
+        assert_eq!(seen, schema.universe() - x);
+    }
+}

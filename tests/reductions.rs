@@ -1,0 +1,152 @@
+//! End-to-end validation of the paper's hardness reductions against the
+//! SAT/QBF oracles (Theorems 2, 4, 5, 7).
+
+use rand::prelude::*;
+use relvu::core::find_complement::{find_complement, TestMode};
+use relvu::core::succinct::{test1_succinct, translate_insert_succinct};
+use relvu::core::{minimum_complement, translate_insert};
+use relvu::logic::qbf::forall_exists;
+use relvu::logic::reductions::{
+    thm2::Thm2Instance, thm4::Thm4Instance, thm5::Thm5Instance, thm7::Thm7Instance,
+};
+use relvu::logic::sat::{find_model, is_satisfiable};
+use relvu::logic::Cnf;
+use relvu::prelude::*;
+
+#[test]
+fn theorem2_minimum_complement_iff_sat() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut sat_seen = false;
+    let mut unsat_seen = false;
+    let mut formulas: Vec<Cnf> = (0..10).map(|_| Cnf::random(&mut rng, 4, 9)).collect();
+    formulas.push(Cnf::contradiction());
+    for g in formulas {
+        let inst = Thm2Instance::generate(&g);
+        let sat = is_satisfiable(&g);
+        let min = minimum_complement(&inst.schema, &inst.fds, inst.view, 1 << 22)
+            .expect("search must complete at these sizes");
+        assert_eq!(
+            min.len() <= inst.target_size,
+            sat,
+            "φ satisfiable iff a complement of size n+1 exists ({g})"
+        );
+        sat_seen |= sat;
+        unsat_seen |= !sat;
+        // A model's induced complement really is complementary.
+        if let Some(model) = find_model(&g) {
+            let y = inst.complement_for(&model);
+            assert!(are_complementary(&inst.schema, &inst.fds, inst.view, y));
+            assert_eq!(inst.assignment_of(y), Some(model));
+        }
+    }
+    assert!(sat_seen && unsat_seen, "workload must cover both outcomes");
+}
+
+#[test]
+fn theorem4_sound_direction_and_the_gap() {
+    let mut rng = StdRng::seed_from_u64(32);
+    let mut gaps = 0usize;
+    let mut exact_matches = 0usize;
+    for _ in 0..12 {
+        let g = Cnf::random(&mut rng, 4, 5);
+        let k = 2;
+        let inst = Thm4Instance::generate(&g, k);
+        let qbf = forall_exists(&g, k);
+        let out = translate_insert_succinct(
+            &inst.schema,
+            &inst.fds,
+            inst.view,
+            inst.complement,
+            &inst.succinct,
+            &inst.tuple,
+        )
+        .expect("well-formed");
+        if qbf {
+            assert!(out.is_translatable(), "sound direction must hold ({g})");
+        }
+        if out.is_translatable() == qbf {
+            exact_matches += 1;
+        } else {
+            gaps += 1; // QBF false but translatable — the documented gap
+            assert!(out.is_translatable() && !qbf);
+        }
+    }
+    // Both behaviors exist in the wild; the gap is real but not universal.
+    assert!(exact_matches > 0);
+    let _ = gaps;
+}
+
+#[test]
+fn theorem5_test1_iff_unsat() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut sat_seen = false;
+    let mut unsat_seen = false;
+    let mut formulas: Vec<Cnf> = (0..10).map(|_| Cnf::random(&mut rng, 4, 10)).collect();
+    formulas.push(Cnf::contradiction());
+    for g in formulas {
+        let inst = Thm5Instance::generate(&g);
+        let sat = is_satisfiable(&g);
+        let out = test1_succinct(
+            &inst.schema,
+            &inst.fds,
+            inst.view,
+            inst.complement,
+            &inst.succinct,
+            &inst.tuple,
+        )
+        .expect("well-formed");
+        assert_eq!(out.is_translatable(), !sat, "Theorem 5 equivalence ({g})");
+        sat_seen |= sat;
+        unsat_seen |= !sat;
+    }
+    assert!(sat_seen && unsat_seen, "workload must cover both outcomes");
+}
+
+#[test]
+fn theorem7_complement_search_iff_sat() {
+    let mut rng = StdRng::seed_from_u64(34);
+    let mut found_seen = false;
+    let mut none_seen = false;
+    let mut formulas: Vec<Cnf> = (0..8).map(|_| Cnf::random(&mut rng, 4, 8)).collect();
+    formulas.push(Cnf::contradiction());
+    for g in formulas {
+        let inst = Thm7Instance::generate(&g);
+        let sat = is_satisfiable(&g);
+        let v = inst.succinct.expand().expect("small");
+        let search = find_complement(
+            &inst.schema,
+            &inst.fds,
+            inst.view,
+            &v,
+            &inst.tuple,
+            TestMode::Exact,
+        )
+        .expect("well-formed");
+        assert_eq!(
+            search.found.is_some(),
+            sat,
+            "a translatability-restoring complement exists iff G is satisfiable ({g})"
+        );
+        // Theorem 6's bound on the number of tests.
+        assert!(search.tested <= v.len().min(1 << inst.view.len()));
+        if let Some(y) = search.found {
+            // The found complement actually works.
+            assert!(
+                translate_insert(&inst.schema, &inst.fds, inst.view, y, &v, &inst.tuple)
+                    .expect("ok")
+                    .is_translatable()
+            );
+            // And a model-induced complement works too.
+            let model = find_model(&g).expect("sat");
+            let y_model = inst.complement_for(&model);
+            assert!(
+                translate_insert(&inst.schema, &inst.fds, inst.view, y_model, &v, &inst.tuple)
+                    .expect("ok")
+                    .is_translatable()
+            );
+        }
+        found_seen |= sat;
+        none_seen |= !sat;
+    }
+    assert!(found_seen && none_seen, "workload must cover both outcomes");
+}
