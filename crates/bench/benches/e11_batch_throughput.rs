@@ -1,0 +1,141 @@
+//! E11 — parallel batched update throughput.
+//!
+//! The paper's algorithms are per-update checks; this experiment measures
+//! the engine's batched pipeline built on them
+//! ([`relvu_engine::Database::apply_batch_parallel`]): speculative
+//! Theorem-3 checks on scoped threads + serialized in-order commit,
+//! against the baseline of folding the same requests through the
+//! one-at-a-time API. Both paths produce byte-identical results (see
+//! `tests/batch_vs_sequential.rs`); the question here is throughput.
+//!
+//! Reported per batch size: median wall-clock per batch for each path,
+//! the speedup ratio, the conflict-group partition, speculation reuse,
+//! and the closure memo cache hit rate.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use rand::prelude::*;
+use relvu_bench::edm_workload;
+use relvu_deps::closure;
+use relvu_engine::{BatchOptions, BatchRequest, Database, Policy, UpdateOp};
+use relvu_workload::update_gen::{self, BatchMix, ViewUpdate};
+
+const ROWS: usize = 2048;
+const DEPTS: usize = 1024;
+const WIDTH: usize = 4;
+const RUNS: usize = 7;
+
+fn requests(batch: usize, seed: u64) -> (relvu_bench::InsertWorkload, Vec<BatchRequest>) {
+    let w = edm_workload(WIDTH, ROWS, DEPTS, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C4);
+    let updates = update_gen::update_batch(
+        &mut rng,
+        w.bench.x,
+        w.bench.x & w.bench.y,
+        &w.v,
+        batch,
+        BatchMix::default(),
+        1 << 40,
+    );
+    let reqs = updates
+        .into_iter()
+        .map(|u| {
+            BatchRequest::new(
+                "staff",
+                match u {
+                    ViewUpdate::Insert(t) => UpdateOp::Insert { t },
+                    ViewUpdate::Delete(t) => UpdateOp::Delete { t },
+                    ViewUpdate::Replace(t1, t2) => UpdateOp::Replace { t1, t2 },
+                },
+            )
+        })
+        .collect();
+    (w, reqs)
+}
+
+fn fresh_db(w: &relvu_bench::InsertWorkload) -> Database {
+    let db = Database::new(w.bench.schema.clone(), w.bench.fds.clone(), w.base.clone())
+        .expect("legal base");
+    db.create_view("staff", w.bench.x, Some(w.bench.y), Policy::Exact)
+        .expect("complementary");
+    db
+}
+
+fn sequential_fold(db: &Database, reqs: &[BatchRequest]) -> usize {
+    let mut accepted = 0;
+    for r in reqs {
+        let out = match r.op.clone() {
+            UpdateOp::Insert { t } => db.insert_via(&r.view, t),
+            UpdateOp::Delete { t } => db.delete_via(&r.view, t),
+            UpdateOp::Replace { t1, t2 } => db.replace_via(&r.view, t1, t2),
+        };
+        accepted += usize::from(out.is_ok());
+    }
+    accepted
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("e11_batch_throughput: |V| = {ROWS}, {DEPTS} depts, |Y−X| = {WIDTH}, {threads} cores");
+
+    for batch in [64usize, 256] {
+        let (w, reqs) = requests(batch, 0xE11);
+
+        closure::cache::reset();
+        let seq = median(
+            (0..RUNS)
+                .map(|_| {
+                    let db = fresh_db(&w);
+                    let start = Instant::now();
+                    black_box(sequential_fold(&db, &reqs));
+                    start.elapsed()
+                })
+                .collect(),
+        );
+
+        closure::cache::reset();
+        let opts = BatchOptions::default();
+        let mut last_stats = None;
+        let par = median(
+            (0..RUNS)
+                .map(|_| {
+                    let db = fresh_db(&w);
+                    let batch_reqs = reqs.clone();
+                    let start = Instant::now();
+                    let report = black_box(db.apply_batch_parallel(batch_reqs, &opts));
+                    let t = start.elapsed();
+                    last_stats = Some(report.stats);
+                    t
+                })
+                .collect(),
+        );
+
+        let stats = last_stats.expect("ran at least once");
+        let speedup = seq.as_secs_f64() / par.as_secs_f64();
+        let per_update = par.as_secs_f64() / batch as f64 * 1e6;
+        println!(
+            "  batch {batch:4}: sequential {seq:>10.2?}  parallel {par:>10.2?}  \
+             speedup {speedup:4.2}x  ({per_update:.1} µs/update)"
+        );
+        println!(
+            "             groups {}/{}  reused {}  revalidated {}  threads {}  \
+             closure-cache hit rate {:.1}% ({} hits / {} misses)",
+            stats.groups,
+            stats.requests,
+            stats.reused,
+            stats.revalidated,
+            stats.threads,
+            stats.closure_hit_rate() * 100.0,
+            stats.closure_hits,
+            stats.closure_misses,
+        );
+    }
+}

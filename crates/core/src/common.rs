@@ -69,7 +69,9 @@ impl ViewCtx {
     /// `Σ ⊨ X∩Y → Y` and `Σ ⊭ X∩Y → X`. Returns the reject reason if it
     /// fails.
     pub fn condition_b(&self, fds: &FdSet) -> Option<RejectReason> {
-        let cl = closure::closure(fds, self.shared);
+        // Memoized: every insert/delete/replace check recomputes (X∩Y)⁺
+        // against the same Σ.
+        let cl = closure::cache::closure_cached(fds, self.shared);
         if self.x.is_subset(&cl) {
             return Some(RejectReason::ViewSideDetermined);
         }

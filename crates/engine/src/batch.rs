@@ -1,0 +1,574 @@
+//! Parallel batched view updates.
+//!
+//! [`Database::apply_batch_parallel`] accepts a vector of view-update
+//! requests and produces, for each, exactly the outcome a sequential fold
+//! of [`Database::insert_via`]/[`Database::delete_via`]/
+//! [`Database::replace_via`] in submission order would have produced —
+//! same base relation, same log, same stats, same per-update results —
+//! while running the expensive translatability checks (Theorem 3 /
+//! Test 1 / Test 2) concurrently on scoped threads.
+//!
+//! # How observational identity is preserved
+//!
+//! Every request's check is **speculated** against the batch's starting
+//! base `B₀`. The commit loop then walks the requests strictly in
+//! submission order and asks, per request: *could any earlier applied
+//! update have changed this request's verdict?* The answer is derived
+//! from **value footprints**:
+//!
+//! * Base rows of `B₀` are partitioned into connected components under
+//!   the "shares an `(attribute, value)` cell" relation. Any FD chase
+//!   step requires agreement on the FD's left-hand-side constants, so a
+//!   chase started from a request tuple can only ever involve rows
+//!   *connected* to it — values outside the component can never unify
+//!   with values inside it.
+//! * A request's footprint is the cell set of its own tuples plus the
+//!   cell sets of every component those tuples touch. Rows created or
+//!   deleted by applying the request's translation (`t ⋈ π_Y(B)`) draw
+//!   all their values from that footprint.
+//! * Therefore: if a request's footprint is disjoint from the union of
+//!   footprints of all earlier *applied* updates, its speculative
+//!   verdict — computed against `B₀` — is still exact against the
+//!   current base, and can be committed (or its rejection recorded)
+//!   without re-checking. Otherwise the request is revalidated
+//!   sequentially, which is always correct.
+//!
+//! One conservative guard: an FD with an **empty left-hand side**
+//! (`∅ → A`) fires without any value agreement, so footprints cannot
+//! localize its effects; when Σ's atomized form contains one, every
+//! request is treated as conflicting (pure sequential revalidation).
+//!
+//! Commits are serialized in submission order through the single audit
+//! log, so the log — including sequence numbers — is byte-identical
+//! across thread counts.
+
+use std::collections::{HashMap, HashSet};
+
+use relvu_core::Translatability;
+use relvu_deps::closure;
+use relvu_relation::{ops, Attr, Relation, Value};
+
+use crate::db::check_update;
+use crate::log::UpdateOp;
+use crate::view::ViewDef;
+use crate::{Database, EngineError, Result, UpdateReport};
+
+/// One view update in a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// The view to update through.
+    pub view: String,
+    /// The update itself.
+    pub op: UpdateOp,
+}
+
+impl BatchRequest {
+    /// Convenience constructor.
+    pub fn new(view: impl Into<String>, op: UpdateOp) -> Self {
+        BatchRequest {
+            view: view.into(),
+            op,
+        }
+    }
+}
+
+/// Tuning knobs for [`Database::apply_batch_parallel`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Worker threads for speculative checking. `None` uses
+    /// [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
+}
+
+/// The result of one request: exactly what the corresponding sequential
+/// [`Database::insert_via`]-style call would have returned.
+pub type BatchOutcome = Result<UpdateReport>;
+
+/// Execution counters for one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Conflict-free groups the batch partitioned into (requests whose
+    /// footprints are disjoint fall in different groups).
+    pub groups: usize,
+    /// Checks whose speculative verdict was committed directly.
+    pub reused: usize,
+    /// Checks re-run sequentially because an earlier applied update's
+    /// footprint intersected theirs (or Σ forced serial mode).
+    pub revalidated: usize,
+    /// Worker threads used for speculation.
+    pub threads: usize,
+    /// Closure memo cache counters accumulated during this batch.
+    pub closure_hits: u64,
+    /// Closure memo cache misses accumulated during this batch.
+    pub closure_misses: u64,
+}
+
+impl BatchStats {
+    /// Closure-cache hit rate during the batch, in `[0, 1]`.
+    pub fn closure_hit_rate(&self) -> f64 {
+        let total = self.closure_hits + self.closure_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.closure_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Everything a batch run reports back.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-request outcomes, in submission order.
+    pub outcomes: Vec<BatchOutcome>,
+    /// Execution counters.
+    pub stats: BatchStats,
+}
+
+/// A request's value footprint: the `(attribute, value)` cells its check
+/// and its translation can possibly read or write.
+type Footprint = HashSet<(Attr, Value)>;
+
+/// Union-find over base-row indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Connected components of `base` rows under shared `(attr, value)`
+/// cells, returned as `cell → component root` and `root → cell set`.
+struct Components {
+    cell_root: HashMap<(Attr, Value), usize>,
+    root_cells: HashMap<usize, Footprint>,
+}
+
+impl Components {
+    fn build(base: &Relation) -> Self {
+        let attrs = base.attrs();
+        let n = base.len();
+        let mut dsu = Dsu::new(n);
+        let mut first_row: HashMap<(Attr, Value), usize> = HashMap::new();
+        for (i, row) in base.iter().enumerate() {
+            for a in attrs.iter() {
+                let cell = (a, row.get(&attrs, a));
+                match first_row.get(&cell) {
+                    Some(&j) => dsu.union(i, j),
+                    None => {
+                        first_row.insert(cell, i);
+                    }
+                }
+            }
+        }
+        let mut cell_root = HashMap::with_capacity(first_row.len());
+        let mut root_cells: HashMap<usize, Footprint> = HashMap::new();
+        for (i, row) in base.iter().enumerate() {
+            let root = dsu.find(i);
+            let cells = root_cells.entry(root).or_default();
+            for a in attrs.iter() {
+                let cell = (a, row.get(&attrs, a));
+                cells.insert(cell);
+                cell_root.insert(cell, root);
+            }
+        }
+        Components {
+            cell_root,
+            root_cells,
+        }
+    }
+
+    /// The footprint of a request: its own tuples' cells plus the cells
+    /// of every base component those tuples touch.
+    fn footprint(&self, def: &ViewDef, op: &UpdateOp) -> Footprint {
+        let x = def.x();
+        let mut fp = Footprint::new();
+        let mut roots: HashSet<usize> = HashSet::new();
+        let tuples = match op {
+            UpdateOp::Insert { t } | UpdateOp::Delete { t } => vec![t],
+            UpdateOp::Replace { t1, t2 } => vec![t1, t2],
+        };
+        for t in tuples {
+            // Malformed tuples (wrong arity) are caught by validation in
+            // the check itself; footprint only needs the well-formed case.
+            if t.arity() != x.len() {
+                continue;
+            }
+            for a in x.iter() {
+                let cell = (a, t.get(&x, a));
+                if let Some(&r) = self.cell_root.get(&cell) {
+                    roots.insert(r);
+                }
+                fp.insert(cell);
+            }
+        }
+        for r in roots {
+            fp.extend(self.root_cells[&r].iter().copied());
+        }
+        fp
+    }
+}
+
+/// Number of disjoint request groups, for [`BatchStats::groups`]:
+/// requests whose footprints intersect (transitively) share a group.
+fn count_groups(footprints: &[Option<Footprint>]) -> usize {
+    let n = footprints.len();
+    let mut dsu = Dsu::new(n);
+    let mut cell_owner: HashMap<(Attr, Value), usize> = HashMap::new();
+    for (i, fp) in footprints.iter().enumerate() {
+        let Some(fp) = fp else { continue };
+        for cell in fp {
+            match cell_owner.get(cell) {
+                Some(&j) => dsu.union(i, j),
+                None => {
+                    cell_owner.insert(*cell, i);
+                }
+            }
+        }
+    }
+    let mut roots = HashSet::new();
+    for (i, fp) in footprints.iter().enumerate() {
+        if fp.is_some() {
+            roots.insert(dsu.find(i));
+        }
+    }
+    roots.len()
+}
+
+impl Database {
+    /// Apply a batch of view updates with parallel speculative checking.
+    ///
+    /// Unlike the transactional [`Database::apply_batch`], this is the
+    /// *pipelined* batch API: each request succeeds or fails
+    /// independently, and the vector of outcomes (plus the resulting
+    /// base, log and stats) is **exactly** what folding the requests
+    /// through the one-at-a-time API in submission order would produce —
+    /// see the module docs for why. Thread count only affects wall-clock
+    /// time, never results.
+    pub fn apply_batch_parallel(
+        &self,
+        requests: Vec<BatchRequest>,
+        options: &BatchOptions,
+    ) -> BatchReport {
+        let mut inner = self.inner.write();
+        let cache_before = closure::cache::stats();
+        let n = requests.len();
+
+        // Resolve each request's view once, and each distinct view's
+        // starting instance π_X(B₀) once.
+        let mut view_ctx: HashMap<String, (ViewDef, Relation)> = HashMap::new();
+        for req in &requests {
+            if !view_ctx.contains_key(&req.view) {
+                if let Some(def) = inner.views.get(&req.view) {
+                    let def = def.clone();
+                    let v = ops::project(&inner.base, def.x())
+                        .expect("view attrs validated at registration");
+                    view_ctx.insert(req.view.clone(), (def, v));
+                }
+            }
+        }
+
+        // An empty-LHS FD fires without value agreement, defeating
+        // footprint locality: fall back to pure sequential revalidation.
+        let serial_only = inner.fds.atomized().iter().any(|fd| fd.lhs().is_empty());
+
+        let components = Components::build(&inner.base);
+        let footprints: Vec<Option<Footprint>> = requests
+            .iter()
+            .map(|req| {
+                view_ctx
+                    .get(&req.view)
+                    .map(|(def, _)| components.footprint(def, &req.op))
+            })
+            .collect();
+
+        // Speculate every check against B₀ on scoped worker threads.
+        let threads = options
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .clamp(1, n.max(1));
+        let mut specs: Vec<Option<Result<Translatability>>> = Vec::new();
+        specs.resize_with(n, || None);
+        if !serial_only && n > 0 {
+            let chunk = n.div_ceil(threads);
+            let schema = &inner.schema;
+            let fds = &inner.fds;
+            let view_ctx = &view_ctx;
+            let requests = &requests;
+            std::thread::scope(|s| {
+                for (c, spec_chunk) in specs.chunks_mut(chunk).enumerate() {
+                    let start = c * chunk;
+                    s.spawn(move || {
+                        for (off, slot) in spec_chunk.iter_mut().enumerate() {
+                            let req = &requests[start + off];
+                            if let Some((def, v)) = view_ctx.get(&req.view) {
+                                *slot = Some(check_update(schema, fds, def, v, &req.op));
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        // Commit strictly in submission order. `dirty` is the union of
+        // footprints of applied updates so far; a request whose
+        // footprint misses it entirely can reuse its speculative
+        // verdict, everything else re-runs against the current base.
+        let mut dirty = Footprint::new();
+        let mut outcomes = Vec::with_capacity(n);
+        let mut reused = 0usize;
+        let mut revalidated = 0usize;
+        for (i, req) in requests.into_iter().enumerate() {
+            let Some(fp) = &footprints[i] else {
+                // Unknown view: same error the sequential call returns,
+                // with no state change.
+                outcomes.push(Err(EngineError::UnknownView {
+                    name: req.view.clone(),
+                }));
+                continue;
+            };
+            let clean = !serial_only && dirty.is_disjoint(fp);
+            let outcome = match (clean, specs[i].take()) {
+                (true, Some(spec)) => {
+                    reused += 1;
+                    match spec {
+                        Ok(Translatability::Translatable(tr)) => {
+                            let (def, _) = &view_ctx[&req.view];
+                            let (x, y) = (def.x(), def.y());
+                            self.commit(&mut inner, &req.view, req.op, x, y, tr)
+                        }
+                        Ok(Translatability::Rejected(reason)) => {
+                            inner.stats.entry(req.view.clone()).or_default().rejected += 1;
+                            Err(EngineError::Rejected(reason))
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                _ => {
+                    revalidated += 1;
+                    self.apply_inner(&mut inner, &req.view, req.op)
+                }
+            };
+            if outcome.is_ok() {
+                dirty.extend(fp.iter().copied());
+            }
+            outcomes.push(outcome);
+        }
+
+        let cache_after = closure::cache::stats();
+        let stats = BatchStats {
+            requests: n,
+            groups: if serial_only {
+                usize::from(n > 0)
+            } else {
+                count_groups(&footprints)
+            },
+            reused,
+            revalidated,
+            threads,
+            closure_hits: cache_after.hits.saturating_sub(cache_before.hits),
+            closure_misses: cache_after.misses.saturating_sub(cache_before.misses),
+        };
+        BatchReport { outcomes, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Policy;
+    use relvu_relation::Tuple;
+    use relvu_workload::fixtures;
+
+    fn edm_db() -> (fixtures::EdmFixture, Database) {
+        let f = fixtures::edm();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        (f, db)
+    }
+
+    fn ins(f: &fixtures::EdmFixture, e: &str, d: &str) -> BatchRequest {
+        BatchRequest::new(
+            "staff",
+            UpdateOp::Insert {
+                t: Tuple::new([f.dict.sym(e), f.dict.sym(d)]),
+            },
+        )
+    }
+
+    #[test]
+    fn batch_matches_sequential_fold() {
+        let f = fixtures::edm();
+        let reqs = |f: &fixtures::EdmFixture| {
+            vec![
+                ins(f, "dan", "toys"),
+                ins(f, "eve", "books"),
+                ins(f, "fay", "games"), // unknown dept: rejected
+                ins(f, "gus", "toys"),
+            ]
+        };
+
+        let (_, par_db) = edm_db();
+        let report = par_db.apply_batch_parallel(reqs(&f), &BatchOptions::default());
+
+        let (_, seq_db) = edm_db();
+        let expected: Vec<BatchOutcome> = reqs(&f)
+            .into_iter()
+            .map(|r| {
+                let UpdateOp::Insert { t } = r.op else {
+                    unreachable!()
+                };
+                seq_db.insert_via(&r.view, t)
+            })
+            .collect();
+
+        assert_eq!(report.outcomes, expected);
+        assert_eq!(par_db.base(), seq_db.base());
+        assert_eq!(par_db.log(), seq_db.log());
+        assert_eq!(
+            par_db.stats("staff").unwrap(),
+            seq_db.stats("staff").unwrap()
+        );
+        assert_eq!(report.stats.requests, 4);
+        assert_eq!(report.stats.reused + report.stats.revalidated, 4);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let f = fixtures::edm();
+        let mut logs = Vec::new();
+        for threads in [1, 2, 8] {
+            let (_, db) = edm_db();
+            let reqs = vec![
+                ins(&f, "dan", "toys"),
+                ins(&f, "eve", "books"),
+                ins(&f, "fay", "toys"),
+            ];
+            let report = db.apply_batch_parallel(
+                reqs,
+                &BatchOptions {
+                    threads: Some(threads),
+                },
+            );
+            assert!(report.outcomes.iter().all(Result::is_ok));
+            logs.push((db.base(), db.log()));
+        }
+        assert_eq!(logs[0], logs[1]);
+        assert_eq!(logs[1], logs[2]);
+    }
+
+    #[test]
+    fn unknown_view_is_isolated() {
+        let (f, db) = edm_db();
+        let report = db.apply_batch_parallel(
+            vec![
+                BatchRequest::new(
+                    "nope",
+                    UpdateOp::Insert {
+                        t: Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]),
+                    },
+                ),
+                ins(&f, "eve", "toys"),
+            ],
+            &BatchOptions::default(),
+        );
+        assert!(matches!(
+            report.outcomes[0],
+            Err(EngineError::UnknownView { .. })
+        ));
+        assert!(report.outcomes[1].is_ok());
+        assert_eq!(db.base().len(), 4);
+    }
+
+    #[test]
+    fn disjoint_requests_form_separate_groups() {
+        use relvu_deps::FdSet;
+        use relvu_relation::{tup, Schema};
+        let s = Schema::new(["S", "P", "Qty", "City"]).unwrap();
+        let fds = FdSet::parse(&s, "S P -> Qty; S -> City").unwrap();
+        let x = s.set(["S", "P", "Qty"]).unwrap();
+        let y = s.set(["S", "City"]).unwrap();
+        // Supplier 1's rows and supplier 2's row share no cell at all, so
+        // requests touching different suppliers are conflict-free.
+        let base = Relation::from_rows(
+            s.universe(),
+            [tup![1, 100, 5, 70], tup![1, 101, 3, 70], tup![2, 200, 9, 71]],
+        )
+        .unwrap();
+        let db = Database::new(s, fds, base).unwrap();
+        db.create_view("orders", x, Some(y), Policy::Exact).unwrap();
+        let report = db.apply_batch_parallel(
+            vec![
+                BatchRequest::new(
+                    "orders",
+                    UpdateOp::Insert {
+                        t: tup![1, 102, 7],
+                    },
+                ),
+                BatchRequest::new(
+                    "orders",
+                    UpdateOp::Insert {
+                        t: tup![2, 201, 4],
+                    },
+                ),
+            ],
+            &BatchOptions::default(),
+        );
+        assert!(report.outcomes.iter().all(Result::is_ok));
+        assert_eq!(report.stats.groups, 2);
+        assert_eq!(report.stats.reused, 2);
+        assert_eq!(report.stats.revalidated, 0);
+    }
+
+    #[test]
+    fn empty_lhs_fd_forces_serial_mode() {
+        use relvu_deps::{Fd, FdSet};
+        use relvu_relation::{AttrSet, Schema};
+        let s = Schema::new(["A", "B"]).unwrap();
+        let a = s.set(["A"]).unwrap();
+        // ∅ → B: every row has the same B value.
+        let fds = FdSet::new([Fd::new(AttrSet::EMPTY, s.set(["B"]).unwrap())]);
+        let base =
+            Relation::from_rows(s.universe(), [relvu_relation::tup![1, 9]]).unwrap();
+        let db = Database::new(s.clone(), fds, base).unwrap();
+        db.create_view("va", a, None, Policy::Exact).unwrap();
+        let report = db.apply_batch_parallel(
+            vec![BatchRequest::new(
+                "va",
+                UpdateOp::Insert {
+                    t: relvu_relation::tup![2],
+                },
+            )],
+            &BatchOptions::default(),
+        );
+        assert_eq!(report.stats.reused, 0);
+        assert_eq!(report.stats.revalidated, 1);
+        assert_eq!(report.stats.groups, 1);
+    }
+}

@@ -10,7 +10,7 @@ use relvu_core::{
     RejectReason, Test1, Test2, Translatability, Translation,
 };
 use relvu_deps::check::satisfies_fds;
-use relvu_deps::FdSet;
+use relvu_deps::{closure, FdSet};
 use relvu_relation::{ops, AttrSet, Pred, Relation, Schema, Tuple};
 
 use crate::log::{LogEntry, UpdateOp};
@@ -37,19 +37,69 @@ pub struct ViewStats {
     pub rejected: u64,
 }
 
-struct Inner {
-    schema: Schema,
-    fds: FdSet,
-    base: Relation,
-    views: HashMap<String, ViewDef>,
-    stats: HashMap<String, ViewStats>,
-    log: Vec<LogEntry>,
-    seq: u64,
+pub(crate) struct Inner {
+    pub(crate) schema: Schema,
+    pub(crate) fds: FdSet,
+    pub(crate) base: Relation,
+    pub(crate) views: HashMap<String, ViewDef>,
+    pub(crate) stats: HashMap<String, ViewStats>,
+    pub(crate) log: Vec<LogEntry>,
+    pub(crate) seq: u64,
 }
 
 /// A thread-safe updatable-view database over a single universal relation.
 pub struct Database {
-    inner: RwLock<Inner>,
+    pub(crate) inner: RwLock<Inner>,
+}
+
+/// Run the translatability check for `op` against view `def` over the
+/// view instance `v`, without touching any database state.
+///
+/// Re-entrant: takes only shared references, so batch speculation (see
+/// [`crate::batch`]) can run checks for disjoint requests concurrently
+/// from scoped threads.
+pub(crate) fn check_update(
+    schema: &Schema,
+    fds: &FdSet,
+    def: &ViewDef,
+    v: &Relation,
+    op: &UpdateOp,
+) -> Result<Translatability> {
+    // Selection views translate through the σ_P machinery (§6(2)).
+    if let Some(pred) = def.pred() {
+        let sel = SelectionView::new(def.x(), def.y(), pred.clone())?;
+        let w = sel.instance(v);
+        let w_bar = sel.anti_instance(v);
+        let verdict = match op {
+            UpdateOp::Insert { t } => sel.translate_insert(schema, fds, &w, &w_bar, t)?,
+            UpdateOp::Delete { t } => sel.translate_delete(schema, fds, &w, &w_bar, t)?,
+            UpdateOp::Replace { t1, t2 } => {
+                sel.translate_replace(schema, fds, &w, &w_bar, t1, t2)?
+            }
+        };
+        return Ok(match verdict {
+            Ok(v) => v,
+            Err(SelectionReject::Projective(reason)) => Translatability::Rejected(reason),
+            Err(SelectionReject::PredicateMismatch) => {
+                Translatability::Rejected(RejectReason::IntersectionNotInView)
+            }
+        });
+    }
+    Ok(match op {
+        UpdateOp::Insert { t } => match def.policy() {
+            Policy::Exact => translate_insert(schema, fds, def.x(), def.y(), v, t)?,
+            Policy::Test1 => Test1.check(schema, fds, def.x(), def.y(), v, t)?,
+            Policy::Test2 => def
+                .test2
+                .as_ref()
+                .expect("prepared at creation")
+                .check(schema, fds, v, t)?,
+        },
+        UpdateOp::Delete { t } => translate_delete(schema, fds, def.x(), def.y(), v, t)?,
+        UpdateOp::Replace { t1, t2 } => {
+            translate_replace(schema, fds, def.x(), def.y(), v, t1, t2)?
+        }
+    })
 }
 
 impl Database {
@@ -96,6 +146,7 @@ impl Database {
                 name: name.to_string(),
             });
         }
+        let auto = y.is_none();
         let y = match y {
             Some(y) => {
                 if !are_complementary(&inner.schema, &inner.fds, x, y) {
@@ -107,11 +158,69 @@ impl Database {
         };
         let test2 = matches!(policy, Policy::Test2)
             .then(|| Test2::prepare(&inner.schema, &inner.fds, x, y));
+        let fp = closure::fingerprint(&inner.fds);
         inner.views.insert(
             name.to_string(),
-            ViewDef::new(name.to_string(), x, y, policy, test2),
+            ViewDef::new(name.to_string(), x, y, policy, test2, auto, fp),
         );
         Ok(())
+    }
+
+    /// Replace the dependency set Σ wholesale, revalidating the base and
+    /// every registered view against the new dependencies.
+    ///
+    /// The per-view cached complement is invalidated: auto-derived
+    /// complements are recomputed (Corollary 2), declared complements are
+    /// revalidated via Theorem 1, and prepared Test 2 state is rebuilt.
+    /// The global closure memo cache is reset so no stale Σ entries
+    /// linger.
+    ///
+    /// # Errors
+    /// [`EngineError::IllegalBase`] if the current base violates the new
+    /// Σ; [`EngineError::NotComplementary`] if a declared complement is
+    /// no longer one. On error the database is left unchanged.
+    pub fn set_fds(&self, fds: FdSet) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !satisfies_fds(&inner.base, &fds) {
+            return Err(EngineError::IllegalBase);
+        }
+        let fp = closure::fingerprint(&fds);
+        let mut rebuilt = HashMap::with_capacity(inner.views.len());
+        for (name, def) in &inner.views {
+            let x = def.x();
+            let y = if def.auto_complement {
+                minimal_complement(&inner.schema, &fds, x)
+            } else {
+                if !are_complementary(&inner.schema, &fds, x, def.y()) {
+                    return Err(EngineError::NotComplementary);
+                }
+                def.y()
+            };
+            let test2 = matches!(def.policy(), Policy::Test2)
+                .then(|| Test2::prepare(&inner.schema, &fds, x, y));
+            let mut fresh = ViewDef::new(
+                name.clone(),
+                x,
+                y,
+                def.policy(),
+                test2,
+                def.auto_complement,
+                fp,
+            );
+            if let Some(p) = def.pred() {
+                fresh = fresh.with_pred(p.clone());
+            }
+            rebuilt.insert(name.clone(), fresh);
+        }
+        inner.views = rebuilt;
+        inner.fds = fds;
+        closure::cache::reset();
+        Ok(())
+    }
+
+    /// The current dependency set Σ.
+    pub fn fds(&self) -> FdSet {
+        self.inner.read().fds.clone()
     }
 
     /// Register a selection view `σ_pred(π_x(R))` (§6(2)) whose constant
@@ -277,7 +386,12 @@ impl Database {
         self.apply_inner(&mut inner, name, op)
     }
 
-    fn apply_inner(&self, inner: &mut Inner, name: &str, op: UpdateOp) -> Result<UpdateReport> {
+    pub(crate) fn apply_inner(
+        &self,
+        inner: &mut Inner,
+        name: &str,
+        op: UpdateOp,
+    ) -> Result<UpdateReport> {
         let def = inner
             .views
             .get(name)
@@ -286,69 +400,18 @@ impl Database {
                 name: name.to_string(),
             })?;
         let v = ops::project(&inner.base, def.x())?;
-        // Selection views translate through the σ_P machinery (§6(2)).
-        if let Some(pred) = def.pred() {
-            let sel = SelectionView::new(def.x(), def.y(), pred.clone())?;
-            let w = sel.instance(&v);
-            let w_bar = sel.anti_instance(&v);
-            let verdict = match &op {
-                UpdateOp::Insert { t } => {
-                    sel.translate_insert(&inner.schema, &inner.fds, &w, &w_bar, t)?
-                }
-                UpdateOp::Delete { t } => {
-                    sel.translate_delete(&inner.schema, &inner.fds, &w, &w_bar, t)?
-                }
-                UpdateOp::Replace { t1, t2 } => {
-                    sel.translate_replace(&inner.schema, &inner.fds, &w, &w_bar, t1, t2)?
-                }
-            };
-            let translation = match verdict {
-                Ok(Translatability::Translatable(tr)) => tr,
-                Ok(Translatability::Rejected(reason))
-                | Err(SelectionReject::Projective(reason)) => {
-                    inner.stats.entry(name.to_string()).or_default().rejected += 1;
-                    return Err(EngineError::Rejected(reason));
-                }
-                Err(SelectionReject::PredicateMismatch) => {
-                    inner.stats.entry(name.to_string()).or_default().rejected += 1;
-                    return Err(EngineError::Rejected(RejectReason::IntersectionNotInView));
-                }
-            };
-            return self.commit(inner, name, op, def.x(), def.y(), translation);
-        }
-        let verdict: Translatability = match &op {
-            UpdateOp::Insert { t } => match def.policy() {
-                Policy::Exact => {
-                    translate_insert(&inner.schema, &inner.fds, def.x(), def.y(), &v, t)?
-                }
-                Policy::Test1 => Test1.check(&inner.schema, &inner.fds, def.x(), def.y(), &v, t)?,
-                Policy::Test2 => def.test2.as_ref().expect("prepared at creation").check(
-                    &inner.schema,
-                    &inner.fds,
-                    &v,
-                    t,
-                )?,
-            },
-            UpdateOp::Delete { t } => {
-                translate_delete(&inner.schema, &inner.fds, def.x(), def.y(), &v, t)?
-            }
-            UpdateOp::Replace { t1, t2 } => {
-                translate_replace(&inner.schema, &inner.fds, def.x(), def.y(), &v, t1, t2)?
-            }
-        };
-        let translation = match verdict {
-            Translatability::Translatable(tr) => tr,
+        match check_update(&inner.schema, &inner.fds, &def, &v, &op)? {
+            Translatability::Translatable(tr) => self.commit(inner, name, op, def.x(), def.y(), tr),
             Translatability::Rejected(reason) => {
                 inner.stats.entry(name.to_string()).or_default().rejected += 1;
-                return Err(EngineError::Rejected(reason));
+                Err(EngineError::Rejected(reason))
             }
-        };
-        self.commit(inner, name, op, def.x(), def.y(), translation)
+        }
     }
 
     /// Apply a verified translation to the base, with legality and
     /// constant-complement assertions, logging and stats.
-    fn commit(
+    pub(crate) fn commit(
         &self,
         inner: &mut Inner,
         name: &str,

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod db;
 mod error;
 mod log;
@@ -30,6 +31,7 @@ mod policy;
 mod snapshot;
 mod view;
 
+pub use batch::{BatchOptions, BatchOutcome, BatchReport, BatchRequest, BatchStats};
 pub use db::{Database, UpdateReport, ViewStats};
 pub use error::EngineError;
 pub use log::{LogEntry, UpdateOp};

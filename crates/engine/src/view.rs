@@ -7,6 +7,13 @@ use crate::Policy;
 
 /// A registered view: projection attributes, its constant complement, and
 /// the translatability policy for insertions.
+///
+/// The complement `y` doubles as a **cache**: deriving a minimal
+/// complement (Corollary 2) and preparing Test 2 goodness analysis are
+/// the expensive parts of view registration, so both are computed once
+/// and stamped with the fingerprint of the Σ they were computed under.
+/// [`crate::Database::set_fds`] invalidates and recomputes them when the
+/// dependency set changes.
 #[derive(Debug, Clone)]
 pub struct ViewDef {
     name: String,
@@ -19,6 +26,11 @@ pub struct ViewDef {
     /// Prepared Test 2 state (goodness analysis), present iff the policy
     /// is [`Policy::Test2`].
     pub(crate) test2: Option<Test2>,
+    /// Was `y` auto-derived (Corollary 2) rather than declared? Decides
+    /// whether a dependency change recomputes or revalidates it.
+    pub(crate) auto_complement: bool,
+    /// Fingerprint of the Σ that `y` (and `test2`) were computed under.
+    pub(crate) fd_fingerprint: u64,
 }
 
 impl ViewDef {
@@ -28,6 +40,8 @@ impl ViewDef {
         y: AttrSet,
         policy: Policy,
         test2: Option<Test2>,
+        auto_complement: bool,
+        fd_fingerprint: u64,
     ) -> Self {
         ViewDef {
             name,
@@ -36,6 +50,8 @@ impl ViewDef {
             policy,
             pred: None,
             test2,
+            auto_complement,
+            fd_fingerprint,
         }
     }
 
@@ -67,6 +83,19 @@ impl ViewDef {
     /// The insertion policy.
     pub fn policy(&self) -> Policy {
         self.policy
+    }
+
+    /// Was the complement auto-derived (Corollary 2) rather than
+    /// declared?
+    pub fn auto_complement(&self) -> bool {
+        self.auto_complement
+    }
+
+    /// Fingerprint of the Σ the cached complement (and any prepared
+    /// Test 2 state) was computed under. Changes exactly when
+    /// [`crate::Database::set_fds`] rebuilds the view.
+    pub fn fd_fingerprint(&self) -> u64 {
+        self.fd_fingerprint
     }
 
     /// For [`Policy::Test2`] views: is the declared complement good?

@@ -1,0 +1,382 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace member
+//! reimplements the subset of the `proptest` surface the test suite uses:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`], implemented for
+//!   integer ranges and strategy tuples;
+//! * [`collection::vec`] with exact or ranged lengths;
+//! * [`bits::u8::masked`];
+//! * the [`proptest!`] macro plus [`prop_assert!`], [`prop_assert_eq!`]
+//!   and [`prop_assume!`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! seed and generated-input debug instead), and cases are seeded
+//! deterministically from the test name so failures reproduce exactly.
+//! The case count defaults to 256 and is overridable with the
+//! `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Generation strategies.
+pub mod strategy {
+    use super::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F, O>
+        where
+            Self: Sized,
+        {
+            Map {
+                inner: self,
+                f,
+                _out: PhantomData,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F, O> {
+        inner: S,
+        f: F,
+        _out: PhantomData<fn() -> O>,
+    }
+
+    impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F, O> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+    impl_tuple_strategy!(A, B, C, D, E, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, G, H, I, J, K);
+}
+
+pub use strategy::{Just, Strategy};
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A length specification: exact or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.0.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Bit-pattern strategies.
+pub mod bits {
+    /// Strategies over `u8` bit patterns.
+    pub mod u8 {
+        use crate::strategy::Strategy;
+        use rand::RngCore;
+
+        /// Uniform `u8` values restricted to the bits set in `mask`.
+        pub fn masked(mask: u8) -> Masked {
+            Masked(mask)
+        }
+
+        /// Strategy returned by [`masked`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct Masked(u8);
+
+        impl Strategy for Masked {
+            type Value = u8;
+            fn generate(&self, rng: &mut rand::rngs::StdRng) -> u8 {
+                (rng.next_u64() as u8) & self.0
+            }
+        }
+    }
+}
+
+/// Case execution: seeding, the reject budget, and failure reporting.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// The case did not meet a `prop_assume!`; it is skipped.
+        Reject(String),
+    }
+
+    /// Construct a failure (used by the assertion macros).
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+
+    /// Construct a rejection (used by `prop_assume!`).
+    pub fn reject(msg: String) -> TestCaseError {
+        TestCaseError::Reject(msg)
+    }
+
+    fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256)
+    }
+
+    /// Deterministic per-test base seed: FNV-1a over the test name.
+    fn base_seed(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Run `f` for the configured number of cases.
+    ///
+    /// # Panics
+    /// Panics on the first failing case (reporting its seed) or when the
+    /// reject budget is exhausted.
+    pub fn run(name: &str, mut f: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>) {
+        let want = cases();
+        let base = base_seed(name);
+        let mut passed = 0u64;
+        let mut rejected = 0u64;
+        let mut i = 0u64;
+        while passed < want {
+            let seed = base.wrapping_add(i);
+            i += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= want * 16,
+                        "proptest `{name}`: too many rejects \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{name}` failed at case {passed} \
+                         (seed {seed:#x}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Glob import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ...)`
+/// becomes a `#[test]` running the configured number of generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategies = ($($strat,)*);
+                $crate::test_runner::run(stringify!($name), |rng| {
+                    #[allow(non_snake_case, unused_variables)]
+                    let ($($arg,)*) = $crate::Strategy::generate(&strategies, rng);
+                    #[allow(unused_mut)]
+                    let mut case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    case()
+                });
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {:?} == {:?}: {}", a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Skip the current case when its inputs do not meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0usize..10, (a, b) in (0u64..5, 0i32..3)) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 5);
+            prop_assert!((0..3).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_map(v in crate::collection::vec((0u64..3).prop_map(|n| n * 2), 0..8)) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&n| n % 2 == 0 && n <= 4));
+        }
+
+        #[test]
+        fn masked_bits(bits in crate::bits::u8::masked(0b0011_1111)) {
+            prop_assert_eq!(bits & !0b0011_1111, 0);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_case_reports_seed() {
+        crate::test_runner::run("failing_case_reports_seed", |_| {
+            Err(crate::test_runner::fail("forced".into()))
+        });
+    }
+}

@@ -206,6 +206,13 @@ impl AttrSet {
     pub fn first(&self) -> Option<Attr> {
         self.iter().next()
     }
+
+    /// The raw 256-bit backing words, for word-parallel hashing and
+    /// fingerprinting (e.g. the closure memo cache in `relvu-deps`).
+    #[inline]
+    pub fn words(&self) -> [u64; WORDS] {
+        self.words
+    }
 }
 
 impl BitAnd for AttrSet {

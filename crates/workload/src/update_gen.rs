@@ -62,6 +62,99 @@ pub fn insert_candidate<R: Rng>(
     }
 }
 
+/// A generated view update, engine-agnostic.
+///
+/// `relvu-workload` sits below the engine in the crate graph, so this
+/// mirrors the engine's `UpdateOp` shape without depending on it; the
+/// engine side converts with a one-line `match`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewUpdate {
+    /// Insert the tuple through the view.
+    Insert(Tuple),
+    /// Delete the tuple through the view.
+    Delete(Tuple),
+    /// Replace the first tuple by the second.
+    Replace(Tuple, Tuple),
+}
+
+/// Relative weights for [`update_batch`]'s operation mix. Weights of
+/// zero drop the operation entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchMix {
+    /// Translatable-biased insertions ([`InsertKind::SharedKept`]).
+    pub insert: u32,
+    /// Deletions of existing view rows.
+    pub delete: u32,
+    /// Replacements keeping the `X∩Y` part of an existing row.
+    pub replace: u32,
+    /// Guaranteed-reject insertions ([`InsertKind::SharedFresh`]).
+    pub reject: u32,
+}
+
+impl Default for BatchMix {
+    fn default() -> Self {
+        BatchMix {
+            insert: 6,
+            delete: 1,
+            replace: 2,
+            reject: 1,
+        }
+    }
+}
+
+/// Generate a mixed batch of `n` view updates over instance `v`.
+///
+/// Deterministic for a given RNG state; fresh values are drawn above
+/// `fresh_base` exactly as in [`insert_candidate`].
+///
+/// # Panics
+/// Panics if `v` is empty or all mix weights are zero.
+pub fn update_batch<R: Rng>(
+    rng: &mut R,
+    x: AttrSet,
+    shared: AttrSet,
+    v: &Relation,
+    n: usize,
+    mix: BatchMix,
+    fresh_base: u64,
+) -> Vec<ViewUpdate> {
+    let total = mix.insert + mix.delete + mix.replace + mix.reject;
+    assert!(total > 0, "at least one mix weight must be positive");
+    assert!(!v.is_empty(), "need a nonempty view instance");
+    (0..n)
+        .map(|_| {
+            let pick = rng.gen_range(0..total);
+            if pick < mix.insert {
+                ViewUpdate::Insert(insert_candidate(
+                    rng,
+                    x,
+                    shared,
+                    v,
+                    InsertKind::SharedKept,
+                    fresh_base,
+                ))
+            } else if pick < mix.insert + mix.delete {
+                let row = &v.rows()[rng.gen_range(0..v.len())];
+                ViewUpdate::Delete(row.clone())
+            } else if pick < mix.insert + mix.delete + mix.replace {
+                let row = &v.rows()[rng.gen_range(0..v.len())];
+                let fresh =
+                    insert_candidate(rng, x, shared, v, InsertKind::SharedKept, fresh_base);
+                ViewUpdate::Replace(row.clone(), fresh)
+            } else {
+                ViewUpdate::Insert(insert_candidate(
+                    rng,
+                    x,
+                    shared,
+                    v,
+                    InsertKind::SharedFresh,
+                    fresh_base,
+                ))
+            }
+        })
+        .collect()
+}
+
 /// A deterministic batch: one candidate per kind per seed step, for
 /// benches that need stable mixes.
 pub fn insert_batch<R: Rng>(
@@ -112,6 +205,33 @@ mod tests {
         let t = insert_candidate(&mut rng, b.x, shared, &v, InsertKind::SharedKept, 1 << 40);
         let out = translate_insert(&b.schema, &b.fds, b.x, b.y, &v, &t).unwrap();
         assert!(out.is_translatable());
+    }
+
+    #[test]
+    fn mixed_batch_is_deterministic_and_mixed() {
+        let b = edm_family(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let r = edm_instance(&mut rng, &b.schema, 60, 6);
+        let v = view_of(&r, b.x);
+        let shared = b.x & b.y;
+        let gen = |seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            update_batch(
+                &mut rng,
+                b.x,
+                shared,
+                &v,
+                64,
+                BatchMix::default(),
+                1 << 40,
+            )
+        };
+        let a = gen(42);
+        assert_eq!(a, gen(42), "same seed, same batch");
+        assert_ne!(a, gen(43), "different seed, different batch");
+        assert!(a.iter().any(|u| matches!(u, ViewUpdate::Insert(_))));
+        assert!(a.iter().any(|u| matches!(u, ViewUpdate::Delete(_))));
+        assert!(a.iter().any(|u| matches!(u, ViewUpdate::Replace(..))));
     }
 
     #[test]

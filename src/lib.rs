@@ -51,7 +51,9 @@ pub mod prelude {
         Test2, Translatability, Translation,
     };
     pub use relvu_deps::{closure, Fd, FdSet, Jd, Mvd};
-    pub use relvu_engine::{Database, Policy};
+    pub use relvu_engine::{
+        BatchOptions, BatchReport, BatchRequest, BatchStats, Database, Policy, UpdateOp,
+    };
     pub use relvu_relation::{
         ops, Attr, AttrSet, Relation, Schema, SuccinctView, Tuple, Value, ValueDict,
     };

@@ -1,0 +1,133 @@
+//! Properties of the closure memo cache (`relvu_deps::closure::cache`):
+//! memoized lookups must agree with the naive fixpoint under interleaved
+//! hits, misses and FD-set mutations, and fingerprint collisions must
+//! never alias another Σ's closure.
+
+use proptest::prelude::*;
+use relvu::prelude::*;
+use relvu_deps::closure::{cache, closure_naive, fingerprint};
+use relvu_relation::Attr;
+
+const N_ATTRS: usize = 6;
+
+fn arb_attrset() -> impl Strategy<Value = AttrSet> {
+    proptest::bits::u8::masked(0b0011_1111).prop_map(|bits| {
+        (0..N_ATTRS)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(Attr::new)
+            .collect()
+    })
+}
+
+fn arb_fd() -> impl Strategy<Value = Fd> {
+    (arb_attrset(), 0..N_ATTRS)
+        .prop_map(|(lhs, rhs)| Fd::from_sets(lhs, AttrSet::singleton(Attr::new(rhs))))
+}
+
+fn arb_fdset() -> impl Strategy<Value = FdSet> {
+    proptest::collection::vec(arb_fd(), 0..8).prop_map(FdSet::new)
+}
+
+proptest! {
+    /// Interleaved lookups across several Σ, with mutated copies mixed
+    /// in, always agree with the naive fixpoint oracle. The script
+    /// revisits each (Σ, X) pair, so both the miss path and the
+    /// verified-hit path are exercised.
+    #[test]
+    fn memo_agrees_with_naive_under_interleaving(
+        sigmas in proptest::collection::vec(arb_fdset(), 1..4),
+        xs in proptest::collection::vec(arb_attrset(), 1..6),
+        extra in arb_fd(),
+    ) {
+        // Mutations: each Σ also appears with one FD appended — a
+        // different FdSet value that the cache must distinguish.
+        let mut pool: Vec<FdSet> = sigmas.clone();
+        for s in &sigmas {
+            let mut fds: Vec<Fd> = s.iter().cloned().collect();
+            fds.push(extra.clone());
+            pool.push(FdSet::new(fds));
+        }
+        for _round in 0..2 {
+            for fds in &pool {
+                for &x in &xs {
+                    prop_assert_eq!(
+                        cache::closure_cached(fds, x),
+                        closure_naive(fds, x),
+                        "Σ fingerprint {:x}", fingerprint(fds)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The aliasing guard: plant an entry under exactly the key a lookup
+    /// will use, but recording a *different* Σ and a wrong result — the
+    /// situation a 64-bit fingerprint collision would produce. The
+    /// lookup must detect the mismatch and recompute.
+    #[test]
+    fn fingerprint_collisions_do_not_alias(
+        fds in arb_fdset(),
+        other in arb_fdset(),
+        x in arb_attrset(),
+        wrong_bits in proptest::bits::u8::masked(0b0011_1111),
+    ) {
+        prop_assume!(fds != other);
+        let wrong: AttrSet = (0..N_ATTRS)
+            .filter(|i| wrong_bits & (1 << i) != 0)
+            .map(Attr::new)
+            .collect();
+        prop_assume!(wrong != closure_naive(&fds, x));
+
+        cache::plant_colliding_entry(&fds, x, other.clone(), wrong);
+        prop_assert_eq!(
+            cache::closure_cached(&fds, x),
+            closure_naive(&fds, x),
+            "collision must recompute, not alias"
+        );
+        // And the corrected entry now serves verified hits.
+        prop_assert_eq!(cache::closure_cached(&fds, x), closure_naive(&fds, x));
+    }
+
+    /// Fingerprints discriminate: structurally different FD sets that
+    /// the generator produces virtually never share a fingerprint, and
+    /// equal FD sets always do.
+    #[test]
+    fn fingerprint_is_a_function_of_value(a in arb_fdset(), b in arb_fdset()) {
+        prop_assert_eq!(fingerprint(&a) == fingerprint(&a.clone()), true);
+        if a == b {
+            prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+        }
+    }
+}
+
+/// Concurrent hammering: many threads querying overlapping (Σ, X) pairs
+/// must all observe correct closures, and the cache must stay bounded.
+#[test]
+fn concurrent_lookups_are_correct_and_bounded() {
+    let schema = Schema::numbered(N_ATTRS).unwrap();
+    let sigmas: Vec<FdSet> = (0..8)
+        .map(|i| {
+            FdSet::new((0..N_ATTRS - 1).map(|j| {
+                Fd::from_sets(
+                    AttrSet::singleton(Attr::new(j)),
+                    AttrSet::singleton(Attr::new((j + 1 + i) % N_ATTRS)),
+                )
+            }))
+        })
+        .collect();
+    let _ = schema;
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let sigmas = &sigmas;
+            s.spawn(move || {
+                for round in 0..200 {
+                    let fds = &sigmas[(t + round) % sigmas.len()];
+                    let x = AttrSet::first_n(1 + (round % N_ATTRS));
+                    assert_eq!(cache::closure_cached(fds, x), closure_naive(fds, x));
+                }
+            });
+        }
+    });
+    let stats = cache::stats();
+    assert!(stats.len <= 16 * 256, "cache stays within its capacity");
+}
