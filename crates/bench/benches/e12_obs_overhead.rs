@@ -1,0 +1,140 @@
+//! E12 — observability overhead on the hot path.
+//!
+//! The `relvu-obs` registry instruments the closure memo, the per-check
+//! latency histograms and the batch stage timers. This experiment runs
+//! the E11 batched-update workload with whatever feature configuration
+//! the binary was compiled with and reports median per-update cost, so
+//! the two builds can be compared directly:
+//!
+//! ```sh
+//! cargo bench --bench e12_obs_overhead                        # obs on
+//! cargo bench --bench e12_obs_overhead --no-default-features  # obs off
+//! ```
+//!
+//! The acceptance bar: the instrumented build regresses the batch path
+//! by < 5%, and the uninstrumented build compiles every probe to a no-op
+//! (`relvu_obs::enabled()` printed below tells you which one you ran).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use rand::prelude::*;
+use relvu_bench::edm_workload;
+use relvu_deps::closure;
+use relvu_engine::{BatchOptions, BatchRequest, Database, Policy, UpdateOp};
+use relvu_workload::update_gen::{self, BatchMix, ViewUpdate};
+
+const ROWS: usize = 2048;
+const DEPTS: usize = 1024;
+const WIDTH: usize = 4;
+const RUNS: usize = 9;
+
+fn requests(batch: usize, seed: u64) -> (relvu_bench::InsertWorkload, Vec<BatchRequest>) {
+    let w = edm_workload(WIDTH, ROWS, DEPTS, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C4);
+    let updates = update_gen::update_batch(
+        &mut rng,
+        w.bench.x,
+        w.bench.x & w.bench.y,
+        &w.v,
+        batch,
+        BatchMix::default(),
+        1 << 40,
+    );
+    let reqs = updates
+        .into_iter()
+        .map(|u| {
+            BatchRequest::new(
+                "staff",
+                match u {
+                    ViewUpdate::Insert(t) => UpdateOp::Insert { t },
+                    ViewUpdate::Delete(t) => UpdateOp::Delete { t },
+                    ViewUpdate::Replace(t1, t2) => UpdateOp::Replace { t1, t2 },
+                },
+            )
+        })
+        .collect();
+    (w, reqs)
+}
+
+fn fresh_db(w: &relvu_bench::InsertWorkload) -> Database {
+    let db = Database::new(w.bench.schema.clone(), w.bench.fds.clone(), w.base.clone())
+        .expect("legal base");
+    db.create_view("staff", w.bench.x, Some(w.bench.y), Policy::Exact)
+        .expect("complementary");
+    db
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    println!(
+        "e12_obs_overhead: |V| = {ROWS}, {DEPTS} depts, |Y−X| = {WIDTH}, obs enabled = {}",
+        relvu_obs::enabled()
+    );
+
+    for batch in [64usize, 256] {
+        let (w, reqs) = requests(batch, 0xE11);
+        let opts = BatchOptions::default();
+
+        // Batched path (partition + speculate + commit, all instrumented).
+        closure::cache::reset();
+        let par = median(
+            (0..RUNS)
+                .map(|_| {
+                    let db = fresh_db(&w);
+                    let batch_reqs = reqs.clone();
+                    let start = Instant::now();
+                    black_box(db.apply_batch_parallel(batch_reqs, &opts));
+                    start.elapsed()
+                })
+                .collect(),
+        );
+
+        // One-at-a-time path (check timer + lock hold timer per update).
+        closure::cache::reset();
+        let seq = median(
+            (0..RUNS)
+                .map(|_| {
+                    let db = fresh_db(&w);
+                    let start = Instant::now();
+                    for r in &reqs {
+                        let out = match r.op.clone() {
+                            UpdateOp::Insert { t } => db.insert_via(&r.view, t),
+                            UpdateOp::Delete { t } => db.delete_via(&r.view, t),
+                            UpdateOp::Replace { t1, t2 } => db.replace_via(&r.view, t1, t2),
+                        };
+                        black_box(out.is_ok());
+                    }
+                    start.elapsed()
+                })
+                .collect(),
+        );
+
+        println!(
+            "  batch {batch:4}: parallel {par:>10.2?} ({:.2} µs/update)  \
+             sequential {seq:>10.2?} ({:.2} µs/update)",
+            par.as_secs_f64() / batch as f64 * 1e6,
+            seq.as_secs_f64() / batch as f64 * 1e6,
+        );
+    }
+
+    // Sanity: with obs compiled out, the snapshot must be empty no matter
+    // how much work just ran; with it on, the hot-path metrics must be
+    // populated.
+    let snap = relvu_obs::snapshot();
+    if relvu_obs::enabled() {
+        assert!(snap.histograms.contains_key("engine.check_ns"));
+        println!(
+            "  registry: {} counters, {} histograms",
+            snap.counters.len(),
+            snap.histograms.len()
+        );
+    } else {
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+        println!("  registry: empty (probes compiled to no-ops)");
+    }
+}

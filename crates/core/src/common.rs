@@ -122,6 +122,23 @@ impl ViewCtx {
     }
 }
 
+/// Run `st`'s chase to fixpoint, recording the run and its equation count
+/// in the obs registry (`core.chase.runs` / `core.chase.equations`). All
+/// of core's translation-path chases go through here so the counters are
+/// a complete account of chase work; a failed run (constant conflict)
+/// still counts as a run.
+pub(crate) fn run_chase(
+    st: &mut relvu_chase::ChaseState,
+    fds: &FdSet,
+) -> std::result::Result<usize, relvu_chase::ConstConflict> {
+    let out = st.run(fds);
+    relvu_obs::counter!("core.chase.runs").inc();
+    if let Ok(eqs) = out {
+        relvu_obs::counter!("core.chase.equations").add(eqs as u64);
+    }
+    out
+}
+
 /// Does row `r` qualify as a potential violation witness for the FD
 /// `Z → A` against inserted tuple `t` (§3.1)? It must agree with `t` on
 /// `Z ∩ X` and, if `A ∈ X`, disagree on `A`.

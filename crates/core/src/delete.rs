@@ -31,6 +31,7 @@ pub fn translate_delete(
     v: &Relation,
     t: &Tuple,
 ) -> Result<Translatability> {
+    let _timer = relvu_obs::histogram!("core.translate_delete_ns").timer();
     let ctx = ViewCtx::validate(schema, x, y, v, &[t])?;
     if !v.contains(t) {
         return Ok(Translatability::Translatable(Translation::Identity));

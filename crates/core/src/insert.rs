@@ -44,6 +44,7 @@ pub fn translate_insert(
     v: &Relation,
     t: &Tuple,
 ) -> Result<Translatability> {
+    let _timer = relvu_obs::histogram!("core.translate_insert_ns").timer();
     let ctx = ViewCtx::validate(schema, x, y, v, &[t])?;
     if v.contains(t) {
         return Ok(Translatability::Translatable(Translation::Identity));
@@ -63,7 +64,7 @@ pub fn translate_insert(
     // each (r, f) clone the chased state and add the hypothesis.
     let filled = ctx.fill(v);
     let mut base = ChaseState::new(&filled);
-    if base.run(fds).is_err() {
+    if crate::common::run_chase(&mut base, fds).is_err() {
         return Err(CoreError::InvalidViewInstance);
     }
     condition_c(&ctx, fds, v, t, mu, &mut base)
@@ -202,7 +203,7 @@ fn condition_c(
                 }
             }
             if !succeeded {
-                match st.run(fds) {
+                match crate::common::run_chase(&mut st, fds) {
                     Err(_) => succeeded = true,
                     Ok(_) => {
                         if a_in_rest && st.equated(ctx.null_of(row, a), ctx.null_of(mu, a)) {

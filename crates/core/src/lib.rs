@@ -45,7 +45,7 @@ pub use delete::translate_delete;
 pub use error::CoreError;
 pub use find_complement::{find_complement, ComplementSearch, TestMode};
 pub use insert::{translate_insert, translate_insert_naive};
-pub use outcome::{RejectReason, Translatability, Translation};
+pub use outcome::{RejectReason, RejectTrace, Translatability, Translation};
 pub use replace::translate_replace;
 pub use select_view::{SelectionReject, SelectionView};
 pub use test1::Test1;

@@ -144,6 +144,142 @@ pub enum RejectReason {
     ReplacementTargetNotInView,
 }
 
+impl RejectReason {
+    /// A short stable machine-readable identifier for this reason,
+    /// suitable for metric labels (`engine.rejected` is broken down by
+    /// this code in `Database::metrics()`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            RejectReason::IntersectionNotInView => "intersection_not_in_view",
+            RejectReason::IntersectionNotInRemainder => "intersection_not_in_remainder",
+            RejectReason::ComplementNotDetermined => "complement_not_determined",
+            RejectReason::ViewSideDetermined => "view_side_determined",
+            RejectReason::ChaseCounterexample { .. } => "chase_counterexample",
+            RejectReason::Test1NoWitness { .. } => "test1_no_witness",
+            RejectReason::NotGoodComplement => "not_good_complement",
+            RejectReason::CanonicalViolation { .. } => "canonical_violation",
+            RejectReason::ReplacementTargetNotInView => "replacement_target_not_in_view",
+        }
+    }
+
+    /// The paper condition this rejection corresponds to, as a citation
+    /// string (e.g. `"Theorem 3, condition (a)"`).
+    pub fn condition(&self) -> &'static str {
+        match self {
+            RejectReason::IntersectionNotInView => "Theorem 3, condition (a)",
+            RejectReason::IntersectionNotInRemainder => "Theorem 8, condition (a)",
+            RejectReason::ComplementNotDetermined => "Theorems 3/8/9, condition (b)",
+            RejectReason::ViewSideDetermined => "Theorems 3/8/9, condition (b)",
+            RejectReason::ChaseCounterexample { .. } => "Theorem 3, condition (c)",
+            RejectReason::Test1NoWitness { .. } => "Test 1 (§3.1)",
+            RejectReason::NotGoodComplement => "Test 2 (§3.1), goodness precondition",
+            RejectReason::CanonicalViolation { .. } => "Test 2 (§3.1), canonical database",
+            RejectReason::ReplacementTargetNotInView => "Theorem 9, case 1, condition (a)",
+        }
+    }
+
+    /// Build an explain trace for this rejection of the update described
+    /// by `update` (the view tuples of the attempted operation, e.g.
+    /// `[t]` for insert/delete or `[t1, t2]` for replace).
+    ///
+    /// The trace is a pure function of `(self, update)` — it never looks
+    /// at the current view or database state — so the same rejection
+    /// produces byte-identical traces whether it was found on the
+    /// speculative batch path or on serial revalidation.
+    pub fn trace(&self, update: &[&Tuple]) -> RejectTrace {
+        let mut offending: Vec<Tuple> = update.iter().map(|t| (*t).clone()).collect();
+        let detail = match self {
+            RejectReason::IntersectionNotInView => {
+                "the inserted tuple's X∩Y projection does not occur in the view, \
+                 so the translated insertion would have to change the complement"
+                    .to_string()
+            }
+            RejectReason::IntersectionNotInRemainder => {
+                "after removing the tuple, its X∩Y projection no longer occurs in the \
+                 view, so the deletion would erase Y-information held by the complement"
+                    .to_string()
+            }
+            RejectReason::ComplementNotDetermined => {
+                "Σ does not imply X∩Y → Y: the shared attributes do not determine the \
+                 complement side, so the new tuple's Y-part is ambiguous"
+                    .to_string()
+            }
+            RejectReason::ViewSideDetermined => {
+                "Σ implies X∩Y → X: the shared attributes determine the view side, so \
+                 the updated view is not the X-projection of any legal database"
+                    .to_string()
+            }
+            RejectReason::ChaseCounterexample {
+                fd_index,
+                row,
+                counterexample,
+            } => {
+                if let Some(r) = counterexample.rows().get(*row) {
+                    offending.push(r.clone());
+                }
+                format!(
+                    "the chase completed without success for FD #{fd_index} and view \
+                     row #{row}: a legal database exists on which the translated \
+                     update violates the FD (counterexample attached)"
+                )
+            }
+            RejectReason::Test1NoWitness { fd_index, row } => format!(
+                "Test 1's two-tuple chase found no witness for FD #{fd_index} and view \
+                 row #{row}; the conservative test cannot prove translatability"
+            ),
+            RejectReason::NotGoodComplement => {
+                "the complement is not good, so Test 2 rejects every insertion".to_string()
+            }
+            RejectReason::CanonicalViolation { fd_index } => format!(
+                "the canonical database R₀ built from the updated view violates FD \
+                 #{fd_index}, so no legal database projects onto it"
+            ),
+            RejectReason::ReplacementTargetNotInView => {
+                "the replacing tuple's X∩Y projection does not occur in the view, so \
+                 the replacement would have to change the complement"
+                    .to_string()
+            }
+        };
+        RejectTrace {
+            condition: self.condition(),
+            code: self.code(),
+            detail,
+            offending,
+        }
+    }
+}
+
+/// An *explain* record for a rejected update: which paper condition
+/// failed, a human-readable account, and the offending tuples (the
+/// update's view tuples, plus the counterexample witness row when the
+/// chase produced one). Attached to `EngineError::Rejected` by the
+/// engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectTrace {
+    /// The failing paper condition, e.g. `"Theorem 3, condition (a)"`.
+    pub condition: &'static str,
+    /// Stable machine-readable reason code, e.g. `"chase_counterexample"`.
+    pub code: &'static str,
+    /// Human-readable explanation of the failure.
+    pub detail: String,
+    /// The tuples involved: the update's view tuples in operation order,
+    /// then any witness row from a chase counterexample.
+    pub offending: Vec<Tuple>,
+}
+
+impl std::fmt::Display for RejectTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} failed [{}]: {}", self.condition, self.code, self.detail)?;
+        if !self.offending.is_empty() {
+            write!(f, "; offending tuples:")?;
+            for t in &self.offending {
+                write!(f, " {t:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

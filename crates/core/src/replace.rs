@@ -32,6 +32,7 @@ pub fn translate_replace(
     t1: &Tuple,
     t2: &Tuple,
 ) -> Result<Translatability> {
+    let _timer = relvu_obs::histogram!("core.translate_replace_ns").timer();
     let ctx = ViewCtx::validate(schema, x, y, v, &[t1, t2])?;
     if !v.contains(t1) {
         return Err(CoreError::TupleNotInView);
@@ -79,7 +80,7 @@ pub fn translate_replace(
     };
     let filled = ctx.fill(v);
     let mut base = ChaseState::new(&filled);
-    if base.run(fds).is_err() {
+    if crate::common::run_chase(&mut base, fds).is_err() {
         return Err(CoreError::InvalidViewInstance);
     }
     let atomized = fds.atomized();
@@ -121,7 +122,7 @@ pub fn translate_replace(
                 }
             }
             if !succeeded {
-                match st.run(fds) {
+                match crate::common::run_chase(&mut st, fds) {
                     Err(_) => succeeded = true,
                     Ok(_) => {
                         if a_in_rest && st.equated(ctx.null_of(row, a), ctx.null_of(mu, a)) {

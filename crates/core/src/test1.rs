@@ -40,6 +40,7 @@ impl Test1 {
         v: &Relation,
         t: &Tuple,
     ) -> Result<Translatability> {
+        let _timer = relvu_obs::histogram!("core.test1_ns").timer();
         let ctx = ViewCtx::validate(schema, x, y, v, &[t])?;
         if v.contains(t) {
             return Ok(Translatability::Translatable(Translation::Identity));
@@ -127,7 +128,7 @@ fn two_tuple_chase_succeeds(
             return true;
         }
     }
-    match st.run(fds) {
+    match crate::common::run_chase(&mut st, fds) {
         Err(_) => true,
         Ok(_) => a_in_rest && st.equated(ctx.null_of(row, a), ctx.null_of(mu, a)),
     }

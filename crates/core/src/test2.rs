@@ -181,6 +181,7 @@ impl Test2 {
         v: &Relation,
         t: &Tuple,
     ) -> Result<Translatability> {
+        let _timer = relvu_obs::histogram!("core.test2_ns").timer();
         let ctx = ViewCtx::validate(schema, self.x, self.y, v, &[t])?;
         if v.contains(t) {
             return Ok(Translatability::Translatable(Translation::Identity));
@@ -200,7 +201,7 @@ impl Test2 {
         // Canonical database R₀ = chase of the null-filled V.
         let filled = ctx.fill(v);
         let mut st = ChaseState::new(&filled);
-        if st.run(fds).is_err() {
+        if crate::common::run_chase(&mut st, fds).is_err() {
             return Err(CoreError::InvalidViewInstance);
         }
         // The inserted tuple w = t * (μ's Y−X values in R₀).

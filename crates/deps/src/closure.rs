@@ -112,7 +112,6 @@ pub fn fingerprint(fds: &FdSet) -> u64 {
 /// alias a wrong result.
 pub mod cache {
     use std::collections::HashMap;
-    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Mutex, OnceLock};
 
     use relvu_relation::AttrSet;
@@ -134,20 +133,26 @@ pub mod cache {
         tick: u64,
     }
 
+    /// The cache's counters live in the `relvu-obs` registry (metric names
+    /// `deps.closure.cache.*`) so `Database::metrics()` sees them without a
+    /// parallel reporting mechanism. With obs disabled they are no-ops and
+    /// [`stats`] reads all-zero.
     struct Cache {
         shards: Vec<Mutex<Shard>>,
-        hits: AtomicU64,
-        misses: AtomicU64,
-        evictions: AtomicU64,
+        hits: &'static relvu_obs::Counter,
+        misses: &'static relvu_obs::Counter,
+        evictions: &'static relvu_obs::Counter,
+        verify_failures: &'static relvu_obs::Counter,
     }
 
     fn global() -> &'static Cache {
         static GLOBAL: OnceLock<Cache> = OnceLock::new();
         GLOBAL.get_or_init(|| Cache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: relvu_obs::counter("deps.closure.cache.hits"),
+            misses: relvu_obs::counter("deps.closure.cache.misses"),
+            evictions: relvu_obs::counter("deps.closure.cache.evictions"),
+            verify_failures: relvu_obs::counter("deps.closure.cache.verify_failures"),
         })
     }
 
@@ -160,6 +165,9 @@ pub mod cache {
         pub misses: u64,
         /// Entries displaced by the capacity bound.
         pub evictions: u64,
+        /// Key hits whose stored Σ failed verification (fingerprint
+        /// collision or stale entry); each one recomputes and overwrites.
+        pub verify_failures: u64,
         /// Entries currently resident.
         pub len: usize,
     }
@@ -197,9 +205,10 @@ pub mod cache {
                 entry.stamp = tick;
                 let result = entry.result;
                 drop(shard);
-                cache.hits.fetch_add(1, Ordering::Relaxed);
+                cache.hits.inc();
                 return result;
             }
+            cache.verify_failures.inc();
         }
         let result = super::closure(fds, x);
         if shard.map.len() >= PER_SHARD_CAP && !shard.map.contains_key(&key) {
@@ -211,7 +220,7 @@ pub mod cache {
                 .map(|(k, _)| *k)
             {
                 shard.map.remove(&oldest);
-                cache.evictions.fetch_add(1, Ordering::Relaxed);
+                cache.evictions.inc();
             }
         }
         shard.map.insert(
@@ -223,11 +232,11 @@ pub mod cache {
             },
         );
         drop(shard);
-        cache.misses.fetch_add(1, Ordering::Relaxed);
+        cache.misses.inc();
         result
     }
 
-    /// Current counters.
+    /// Current counters (all zero when `relvu-obs` is built disabled).
     pub fn stats() -> CacheStats {
         let cache = global();
         let len = cache
@@ -236,9 +245,10 @@ pub mod cache {
             .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
             .sum();
         CacheStats {
-            hits: cache.hits.load(Ordering::Relaxed),
-            misses: cache.misses.load(Ordering::Relaxed),
-            evictions: cache.evictions.load(Ordering::Relaxed),
+            hits: cache.hits.get(),
+            misses: cache.misses.get(),
+            evictions: cache.evictions.get(),
+            verify_failures: cache.verify_failures.get(),
             len,
         }
     }
@@ -284,9 +294,10 @@ pub mod cache {
             s.map.clear();
             s.tick = 0;
         }
-        cache.hits.store(0, Ordering::Relaxed);
-        cache.misses.store(0, Ordering::Relaxed);
-        cache.evictions.store(0, Ordering::Relaxed);
+        cache.hits.reset();
+        cache.misses.reset();
+        cache.evictions.reset();
+        cache.verify_failures.reset();
     }
 }
 
@@ -366,8 +377,10 @@ mod tests {
         assert_eq!(cache::closure_cached(&fds, e), closure(&fds, e));
         assert_eq!(cache::closure_cached(&fds, e), closure(&fds, e));
         let st = cache::stats();
-        assert!(st.hits >= 1, "second lookup must hit: {st:?}");
-        assert!(st.misses >= 1, "first lookup must miss: {st:?}");
+        if relvu_obs::enabled() {
+            assert!(st.hits >= 1, "second lookup must hit: {st:?}");
+            assert!(st.misses >= 1, "first lookup must miss: {st:?}");
+        }
         // A different Σ with (necessarily) a different fingerprint, and a
         // mutated Σ after push, both get fresh results.
         let mut fds2 = fds.clone();

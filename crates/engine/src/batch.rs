@@ -272,6 +272,7 @@ impl Database {
         options: &BatchOptions,
     ) -> BatchReport {
         let mut inner = self.inner.write();
+        let _hold = relvu_obs::histogram!("engine.lock.write_hold_ns").timer();
         let cache_before = closure::cache::stats();
         let n = requests.len();
 
@@ -293,15 +294,18 @@ impl Database {
         // footprint locality: fall back to pure sequential revalidation.
         let serial_only = inner.fds.atomized().iter().any(|fd| fd.lhs().is_empty());
 
-        let components = Components::build(&inner.base);
-        let footprints: Vec<Option<Footprint>> = requests
-            .iter()
-            .map(|req| {
-                view_ctx
-                    .get(&req.view)
-                    .map(|(def, _)| components.footprint(def, &req.op))
-            })
-            .collect();
+        let footprints: Vec<Option<Footprint>> = {
+            let _t = relvu_obs::histogram!("engine.batch.partition_ns").timer();
+            let components = Components::build(&inner.base);
+            requests
+                .iter()
+                .map(|req| {
+                    view_ctx
+                        .get(&req.view)
+                        .map(|(def, _)| components.footprint(def, &req.op))
+                })
+                .collect()
+        };
 
         // Speculate every check against B₀ on scoped worker threads.
         let threads = options
@@ -315,6 +319,7 @@ impl Database {
         let mut specs: Vec<Option<Result<Translatability>>> = Vec::new();
         specs.resize_with(n, || None);
         if !serial_only && n > 0 {
+            let _t = relvu_obs::histogram!("engine.batch.speculate_ns").timer();
             let chunk = n.div_ceil(threads);
             let schema = &inner.schema;
             let fds = &inner.fds;
@@ -339,6 +344,7 @@ impl Database {
         // footprints of applied updates so far; a request whose
         // footprint misses it entirely can reuse its speculative
         // verdict, everything else re-runs against the current base.
+        let commit_timer = relvu_obs::histogram!("engine.batch.commit_ns").timer();
         let mut dirty = Footprint::new();
         let mut outcomes = Vec::with_capacity(n);
         let mut reused = 0usize;
@@ -363,8 +369,7 @@ impl Database {
                             self.commit(&mut inner, &req.view, req.op, x, y, tr)
                         }
                         Ok(Translatability::Rejected(reason)) => {
-                            inner.stats.entry(req.view.clone()).or_default().rejected += 1;
-                            Err(EngineError::Rejected(reason))
+                            Err(crate::db::record_rejection(&mut inner, &req.view, &req.op, reason))
                         }
                         Err(e) => Err(e),
                     }
@@ -379,6 +384,7 @@ impl Database {
             }
             outcomes.push(outcome);
         }
+        drop(commit_timer);
 
         let cache_after = closure::cache::stats();
         let stats = BatchStats {
@@ -394,6 +400,10 @@ impl Database {
             closure_hits: cache_after.hits.saturating_sub(cache_before.hits),
             closure_misses: cache_after.misses.saturating_sub(cache_before.misses),
         };
+        relvu_obs::counter!("engine.batch.requests").add(stats.requests as u64);
+        relvu_obs::counter!("engine.batch.groups").add(stats.groups as u64);
+        relvu_obs::counter!("engine.batch.reused").add(stats.reused as u64);
+        relvu_obs::counter!("engine.batch.revalidated").add(stats.revalidated as u64);
         BatchReport { outcomes, stats }
     }
 }

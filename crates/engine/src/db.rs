@@ -1,6 +1,6 @@
 //! The database: universal relation + Σ + registered views.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::RwLock;
 
@@ -35,6 +35,9 @@ pub struct ViewStats {
     pub accepted: u64,
     /// Updates rejected as untranslatable.
     pub rejected: u64,
+    /// Rejections broken down by [`RejectReason::code`] (e.g.
+    /// `"intersection_not_in_view"`); values sum to `rejected`.
+    pub rejected_by_reason: BTreeMap<String, u64>,
 }
 
 pub(crate) struct Inner {
@@ -65,6 +68,7 @@ pub(crate) fn check_update(
     v: &Relation,
     op: &UpdateOp,
 ) -> Result<Translatability> {
+    let _timer = relvu_obs::histogram!("engine.check_ns").timer();
     // Selection views translate through the σ_P machinery (§6(2)).
     if let Some(pred) = def.pred() {
         let sel = SelectionView::new(def.x(), def.y(), pred.clone())?;
@@ -100,6 +104,40 @@ pub(crate) fn check_update(
             translate_replace(schema, fds, def.x(), def.y(), v, t1, t2)?
         }
     })
+}
+
+/// The view tuples an operation is about, in operation order — the input
+/// to [`RejectReason::trace`].
+fn op_tuples(op: &UpdateOp) -> Vec<&Tuple> {
+    match op {
+        UpdateOp::Insert { t } | UpdateOp::Delete { t } => vec![t],
+        UpdateOp::Replace { t1, t2 } => vec![t1, t2],
+    }
+}
+
+/// Record a rejection against the named view's stats (total and by reason
+/// code, plus the global `engine.rejected` counter) and build the
+/// [`EngineError::Rejected`] carrying the explain trace.
+///
+/// The trace derives only from the operation's tuples and the reason —
+/// never from the current view or base — so the batch path's reused
+/// speculative verdicts produce byte-identical errors to serial
+/// revalidation.
+pub(crate) fn record_rejection(
+    inner: &mut Inner,
+    name: &str,
+    op: &UpdateOp,
+    reason: RejectReason,
+) -> EngineError {
+    let stats = inner.stats.entry(name.to_string()).or_default();
+    stats.rejected += 1;
+    *stats
+        .rejected_by_reason
+        .entry(reason.code().to_string())
+        .or_insert(0) += 1;
+    relvu_obs::counter!("engine.rejected").inc();
+    let trace = reason.trace(&op_tuples(op));
+    EngineError::Rejected { reason, trace }
 }
 
 impl Database {
@@ -141,6 +179,23 @@ impl Database {
         policy: Policy,
     ) -> Result<()> {
         let mut inner = self.inner.write();
+        Self::create_view_locked(&mut inner, name, x, y, policy, None)
+    }
+
+    /// Shared registration path for projective and selection views.
+    ///
+    /// Runs **entirely under the caller's write lock**, and performs every
+    /// validation before the single `views.insert` — so other threads can
+    /// never observe a half-registered view (e.g. a selection view without
+    /// its predicate), and any error leaves the view map untouched.
+    fn create_view_locked(
+        inner: &mut Inner,
+        name: &str,
+        x: AttrSet,
+        y: Option<AttrSet>,
+        policy: Policy,
+        pred: Option<Pred>,
+    ) -> Result<()> {
         if inner.views.contains_key(name) {
             return Err(EngineError::DuplicateView {
                 name: name.to_string(),
@@ -159,10 +214,11 @@ impl Database {
         let test2 = matches!(policy, Policy::Test2)
             .then(|| Test2::prepare(&inner.schema, &inner.fds, x, y));
         let fp = closure::fingerprint(&inner.fds);
-        inner.views.insert(
-            name.to_string(),
-            ViewDef::new(name.to_string(), x, y, policy, test2, auto, fp),
-        );
+        let mut def = ViewDef::new(name.to_string(), x, y, policy, test2, auto, fp);
+        if let Some(pred) = pred {
+            def = def.with_pred(pred);
+        }
+        inner.views.insert(name.to_string(), def);
         Ok(())
     }
 
@@ -237,13 +293,17 @@ impl Database {
         y: Option<AttrSet>,
         pred: Pred,
     ) -> Result<()> {
-        // Validate predicate geometry early (SelectionView::new checks it).
+        // Validate predicate geometry before taking the lock
+        // (SelectionView::new checks it).
         let _probe = SelectionView::new(x, x, pred.clone())?;
-        self.create_view(name, x, y, Policy::Exact)?;
+        // Registration is atomic: one write lock covers validation and the
+        // insert, and the predicate is attached before the definition ever
+        // becomes visible. (A previous version registered the projective
+        // view, released the lock, then re-acquired it to attach the
+        // predicate — a concurrent writer in the window could commit an
+        // update through the unrestricted view, bypassing σ_P.)
         let mut inner = self.inner.write();
-        let def = inner.views.remove(name).expect("just created");
-        inner.views.insert(name.to_string(), def.with_pred(pred));
-        Ok(())
+        Self::create_view_locked(&mut inner, name, x, y, Policy::Exact, Some(pred))
     }
 
     /// Per-view accepted/rejected counters.
@@ -262,17 +322,19 @@ impl Database {
     /// returned together with its position.
     ///
     /// # Errors
-    /// The first failing update's error, tagged with its index.
+    /// [`EngineError::BatchFailed`] wrapping the first failing update's
+    /// error together with its zero-based position in the batch.
     pub fn apply_batch(&self, updates: Vec<(String, UpdateOp)>) -> Result<Vec<UpdateReport>> {
         // One write lock for the whole batch: concurrent writers cannot
         // interleave, so the rollback is a true transaction abort.
         let mut inner = self.inner.write();
+        let _hold = relvu_obs::histogram!("engine.lock.write_hold_ns").timer();
         let snapshot_base = inner.base.clone();
         let snapshot_len = inner.log.len();
         let snapshot_seq = inner.seq;
         let snapshot_stats = inner.stats.clone();
         let mut reports = Vec::with_capacity(updates.len());
-        for (view, op) in updates {
+        for (index, (view, op)) in updates.into_iter().enumerate() {
             match self.apply_inner(&mut inner, &view, op) {
                 Ok(r) => reports.push(r),
                 Err(e) => {
@@ -280,7 +342,10 @@ impl Database {
                     inner.log.truncate(snapshot_len);
                     inner.seq = snapshot_seq;
                     inner.stats = snapshot_stats;
-                    return Err(e);
+                    return Err(EngineError::BatchFailed {
+                        index,
+                        source: Box::new(e),
+                    });
                 }
             }
         }
@@ -383,6 +448,9 @@ impl Database {
 
     fn apply(&self, name: &str, op: UpdateOp) -> Result<UpdateReport> {
         let mut inner = self.inner.write();
+        // Declared after the guard, so it drops (and records) first —
+        // i.e. it measures time spent holding the write lock.
+        let _hold = relvu_obs::histogram!("engine.lock.write_hold_ns").timer();
         self.apply_inner(&mut inner, name, op)
     }
 
@@ -402,10 +470,7 @@ impl Database {
         let v = ops::project(&inner.base, def.x())?;
         match check_update(&inner.schema, &inner.fds, &def, &v, &op)? {
             Translatability::Translatable(tr) => self.commit(inner, name, op, def.x(), def.y(), tr),
-            Translatability::Rejected(reason) => {
-                inner.stats.entry(name.to_string()).or_default().rejected += 1;
-                Err(EngineError::Rejected(reason))
-            }
+            Translatability::Rejected(reason) => Err(record_rejection(inner, name, &op, reason)),
         }
     }
 
@@ -435,6 +500,7 @@ impl Database {
         inner.base = new_base;
         inner.seq += 1;
         inner.stats.entry(name.to_string()).or_default().accepted += 1;
+        relvu_obs::counter!("engine.accepted").inc();
         let entry = LogEntry {
             seq: inner.seq,
             view: name.to_string(),
@@ -541,7 +607,13 @@ mod tests {
         // New department: complement would change.
         let t = Tuple::new([f.dict.sym("dan"), f.dict.sym("games")]);
         match db.insert_via("staff", t).unwrap_err() {
-            EngineError::Rejected(RejectReason::IntersectionNotInView) => {}
+            EngineError::Rejected {
+                reason: RejectReason::IntersectionNotInView,
+                trace,
+            } => {
+                assert_eq!(trace.code, "intersection_not_in_view");
+                assert!(trace.condition.contains("Theorem 3"));
+            }
             other => panic!("unexpected: {other:?}"),
         }
         // Base untouched after a rejection.
@@ -603,7 +675,7 @@ mod tests {
         // Unknown supplier 3: complement (its city) missing → rejected.
         assert!(matches!(
             db.insert_via("orders", tup![3, 100, 2]),
-            Err(EngineError::Rejected(_))
+            Err(EngineError::Rejected { .. })
         ));
     }
 }
@@ -645,7 +717,7 @@ mod selection_tests {
         // Out-of-predicate insert: rejected, base untouched.
         assert!(matches!(
             db.insert_via("s1_orders", tup![2, 103, 4]),
-            Err(EngineError::Rejected(_))
+            Err(EngineError::Rejected { .. })
         ));
         assert_eq!(db.base().len(), 4);
         let stats = db.stats("s1_orders").unwrap();
@@ -728,7 +800,11 @@ mod batch_tests {
                 },
             ), // unknown dept
         ]);
-        assert!(matches!(err, Err(EngineError::Rejected(_))));
+        assert!(matches!(
+            err,
+            Err(EngineError::BatchFailed { index: 1, ref source })
+                if matches!(**source, EngineError::Rejected { .. })
+        ));
         assert_eq!(db.base().len(), 5, "rollback must undo the first insert");
         assert_eq!(db.log().len(), 2, "log truncated to the snapshot");
         assert_eq!(db.stats("staff").unwrap().accepted, 2, "stats restored");
@@ -745,7 +821,11 @@ mod batch_tests {
             ("staff".into(), UpdateOp::Insert { t: t.clone() }),
             ("nope".into(), UpdateOp::Insert { t }),
         ]);
-        assert!(matches!(err, Err(EngineError::UnknownView { .. })));
+        assert!(matches!(
+            err,
+            Err(EngineError::BatchFailed { index: 1, ref source })
+                if matches!(**source, EngineError::UnknownView { .. })
+        ));
         assert_eq!(db.base().len(), 3);
     }
 

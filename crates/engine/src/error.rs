@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use relvu_core::{CoreError, RejectReason};
+use relvu_core::{CoreError, RejectReason, RejectTrace};
 use relvu_relation::RelationError;
 
 /// Errors surfaced by the engine API.
@@ -22,8 +22,24 @@ pub enum EngineError {
     IllegalBase,
     /// The declared view/complement pair is not complementary (Theorem 1).
     NotComplementary,
-    /// The update was rejected as untranslatable, with the paper's reason.
-    Rejected(RejectReason),
+    /// The update was rejected as untranslatable, with the paper's reason
+    /// and an *explain* trace naming the failing condition and the
+    /// offending tuples.
+    Rejected {
+        /// The paper's rejection reason.
+        reason: RejectReason,
+        /// Which Theorem 3/8/9 (or Test 1/2) condition failed, with the
+        /// offending tuples.
+        trace: RejectTrace,
+    },
+    /// A transactional batch aborted: the update at `index` failed, and
+    /// the whole batch was rolled back.
+    BatchFailed {
+        /// Zero-based position of the failing update within the batch.
+        index: usize,
+        /// The failing update's own error.
+        source: Box<EngineError>,
+    },
     /// An input error from the core algorithms.
     Core(CoreError),
     /// An underlying relation error.
@@ -48,7 +64,12 @@ impl fmt::Display for EngineError {
             EngineError::NotComplementary => {
                 write!(f, "the declared complement does not determine the database")
             }
-            EngineError::Rejected(r) => write!(f, "update rejected as untranslatable: {r:?}"),
+            EngineError::Rejected { trace, .. } => {
+                write!(f, "update rejected as untranslatable: {trace}")
+            }
+            EngineError::BatchFailed { index, source } => {
+                write!(f, "batch aborted: update #{index} failed: {source}")
+            }
             EngineError::Core(e) => write!(f, "{e}"),
             EngineError::Relation(e) => write!(f, "{e}"),
             EngineError::Load { reason } => write!(f, "cannot load dump: {reason}"),
@@ -61,6 +82,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Core(e) => Some(e),
             EngineError::Relation(e) => Some(e),
+            EngineError::BatchFailed { source, .. } => Some(source),
             _ => None,
         }
     }

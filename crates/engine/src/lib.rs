@@ -27,6 +27,7 @@ mod batch;
 mod db;
 mod error;
 mod log;
+mod metrics;
 mod policy;
 mod snapshot;
 mod view;
@@ -34,6 +35,7 @@ mod view;
 pub use batch::{BatchOptions, BatchOutcome, BatchReport, BatchRequest, BatchStats};
 pub use db::{Database, UpdateReport, ViewStats};
 pub use error::EngineError;
+pub use metrics::EngineMetrics;
 pub use log::{LogEntry, UpdateOp};
 pub use policy::Policy;
 pub use view::ViewDef;

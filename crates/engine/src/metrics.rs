@@ -1,0 +1,133 @@
+//! Typed metrics snapshot for the engine.
+//!
+//! [`Database::metrics`] combines a point-in-time [`relvu_obs::Snapshot`]
+//! of the process-wide registry (closure-cache hit rates, check latency
+//! histograms, batch stage timings, lock hold times) with the engine's
+//! own per-view accept/reject counters, and renders the whole thing in
+//! Prometheus text exposition format for scraping or the REPL's
+//! `\metrics` command.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::db::{Database, ViewStats};
+
+/// A point-in-time view of everything the engine measures.
+///
+/// Registry-backed metrics (`obs`) are process-wide and cumulative since
+/// start (all zeros when the `obs` feature is disabled); the per-view
+/// counters (`views`) belong to this [`Database`] alone and survive
+/// registry resets.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Counters and histograms from the [`relvu_obs`] registry.
+    pub obs: relvu_obs::Snapshot,
+    /// Per-view accepted/rejected counts, keyed by view name, with
+    /// rejections broken down by [`relvu_core::RejectReason::code`].
+    pub views: BTreeMap<String, ViewStats>,
+}
+
+impl EngineMetrics {
+    /// Render in Prometheus text exposition format: the registry metrics
+    /// first (via [`relvu_obs::Snapshot::render_prometheus`]), then one
+    /// `relvu_view_accepted_total{view="..."}` line per view and one
+    /// `relvu_view_rejected_total{view="...",reason="..."}` line per
+    /// (view, reason code) pair.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.obs.render_prometheus();
+        if !self.views.is_empty() {
+            out.push_str("# TYPE relvu_view_accepted_total counter\n");
+            for (name, stats) in &self.views {
+                let _ = writeln!(
+                    out,
+                    "relvu_view_accepted_total{{view=\"{}\"}} {}",
+                    escape_label(name),
+                    stats.accepted
+                );
+            }
+            out.push_str("# TYPE relvu_view_rejected_total counter\n");
+            for (name, stats) in &self.views {
+                for (reason, n) in &stats.rejected_by_reason {
+                    let _ = writeln!(
+                        out,
+                        "relvu_view_rejected_total{{view=\"{}\",reason=\"{}\"}} {}",
+                        escape_label(name),
+                        escape_label(reason),
+                        n
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn escape_label(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '\\' => vec!['\\', '\\'],
+            '"' => vec!['\\', '"'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl Database {
+    /// Snapshot every metric the engine keeps: the process-wide
+    /// [`relvu_obs`] registry plus this database's per-view stats.
+    ///
+    /// Cheap enough to call between updates; takes the read lock only
+    /// long enough to clone the per-view counters.
+    #[must_use]
+    pub fn metrics(&self) -> EngineMetrics {
+        let views = {
+            let inner = self.inner.read();
+            inner
+                .stats
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        EngineMetrics {
+            obs: relvu_obs::snapshot(),
+            views,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn render_includes_per_view_lines() {
+        let mut views = BTreeMap::new();
+        let mut stats = ViewStats {
+            accepted: 3,
+            rejected: 2,
+            rejected_by_reason: BTreeMap::new(),
+        };
+        stats
+            .rejected_by_reason
+            .insert("intersection_not_in_view".into(), 2);
+        views.insert("staff".into(), stats);
+        let m = EngineMetrics {
+            obs: relvu_obs::snapshot(),
+            views,
+        };
+        let text = m.render_prometheus();
+        assert!(text.contains("relvu_view_accepted_total{view=\"staff\"} 3"));
+        assert!(text.contains(
+            "relvu_view_rejected_total{view=\"staff\",reason=\"intersection_not_in_view\"} 2"
+        ));
+    }
+}

@@ -9,9 +9,18 @@
 //! fd Dept -> Mgr
 //! row 5 17 90
 //! view staff exact x Emp Dept y Dept Mgr
+//! view payroll exact auto x Emp Dept y Dept Mgr
 //! sview cheap exact x S P Qty y S City pred Qty <= 5
 //! end
 //! ```
+//!
+//! The `auto` marker (directly after the policy) records that the view's
+//! complement was *derived* (Corollary 2) rather than declared: on load
+//! the complement is recomputed from the loaded Σ instead of being pinned
+//! to the dumped attribute set, exactly as the original
+//! [`Database::create_view`] call behaved. The dumped `y` section is kept
+//! for human readers and for old parsers. Dumps without the marker (from
+//! older versions) still load, pinning whatever `y` they carry.
 //!
 //! Values are raw `u64` constant ids (the engine is value-agnostic;
 //! symbol dictionaries live with the caller). Labeled nulls never appear
@@ -84,7 +93,8 @@ impl Database {
             } else {
                 "view"
             };
-            out.push_str(&format!("{kind} {} {} x", def.name(), def.policy()));
+            let auto = if def.auto_complement() { " auto" } else { "" };
+            out.push_str(&format!("{kind} {} {}{auto} x", def.name(), def.policy()));
             for a in def.x().iter() {
                 out.push(' ');
                 out.push_str(schema.name(a));
@@ -134,6 +144,9 @@ impl Database {
             let (head, rest) = line.split_once(' ').unwrap_or((line, ""));
             match head {
                 "schema" => {
+                    if schema.is_some() {
+                        return Err(load_err("duplicate `schema` directive"));
+                    }
                     let names: Vec<&str> = rest.split_whitespace().collect();
                     schema = Some(
                         relvu_relation::Schema::new(names).map_err(|e| load_err(e.to_string()))?,
@@ -181,13 +194,18 @@ impl Database {
                 "test2" => Policy::Test2,
                 p => return Err(load_err(format!("unknown policy `{p}`"))),
             };
-            // Sections: x <names…> y <names…> [pred <a op v>…]
+            // Sections: [auto] x <names…> y <names…> [pred <a op v>…].
+            // `auto` only counts as the marker *before* the first section
+            // keyword, so a schema with an attribute literally named
+            // "auto" still parses.
             let mut x = relvu_relation::AttrSet::new();
             let mut y = relvu_relation::AttrSet::new();
             let mut pred_toks: Vec<&str> = Vec::new();
+            let mut auto = false;
             let mut section = "";
             for &w in &words[2..] {
                 match w {
+                    "auto" if section.is_empty() => auto = true,
                     "x" | "y" | "pred" => section = w,
                     _ => match section {
                         "x" => {
@@ -209,6 +227,10 @@ impl Database {
                     },
                 }
             }
+            // An `auto` view re-derives its complement from the loaded Σ,
+            // matching the original creation call; a declared view pins
+            // the dumped attribute set.
+            let y = if auto { None } else { Some(y) };
             if is_selection {
                 if pred_toks.len() % 3 != 0 || pred_toks.is_empty() {
                     return Err(load_err(format!("bad predicate in `{l}`")));
@@ -225,9 +247,9 @@ impl Database {
                         .map_err(|_| load_err(format!("bad constant `{}`", chunk[2])))?;
                     pred = pred.and(attr, op, value);
                 }
-                db.create_selection_view(name, x, Some(y), pred)?;
+                db.create_selection_view(name, x, y, pred)?;
             } else {
-                db.create_view(name, x, Some(y), policy)?;
+                db.create_view(name, x, y, policy)?;
             }
         }
         Ok(db)

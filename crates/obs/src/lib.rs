@@ -1,0 +1,619 @@
+//! Dependency-free observability substrate for the relvu workspace.
+//!
+//! The same offline-shim philosophy as `crates/{rand,parking_lot}` applies:
+//! no external dependencies, only `std`. The crate offers two primitives —
+//! [`Counter`] (a relaxed `AtomicU64`) and [`Histogram`] (64 fixed log2
+//! buckets plus sum/count, designed for nanosecond latencies) — registered
+//! in a global sharded registry keyed by `&'static str` names.
+//!
+//! # Naming
+//!
+//! Metric names are dot-separated lowercase paths, e.g.
+//! `deps.closure.cache.hits` or `engine.batch.speculate_ns`. Histogram names
+//! end in `_ns` when they record nanoseconds. The Prometheus render
+//! translates `.` to `_` and prefixes `relvu_`.
+//!
+//! # Zero cost when disabled
+//!
+//! With the `enabled` feature (on by default) the registry records real
+//! data. Built with `--no-default-features`, [`Counter`] and [`Histogram`]
+//! are unit structs, [`counter!`]/[`histogram!`] expand to a `const`
+//! reference, and every method is an empty `#[inline]` function — the
+//! instrumentation compiles away entirely (no atomics, no `Instant::now()`).
+//! [`snapshot`] then returns an empty [`Snapshot`].
+//!
+//! # Example
+//!
+//! ```
+//! let c = relvu_obs::counter!("example.requests");
+//! c.inc();
+//! let h = relvu_obs::histogram!("example.latency_ns");
+//! {
+//!     let _t = h.timer(); // records elapsed ns on drop
+//! }
+//! let snap = relvu_obs::snapshot();
+//! if relvu_obs::enabled() {
+//!     assert_eq!(snap.counter("example.requests"), 1);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of log2 buckets in a [`Histogram`]. Bucket `i` counts values `v`
+/// with `64 - v.leading_zeros() == i` (i.e. `v < 2^i`, `v >= 2^(i-1)`),
+/// so the full `u64` range is covered.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Returns `true` when the crate was built with the `enabled` feature and
+/// instrumentation records real data.
+#[inline]
+pub const fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Bucket index for a recorded value: `0` holds only `v == 0`, bucket `i`
+/// holds `2^(i-1) <= v < 2^i`.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`), used as the Prometheus
+/// `le` label.
+#[inline]
+fn bucket_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{bucket_index, HISTOGRAM_BUCKETS};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    use std::time::Instant;
+
+    /// A monotonically increasing (but resettable) atomic counter.
+    #[derive(Debug, Default)]
+    pub struct Counter {
+        value: AtomicU64,
+    }
+
+    impl Counter {
+        /// Increment by one.
+        #[inline]
+        pub fn inc(&self) {
+            self.add(1);
+        }
+
+        /// Increment by `n`.
+        #[inline]
+        pub fn add(&self, n: u64) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+
+        /// Current value.
+        #[inline]
+        pub fn get(&self) -> u64 {
+            self.value.load(Ordering::Relaxed)
+        }
+
+        /// Reset to zero (used by tests and `reset_all`).
+        #[inline]
+        pub fn reset(&self) {
+            self.value.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A fixed-bucket log2 histogram with sum and count, safe for
+    /// concurrent recording.
+    #[derive(Debug)]
+    pub struct Histogram {
+        buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+        sum: AtomicU64,
+        count: AtomicU64,
+    }
+
+    impl Default for Histogram {
+        fn default() -> Self {
+            Histogram {
+                buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Histogram {
+        /// Record one observation.
+        #[inline]
+        pub fn record(&self, v: u64) {
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Start a timer that records the elapsed nanoseconds into this
+        /// histogram when dropped.
+        #[inline]
+        pub fn timer(&'static self) -> Timer {
+            Timer {
+                hist: self,
+                start: Instant::now(),
+            }
+        }
+
+        /// Reset all buckets, sum and count to zero.
+        pub fn reset(&self) {
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            self.sum.store(0, Ordering::Relaxed);
+            self.count.store(0, Ordering::Relaxed);
+        }
+
+        pub(crate) fn snap(&self) -> super::HistogramSnapshot {
+            super::HistogramSnapshot {
+                buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                sum: self.sum.load(Ordering::Relaxed),
+                count: self.count.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Drop guard returned by [`Histogram::timer`]; records elapsed
+    /// nanoseconds on drop.
+    #[derive(Debug)]
+    pub struct Timer {
+        hist: &'static Histogram,
+        start: Instant,
+    }
+
+    impl Drop for Timer {
+        #[inline]
+        fn drop(&mut self) {
+            let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.record(ns);
+        }
+    }
+
+    enum Metric {
+        Counter(&'static Counter),
+        Histogram(&'static Histogram),
+    }
+
+    const REGISTRY_SHARDS: usize = 16;
+
+    struct Registry {
+        shards: Vec<Mutex<HashMap<&'static str, Metric>>>,
+    }
+
+    fn registry() -> &'static Registry {
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(|| Registry {
+            shards: (0..REGISTRY_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        })
+    }
+
+    fn shard_of(name: &str) -> usize {
+        // FNV-1a over the name bytes; only used on the registration slow path.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h as usize) % REGISTRY_SHARDS
+    }
+
+    /// Look up (or register) the counter named `name`.
+    ///
+    /// Handles are `&'static`: each distinct name leaks one small
+    /// allocation once, which lets call sites cache the reference and skip
+    /// the registry on the hot path (see the [`counter!`](macro@crate::counter)
+    /// macro).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a histogram.
+    pub fn counter(name: &'static str) -> &'static Counter {
+        let mut shard = registry().shards[shard_of(name)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match shard
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Box::leak(Box::default())))
+        {
+            Metric::Counter(c) => c,
+            Metric::Histogram(_) => panic!("metric `{name}` already registered as a histogram"),
+        }
+    }
+
+    /// Look up (or register) the histogram named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a counter.
+    pub fn histogram(name: &'static str) -> &'static Histogram {
+        let mut shard = registry().shards[shard_of(name)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match shard
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Box::leak(Box::default())))
+        {
+            Metric::Histogram(h) => h,
+            Metric::Counter(_) => panic!("metric `{name}` already registered as a counter"),
+        }
+    }
+
+    /// Snapshot every registered metric.
+    pub fn snapshot() -> super::Snapshot {
+        let mut snap = super::Snapshot::default();
+        for shard in &registry().shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (&name, metric) in shard.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        snap.counters.insert(name.to_string(), c.get());
+                    }
+                    Metric::Histogram(h) => {
+                        snap.histograms.insert(name.to_string(), h.snap());
+                    }
+                }
+            }
+        }
+        snap
+    }
+
+    /// Reset every registered metric to zero. Handles stay valid.
+    pub fn reset_all() {
+        for shard in &registry().shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for metric in shard.values() {
+                match metric {
+                    Metric::Counter(c) => c.reset(),
+                    Metric::Histogram(h) => h.reset(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    /// No-op counter (crate built without the `enabled` feature).
+    #[derive(Debug, Default)]
+    pub struct Counter;
+
+    impl Counter {
+        /// No-op.
+        #[inline]
+        pub fn inc(&self) {}
+        /// No-op.
+        #[inline]
+        pub fn add(&self, _n: u64) {}
+        /// Always zero.
+        #[inline]
+        pub fn get(&self) -> u64 {
+            0
+        }
+        /// No-op.
+        #[inline]
+        pub fn reset(&self) {}
+    }
+
+    /// No-op histogram (crate built without the `enabled` feature).
+    #[derive(Debug, Default)]
+    pub struct Histogram;
+
+    impl Histogram {
+        /// No-op.
+        #[inline]
+        pub fn record(&self, _v: u64) {}
+        /// Returns a guard that does nothing on drop; `Instant::now()` is
+        /// never called.
+        #[inline]
+        pub fn timer(&'static self) -> Timer {
+            Timer {}
+        }
+        /// No-op.
+        #[inline]
+        pub fn reset(&self) {}
+    }
+
+    /// No-op drop guard.
+    #[derive(Debug)]
+    pub struct Timer {}
+
+    /// Shared no-op counter handle, the expansion target of
+    /// [`counter!`](crate::counter) in the disabled configuration.
+    pub static NOOP_COUNTER: Counter = Counter;
+    /// Shared no-op histogram handle, the expansion target of
+    /// [`histogram!`](crate::histogram) in the disabled configuration.
+    pub static NOOP_HISTOGRAM: Histogram = Histogram;
+
+    /// Returns the shared no-op counter regardless of `name`.
+    #[inline]
+    pub fn counter(_name: &'static str) -> &'static Counter {
+        &NOOP_COUNTER
+    }
+
+    /// Returns the shared no-op histogram regardless of `name`.
+    #[inline]
+    pub fn histogram(_name: &'static str) -> &'static Histogram {
+        &NOOP_HISTOGRAM
+    }
+
+    /// Empty snapshot.
+    pub fn snapshot() -> super::Snapshot {
+        super::Snapshot::default()
+    }
+
+    /// No-op.
+    pub fn reset_all() {}
+}
+
+pub use imp::{counter, histogram, reset_all, snapshot, Counter, Histogram, Timer};
+
+#[cfg(not(feature = "enabled"))]
+pub use imp::{NOOP_COUNTER, NOOP_HISTOGRAM};
+
+/// Look up the counter named by the literal argument, caching the
+/// `&'static` handle at the call site so the registry lock is taken at most
+/// once per site.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// Disabled configuration: expands to the shared no-op counter.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        let _ = $name;
+        &$crate::NOOP_COUNTER
+    }};
+}
+
+/// Look up the histogram named by the literal argument, caching the
+/// `&'static` handle at the call site so the registry lock is taken at most
+/// once per site.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+/// Disabled configuration: expands to the shared no-op histogram.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        let _ = $name;
+        &$crate::NOOP_HISTOGRAM
+    }};
+}
+
+/// Point-in-time copy of one histogram's state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; bucket `i` holds values `<= 2^i - 1`
+    /// (and, for `i > 0`, `>= 2^(i-1)`).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the recorded values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (inclusive) of the bucket containing the `q`-quantile,
+    /// `0.0 <= q <= 1.0`. Returns 0 for an empty histogram. Log2 buckets
+    /// make this accurate to within a factor of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_bound(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of the counter named `name`, or 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Render in the Prometheus text exposition format. Metric names have
+    /// `.` replaced by `_` and are prefixed `relvu_`; counters get a
+    /// `_total` suffix; histograms emit cumulative non-empty `_bucket`
+    /// lines plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n}_total counter");
+            let _ = writeln!(out, "{n}_total {value}");
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cum += c;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", bucket_bound(i));
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("relvu_");
+    for ch in name.chars() {
+        out.push(if ch.is_ascii_alphanumeric() { ch } else { '_' });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counter_roundtrip() {
+        let c = counter!("obs.test.counter_roundtrip");
+        c.reset();
+        c.inc();
+        c.add(41);
+        if enabled() {
+            assert_eq!(c.get(), 42);
+            assert_eq!(snapshot().counter("obs.test.counter_roundtrip"), 42);
+        } else {
+            assert_eq!(c.get(), 0);
+            assert_eq!(snapshot().counter("obs.test.counter_roundtrip"), 0);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = histogram!("obs.test.hist_ns");
+        h.reset();
+        h.record(0);
+        h.record(3);
+        h.record(1000);
+        if enabled() {
+            let snap = snapshot();
+            let hs = snap.histogram("obs.test.hist_ns").expect("registered");
+            assert_eq!(hs.count, 3);
+            assert_eq!(hs.sum, 1003);
+            assert_eq!(hs.buckets[0], 1);
+            assert_eq!(hs.buckets[2], 1);
+            assert_eq!(hs.buckets[10], 1); // 512 <= 1000 < 1024
+            assert!((hs.mean() - 1003.0 / 3.0).abs() < 1e-9);
+            assert_eq!(hs.quantile(0.0), 0);
+            assert_eq!(hs.quantile(1.0), 1023);
+        } else {
+            assert!(snapshot().histogram("obs.test.hist_ns").is_none());
+        }
+    }
+
+    #[test]
+    fn timer_records_on_drop() {
+        let h = histogram!("obs.test.timer_ns");
+        h.reset();
+        {
+            let _t = h.timer();
+        }
+        if enabled() {
+            let snap = snapshot();
+            assert_eq!(snap.histogram("obs.test.timer_ns").unwrap().count, 1);
+        }
+    }
+
+    #[test]
+    fn same_name_same_handle() {
+        let a = counter("obs.test.same_handle");
+        let b = counter("obs.test.same_handle");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn prometheus_render_shape() {
+        let c = counter!("obs.test.prom.hits");
+        let h = histogram!("obs.test.prom.lat_ns");
+        c.reset();
+        h.reset();
+        c.add(7);
+        h.record(5);
+        let text = snapshot().render_prometheus();
+        if enabled() {
+            assert!(text.contains("# TYPE relvu_obs_test_prom_hits_total counter"));
+            assert!(text.contains("relvu_obs_test_prom_hits_total 7"));
+            assert!(text.contains("# TYPE relvu_obs_test_prom_lat_ns histogram"));
+            assert!(text.contains("relvu_obs_test_prom_lat_ns_bucket{le=\"7\"} 1"));
+            assert!(text.contains("relvu_obs_test_prom_lat_ns_bucket{le=\"+Inf\"} 1"));
+            assert!(text.contains("relvu_obs_test_prom_lat_ns_sum 5"));
+            assert!(text.contains("relvu_obs_test_prom_lat_ns_count 1"));
+        } else {
+            assert!(text.is_empty());
+        }
+    }
+
+    #[test]
+    fn quantile_empty_and_spread() {
+        let hs = HistogramSnapshot::default();
+        assert_eq!(hs.quantile(0.5), 0);
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        buckets[1] = 50; // value 1
+        buckets[8] = 50; // values 128..=255
+        let hs = HistogramSnapshot { buckets, sum: 50 + 50 * 200, count: 100 };
+        assert_eq!(hs.quantile(0.25), 1);
+        assert_eq!(hs.quantile(0.99), 255);
+    }
+}

@@ -64,8 +64,8 @@ fn main() {
     println!("\nrejected updates:");
     let ada_again = Tuple::new([f.dict.sym("ada"), f.dict.sym("books")]);
     match db.insert_via("staff", ada_again) {
-        Err(EngineError::Rejected(reason)) => {
-            println!("  move ada to books by *insert*: {reason:?}");
+        Err(EngineError::Rejected { trace, .. }) => {
+            println!("  move ada to books by *insert*: {trace}");
             println!("    (Emp → Dept would break; use replace instead)");
         }
         other => panic!("expected rejection, got {other:?}"),
@@ -75,8 +75,8 @@ fn main() {
     let dora = Tuple::new([f.dict.sym("dora"), f.dict.sym("books")]);
     db.delete_via("staff", cem).expect("books keeps dora");
     match db.delete_via("staff", dora) {
-        Err(EngineError::Rejected(reason)) => {
-            println!("  delete the last books employee: {reason:?}");
+        Err(EngineError::Rejected { trace, .. }) => {
+            println!("  delete the last books employee: {trace}");
             println!("    (the complement would forget books' manager)");
         }
         other => panic!("expected rejection, got {other:?}"),

@@ -14,6 +14,7 @@
 //! delete <emp> <dept>  remove through the view
 //! move <emp> <d1> <d2> replace (emp,d1) by (emp,d2)
 //! log                  show the audit log
+//! \metrics             dump engine metrics (Prometheus text format)
 //! quit
 //! ```
 
@@ -30,7 +31,9 @@ fn main() {
         .expect("complementary");
 
     println!("relvu engine shell — view `staff` over Emp/Dept, complement Dept/Mgr");
-    println!("commands: show | base | insert E D | delete E D | move E D1 D2 | log | quit");
+    println!(
+        "commands: show | base | insert E D | delete E D | move E D1 D2 | log | \\metrics | quit"
+    );
 
     let stdin = io::stdin();
     let mut out = io::stdout();
@@ -74,6 +77,9 @@ fn main() {
                     );
                 }
             }
+            ["\\metrics"] | ["metrics"] => {
+                print!("{}", db.metrics().render_prometheus());
+            }
             other => println!("unknown command: {other:?}"),
         }
         print!("> ");
@@ -88,8 +94,8 @@ fn report(result: Result<relvu::engine::UpdateReport, EngineError>) {
             "ok: base {} → {} rows",
             r.base_rows_before, r.base_rows_after
         ),
-        Err(EngineError::Rejected(reason)) => {
-            println!("rejected (untranslatable): {reason:?}");
+        Err(EngineError::Rejected { trace, .. }) => {
+            println!("rejected (untranslatable): {trace}");
         }
         Err(e) => println!("error: {e}"),
     }

@@ -15,7 +15,8 @@
 //!   insertion/deletion/replacement translation, complement search;
 //! * [`engine`] — a usable updatable-view database engine;
 //! * [`logic`] — 3-CNF/SAT/QBF oracles and the paper's hardness reductions;
-//! * [`workload`] — reproducible generators for benches and tests.
+//! * [`workload`] — reproducible generators for benches and tests;
+//! * [`obs`] — metrics substrate (counters, latency histograms, registry).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use relvu_core as core;
 pub use relvu_deps as deps;
 pub use relvu_engine as engine;
 pub use relvu_logic as logic;
+pub use relvu_obs as obs;
 pub use relvu_relation as relation;
 pub use relvu_workload as workload;
 

@@ -1,0 +1,263 @@
+//! Regression tests for three engine bugs fixed together with the
+//! observability layer, plus coverage for the new `Database::metrics`
+//! surface:
+//!
+//! 1. `create_selection_view` used to validate under one lock, drop it,
+//!    and register under another — a writer could slip in between, and a
+//!    late validation error could leave a half-registered view.
+//! 2. `apply_batch` returned the bare first error, although its docs
+//!    promised the failing position; it now wraps it in
+//!    `EngineError::BatchFailed { index, .. }`.
+//! 3. `dump`/`load` silently dropped `ViewDef::auto_complement`, pinning
+//!    auto-derived complements on reload so a later `set_fds` behaved
+//!    differently than on the original database.
+
+use std::collections::BTreeSet;
+
+use relvu::deps::FdSet;
+use relvu::engine::{Database, EngineError, Policy, UpdateOp};
+use relvu::prelude::*;
+use relvu::relation::{tup, CmpOp, Pred, Value};
+use relvu::workload::fixtures;
+
+// ── Bug 1: atomic selection-view registration ───────────────────────────
+
+/// Hammer `create_selection_view` against a concurrent writer trying to
+/// push an out-of-predicate tuple through the view the instant it
+/// appears. Under the old two-lock registration this raced; with the
+/// single write-lock critical section, the insert must either see
+/// `UnknownView` or a rejection — never success — and σ_¬P (the
+/// supplier-2 rows, part of the constant complement) must never change.
+#[test]
+fn selection_view_creation_is_atomic_under_concurrent_writes() {
+    let f = fixtures::supplier_part();
+    let s_attr = f.schema.attr("S").unwrap();
+    let anti_rows = |db: &Database| -> BTreeSet<Vec<u64>> {
+        let full = ops::project(&db.base(), f.x).unwrap();
+        full.iter()
+            .filter(|t| t.get(&f.x, s_attr) != Value::int(1))
+            .map(|t| {
+                t.values()
+                    .map(|v| match v {
+                        Value::Const(c) => c,
+                        Value::Null(_) => unreachable!("concrete base"),
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    for _ in 0..64 {
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        let before = anti_rows(&db);
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| loop {
+                // Supplier 2 fails the S = 1 predicate: this insert must
+                // never be accepted, however the creation interleaves.
+                match db.insert_via("v", tup![2, 103, 4]) {
+                    Err(EngineError::UnknownView { .. }) => std::thread::yield_now(),
+                    other => break other,
+                }
+            });
+            let pred = Pred::cmp(s_attr, CmpOp::Eq, 1);
+            db.create_selection_view("v", f.x, Some(f.y), pred).unwrap();
+            let outcome = handle.join().unwrap();
+            assert!(
+                matches!(outcome, Err(EngineError::Rejected { .. })),
+                "out-of-predicate insert must be rejected, got {outcome:?}"
+            );
+        });
+        assert_eq!(anti_rows(&db), before, "σ_¬P changed across the race");
+    }
+}
+
+/// A selection view whose predicate fails validation (it mentions an
+/// attribute outside the projection) must leave nothing behind: no name
+/// registered, later updates see `UnknownView`.
+#[test]
+fn failed_selection_view_creation_registers_nothing() {
+    let f = fixtures::supplier_part();
+    let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+    let city = f.schema.attr("City").unwrap();
+    let err = db.create_selection_view("bad", f.x, Some(f.y), Pred::cmp(city, CmpOp::Eq, 70));
+    assert!(err.is_err());
+    assert!(db.view_def("bad").is_err(), "half-registered view left over");
+    assert!(matches!(
+        db.insert_via("bad", tup![1, 104, 2]),
+        Err(EngineError::UnknownView { .. })
+    ));
+}
+
+// ── Bug 2: apply_batch reports the failing position ─────────────────────
+
+#[test]
+fn apply_batch_reports_failing_index() {
+    let f = fixtures::edm();
+    let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+    db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+        .unwrap();
+    let t = |e: &str, d: &str| Tuple::new([f.dict.sym(e), f.dict.sym(d)]);
+    let err = db
+        .apply_batch(vec![
+            ("staff".into(), UpdateOp::Insert { t: t("dan", "toys") }),
+            ("staff".into(), UpdateOp::Insert { t: t("eve", "toys") }),
+            (
+                "staff".into(),
+                UpdateOp::Insert {
+                    t: t("fay", "games"), // unknown dept: untranslatable
+                },
+            ),
+        ])
+        .unwrap_err();
+    match err {
+        EngineError::BatchFailed { index, ref source } => {
+            assert_eq!(index, 2, "the third update is the failing one");
+            assert!(matches!(**source, EngineError::Rejected { .. }));
+            // The Display chain names the position for operators.
+            assert!(err.to_string().contains("update #2"));
+        }
+        other => panic!("expected BatchFailed, got {other:?}"),
+    }
+    // And the whole batch rolled back.
+    assert_eq!(db.base().len(), 3);
+    assert_eq!(db.log().len(), 0);
+}
+
+// ── Bug 3: dump/load preserves auto-derived complements ─────────────────
+
+#[test]
+fn dump_load_preserves_auto_complement() {
+    let f = fixtures::edm();
+    let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+    // No declared complement: the engine derives it (Corollary 2).
+    db.create_view("staff", f.x, None, Policy::Exact).unwrap();
+    assert!(db.view_def("staff").unwrap().auto_complement());
+
+    let text = db.dump();
+    assert!(
+        text.contains(" auto "),
+        "dump must record the derived complement: {text}"
+    );
+    let db2 = Database::load(&text).unwrap();
+    assert!(
+        db2.view_def("staff").unwrap().auto_complement(),
+        "auto-complement flag lost across dump/load"
+    );
+
+    // The observable difference: replacing Σ recomputes an auto-derived
+    // complement but must *revalidate* a declared one. Under the empty Σ
+    // the dumped complement {Dept, Mgr} is no longer complementary to
+    // {Emp, Dept}, so the old (pinning) load made set_fds fail here.
+    db.set_fds(FdSet::default()).unwrap();
+    db2.set_fds(FdSet::default())
+        .expect("reloaded database must recompute the complement like the original");
+    assert_eq!(
+        db2.view_def("staff").unwrap().y(),
+        db.view_def("staff").unwrap().y(),
+        "original and reloaded engines derived different complements"
+    );
+}
+
+#[test]
+fn old_dumps_without_auto_marker_still_load() {
+    // A pre-marker dump: the declared complement is pinned, not derived.
+    let text = "relvu-dump v1\n\
+                schema Emp Dept Mgr\n\
+                fd Emp -> Dept\n\
+                fd Dept -> Mgr\n\
+                row 1 10 100\n\
+                view staff exact x Emp Dept y Dept Mgr\n\
+                end\n";
+    let db = Database::load(text).unwrap();
+    let def = db.view_def("staff").unwrap();
+    assert!(!def.auto_complement());
+    let same_schema = Schema::new(["Emp", "Dept", "Mgr"]).unwrap();
+    assert_eq!(def.y(), same_schema.set(["Dept", "Mgr"]).unwrap());
+}
+
+#[test]
+fn duplicate_schema_directive_rejected() {
+    let text = "relvu-dump v1\n\
+                schema A B\n\
+                schema A B C\n\
+                end\n";
+    match Database::load(text) {
+        Err(EngineError::Load { reason }) => assert!(reason.contains("duplicate")),
+        Err(other) => panic!("expected Load error, got {other:?}"),
+        Ok(_) => panic!("duplicate schema directive accepted"),
+    }
+}
+
+// ── Metrics surface ─────────────────────────────────────────────────────
+
+#[test]
+fn metrics_cover_engine_and_registry() {
+    let f = fixtures::edm();
+    let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+    db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+        .unwrap();
+    let dan = Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]);
+    db.insert_via("staff", dan).unwrap();
+    let bad = Tuple::new([f.dict.sym("eve"), f.dict.sym("games")]);
+    assert!(db.insert_via("staff", bad).is_err());
+
+    let m = db.metrics();
+    // Per-view stats are exact: they belong to this database alone.
+    let staff = &m.views["staff"];
+    assert_eq!(staff.accepted, 1);
+    assert_eq!(staff.rejected, 1);
+    assert_eq!(staff.rejected_by_reason["intersection_not_in_view"], 1);
+
+    let text = m.render_prometheus();
+    assert!(text.contains("relvu_view_accepted_total{view=\"staff\"} 1"));
+    assert!(text
+        .contains("relvu_view_rejected_total{view=\"staff\",reason=\"intersection_not_in_view\"} 1"));
+
+    // Registry-backed metrics are process-wide and shared across tests in
+    // this binary: assert presence and monotonicity, not exact values —
+    // and only when the obs feature is compiled in.
+    if relvu::obs::enabled() {
+        assert!(m.obs.counter("engine.accepted") >= 1);
+        assert!(m.obs.counter("engine.rejected") >= 1);
+        let check = m.obs.histogram("engine.check_ns").expect("check timed");
+        assert!(check.count >= 2);
+        assert!(
+            m.obs
+                .counters
+                .keys()
+                .any(|k| k.starts_with("deps.closure.cache.")),
+            "closure cache counters missing from snapshot"
+        );
+    } else {
+        assert_eq!(m.obs.counter("engine.accepted"), 0);
+    }
+}
+
+#[test]
+fn metrics_cover_batch_stage_timings() {
+    let f = fixtures::edm();
+    let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+    db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+        .unwrap();
+    let t = |e: &str, d: &str| Tuple::new([f.dict.sym(e), f.dict.sym(d)]);
+    let report = db.apply_batch_parallel(
+        vec![
+            relvu::engine::BatchRequest::new("staff", UpdateOp::Insert { t: t("dan", "toys") }),
+            relvu::engine::BatchRequest::new("staff", UpdateOp::Insert { t: t("eve", "books") }),
+        ],
+        &relvu::engine::BatchOptions::default(),
+    );
+    assert!(report.outcomes.iter().all(Result::is_ok));
+    if relvu::obs::enabled() {
+        let m = db.metrics();
+        for stage in [
+            "engine.batch.partition_ns",
+            "engine.batch.speculate_ns",
+            "engine.batch.commit_ns",
+        ] {
+            let h = m.obs.histogram(stage).unwrap_or_else(|| panic!("{stage} missing"));
+            assert!(h.count >= 1, "{stage} never recorded");
+        }
+        assert!(m.obs.counter("engine.batch.requests") >= 2);
+        assert!(m.obs.histogram("engine.lock.write_hold_ns").is_some());
+    }
+}

@@ -42,7 +42,11 @@ fn selection_view_full_lifecycle() {
             UpdateOp::Insert { t: tup![2, 104, 2] }, // predicate violation
         ),
     ]);
-    assert!(matches!(err, Err(EngineError::Rejected(_))));
+    assert!(matches!(
+        err,
+        Err(EngineError::BatchFailed { index: 1, ref source })
+            if matches!(**source, EngineError::Rejected { .. })
+    ));
     assert_eq!(db.base(), f.base);
 }
 
@@ -101,7 +105,7 @@ fn dump_load_preserves_update_behavior() {
     let eve_games = Tuple::new([f.dict.sym("eve"), f.dict.sym("games")]);
     assert!(matches!(
         db2.insert_via("staff", eve_games),
-        Err(EngineError::Rejected(_))
+        Err(EngineError::Rejected { .. })
     ));
     let eve_books = Tuple::new([f.dict.sym("eve"), f.dict.sym("books")]);
     db2.insert_via("staff", eve_books).unwrap();
