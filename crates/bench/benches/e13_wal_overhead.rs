@@ -1,0 +1,188 @@
+//! E13 — durability overhead and recovery throughput.
+//!
+//! Three questions the durability layer must answer with numbers:
+//!
+//! 1. What does WAL-appending an accepted update cost over the pure
+//!    in-memory apply, per sync policy (`Always` / `EveryN(16)` /
+//!    `Never`) on the in-memory store — i.e. the serialization +
+//!    framing + page-cache cost with fsync isolated out?
+//! 2. What does a real filesystem add (`StdVfs` in a temp directory,
+//!    fsync per record)?
+//! 3. How fast is recovery — records replayed per second through the
+//!    live translators, checkpoint load included?
+//!
+//! ```sh
+//! cargo bench --bench e13_wal_overhead
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use rand::prelude::*;
+use relvu_bench::edm_workload;
+use relvu_durability::{DurableDatabase, MemVfs, StdVfs, SyncPolicy, WalOptions};
+use relvu_engine::{Database, Policy, UpdateOp};
+use relvu_workload::update_gen::{self, BatchMix, ViewUpdate};
+
+// Small enough that a single translation is tens of microseconds —
+// otherwise the chase dominates and the WAL deltas drown in noise.
+const ROWS: usize = 256;
+const DEPTS: usize = 128;
+const WIDTH: usize = 4;
+const UPDATES: usize = 256;
+const RUNS: usize = 15;
+
+fn fresh_db(w: &relvu_bench::InsertWorkload) -> Database {
+    let db = Database::new(w.bench.schema.clone(), w.bench.fds.clone(), w.base.clone())
+        .expect("legal base");
+    db.create_view("staff", w.bench.x, Some(w.bench.y), Policy::Exact)
+        .expect("complementary");
+    db
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn per_update(d: Duration) -> f64 {
+    d.as_secs_f64() / UPDATES as f64 * 1e6
+}
+
+fn main() {
+    println!(
+        "e13_wal_overhead: |V| = {ROWS}, {DEPTS} depts, |Y−X| = {WIDTH}, \
+         {UPDATES} updates/run, obs enabled = {}",
+        relvu_obs::enabled()
+    );
+
+    let w = edm_workload(WIDTH, ROWS, DEPTS, 0xE13);
+    let mut rng = StdRng::seed_from_u64(0xE13_0A17);
+    let updates: Vec<UpdateOp> = update_gen::update_batch(
+        &mut rng,
+        w.bench.x,
+        w.bench.x & w.bench.y,
+        &w.v,
+        UPDATES,
+        BatchMix::default(),
+        1 << 40,
+    )
+    .into_iter()
+    .map(|u| match u {
+        ViewUpdate::Insert(t) => UpdateOp::Insert { t },
+        ViewUpdate::Delete(t) => UpdateOp::Delete { t },
+        ViewUpdate::Replace(t1, t2) => UpdateOp::Replace { t1, t2 },
+    })
+    .collect();
+
+    // Baseline: pure in-memory applies, no durability layer at all.
+    let baseline = median(
+        (0..RUNS)
+            .map(|_| {
+                let db = fresh_db(&w);
+                let start = Instant::now();
+                for op in &updates {
+                    black_box(db.apply_op("staff", op.clone()).is_ok());
+                }
+                start.elapsed()
+            })
+            .collect(),
+    );
+    println!(
+        "  in-memory apply        {baseline:>10.2?} ({:.2} µs/update)",
+        per_update(baseline)
+    );
+
+    // WAL on the in-memory store, per sync policy.
+    for (label, sync) in [
+        ("MemVfs, sync always ", SyncPolicy::Always),
+        ("MemVfs, sync every16", SyncPolicy::EveryN(16)),
+        ("MemVfs, sync never  ", SyncPolicy::Never),
+    ] {
+        let opts = WalOptions {
+            sync,
+            segment_bytes: 1 << 20,
+        };
+        let t = median(
+            (0..RUNS)
+                .map(|_| {
+                    let ddb = DurableDatabase::create(MemVfs::new(), fresh_db(&w), opts)
+                        .expect("fresh store");
+                    let start = Instant::now();
+                    for op in &updates {
+                        black_box(ddb.apply("staff", op.clone()).is_ok());
+                    }
+                    start.elapsed()
+                })
+                .collect(),
+        );
+        println!(
+            "  WAL {label}  {t:>10.2?} ({:.2} µs/update, {:+.1}% vs in-memory)",
+            per_update(t),
+            (t.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0
+        );
+    }
+
+    // Real files: fsync-per-record in a temp directory.
+    let tmp = std::env::temp_dir().join(format!("relvu-e13-{}", std::process::id()));
+    let opts = WalOptions {
+        sync: SyncPolicy::Always,
+        segment_bytes: 1 << 20,
+    };
+    let t = median(
+        (0..RUNS)
+            .map(|run| {
+                let dir = tmp.join(format!("run{run}"));
+                let vfs = StdVfs::open(&dir).expect("temp dir");
+                let ddb = DurableDatabase::create(vfs, fresh_db(&w), opts).expect("fresh store");
+                let start = Instant::now();
+                for op in &updates {
+                    black_box(ddb.apply("staff", op.clone()).is_ok());
+                }
+                start.elapsed()
+            })
+            .collect(),
+    );
+    println!(
+        "  WAL StdVfs, fsync/rec  {t:>10.2?} ({:.2} µs/update, {:.1}x in-memory)",
+        per_update(t),
+        t.as_secs_f64() / baseline.as_secs_f64()
+    );
+    std::fs::remove_dir_all(&tmp).ok();
+
+    // Recovery throughput: checkpoint at seq 0, replay the whole log.
+    let vfs = MemVfs::new();
+    let ddb = DurableDatabase::create(
+        vfs.clone(),
+        fresh_db(&w),
+        WalOptions {
+            sync: SyncPolicy::Always,
+            segment_bytes: 1 << 18,
+        },
+    )
+    .expect("fresh store");
+    let mut accepted = 0u64;
+    for op in &updates {
+        if ddb.apply("staff", op.clone()).is_ok() {
+            accepted += 1;
+        }
+    }
+    let rec = median(
+        (0..RUNS)
+            .map(|_| {
+                let image = vfs.crash_image();
+                let start = Instant::now();
+                let (recovered, report) =
+                    DurableDatabase::recover(image, WalOptions::default()).expect("recovers");
+                black_box(recovered.engine().last_seq());
+                assert_eq!(report.records_replayed, accepted);
+                start.elapsed()
+            })
+            .collect(),
+    );
+    println!(
+        "  recovery               {rec:>10.2?} ({} records, {:.0} records/s)",
+        accepted,
+        accepted as f64 / rec.as_secs_f64()
+    );
+}

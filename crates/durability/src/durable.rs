@@ -1,0 +1,233 @@
+//! [`DurableDatabase`]: the engine + WAL + checkpoints, glued together
+//! by the commit protocol.
+//!
+//! The protocol per view update:
+//!
+//! 1. take the WAL lock (commit order **is** WAL order);
+//! 2. translate and apply the update in the engine — a rejected update
+//!    never reaches the log;
+//! 3. append the engine's log entry to the WAL and (policy permitting)
+//!    fsync it; only then acknowledge.
+//!
+//! If step 3 fails, memory is ahead of storage and the handle poisons
+//! itself: every later durable operation returns
+//! [`DurabilityError::Poisoned`] until the database is re-opened with
+//! [`DurableDatabase::recover`], which rebuilds memory *from* storage.
+//!
+//! DDL (creating views, replacing Σ) is not logged as WAL records; each
+//! DDL call checkpoints immediately afterwards so the change is durable
+//! before it is acknowledged.
+
+use parking_lot::Mutex;
+
+use relvu_deps::FdSet;
+use relvu_engine::{Database, Policy, UpdateOp, UpdateReport};
+use relvu_relation::{AttrSet, Pred};
+
+use crate::checkpoint::{self, write_checkpoint};
+use crate::error::DurabilityError;
+use crate::recover::{check_invariants, recover_from, RecoveryReport};
+use crate::vfs::Vfs;
+use crate::wal::{self, Wal, WalOptions};
+
+/// A snapshot of the WAL writer's state, for diagnostics (`\wal` in the
+/// REPL).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalStatus {
+    /// Sequence number the next record will carry.
+    pub next_seq: u64,
+    /// Records appended through this handle (excludes replayed history).
+    pub records_appended: u64,
+    /// The open segment and its length, if any.
+    pub current_segment: Option<(String, u64)>,
+    /// Whether the handle has poisoned itself after a failed append.
+    pub poisoned: bool,
+}
+
+/// A [`Database`] whose accepted updates survive crashes.
+pub struct DurableDatabase<V: Vfs + Clone> {
+    db: Database,
+    wal: Mutex<Wal<V>>,
+    vfs: V,
+}
+
+impl<V: Vfs + Clone> DurableDatabase<V> {
+    /// Initialize fresh storage around an existing in-memory database:
+    /// writes the initial checkpoint, then opens a WAL writer.
+    ///
+    /// # Errors
+    /// [`DurabilityError::AlreadyInitialized`] if the store already
+    /// holds a checkpoint or WAL segments (use [`Self::recover`]);
+    /// [`DurabilityError::Vfs`] on storage failure.
+    pub fn create(vfs: V, db: Database, opts: WalOptions) -> Result<Self, DurabilityError> {
+        let has_ckpt = !checkpoint::list_checkpoints(&vfs)?.is_empty();
+        let has_wal = !wal::list_segments(&vfs)?.is_empty();
+        if has_ckpt || has_wal {
+            return Err(DurabilityError::AlreadyInitialized);
+        }
+        write_checkpoint(&vfs, &db)?;
+        let wal = Wal::new(vfs.clone(), opts, db.last_seq() + 1, None);
+        Ok(DurableDatabase {
+            db,
+            wal: Mutex::new(wal),
+            vfs,
+        })
+    }
+
+    /// Re-open a store after a crash (or clean shutdown): loads the
+    /// latest valid checkpoint, truncates a torn WAL tail, replays the
+    /// log, re-checks invariants, and resumes appending where the log
+    /// ends.
+    ///
+    /// # Errors
+    /// [`DurabilityError::NoCheckpoint`] on an uninitialized store;
+    /// [`DurabilityError::CorruptRecord`] / [`DurabilityError::SeqGap`]
+    /// on mid-log corruption; [`DurabilityError::ReplayDivergence`] or
+    /// [`DurabilityError::InvariantViolation`] if the recovered state is
+    /// inconsistent.
+    pub fn recover(vfs: V, opts: WalOptions) -> Result<(Self, RecoveryReport), DurabilityError> {
+        let recovered = recover_from(&vfs)?;
+        let wal = Wal::new(
+            vfs.clone(),
+            opts,
+            recovered.db.last_seq() + 1,
+            recovered.wal_resume,
+        );
+        Ok((
+            DurableDatabase {
+                db: recovered.db,
+                wal: Mutex::new(wal),
+                vfs,
+            },
+            recovered.report,
+        ))
+    }
+
+    /// Apply one view update durably. The update is acknowledged only
+    /// after its log entry is in the WAL (and fsynced, under
+    /// [`crate::SyncPolicy::Always`]).
+    ///
+    /// # Errors
+    /// [`DurabilityError::Engine`] if the engine rejects the update
+    /// (nothing is logged); [`DurabilityError::Poisoned`] /
+    /// [`DurabilityError::Vfs`] on durability failures.
+    pub fn apply(&self, view: &str, op: UpdateOp) -> Result<UpdateReport, DurabilityError> {
+        let mut wal = self.wal.lock();
+        if wal.is_poisoned() {
+            return Err(DurabilityError::Poisoned);
+        }
+        let report = self.db.apply_op(view, op)?;
+        let seq = self.db.last_seq();
+        let entry = self
+            .db
+            .log_range(seq, 1)
+            .pop()
+            .expect("the update just applied is in the log");
+        wal.append(&entry)?;
+        Ok(report)
+    }
+
+    /// Write a checkpoint at the current state and prune WAL segments
+    /// and old checkpoints it covers. Returns the checkpointed sequence
+    /// number.
+    ///
+    /// # Errors
+    /// [`DurabilityError::Poisoned`] if the handle is poisoned;
+    /// [`DurabilityError::Vfs`] on storage failure.
+    pub fn checkpoint(&self) -> Result<u64, DurabilityError> {
+        // Hold the WAL lock: the snapshot must not interleave with an
+        // in-flight append, and pruning must see a quiescent segment set.
+        let mut wal = self.wal.lock();
+        if wal.is_poisoned() {
+            return Err(DurabilityError::Poisoned);
+        }
+        // Pay any outstanding sync debt so the checkpoint never claims
+        // more than the WAL can prove.
+        wal.sync()?;
+        write_checkpoint(&self.vfs, &self.db)
+    }
+
+    /// Register a projective view durably (DDL checkpoint included).
+    ///
+    /// # Errors
+    /// As [`Database::create_view`], plus durability failures.
+    pub fn create_view(
+        &self,
+        name: &str,
+        x: AttrSet,
+        y: Option<AttrSet>,
+        policy: Policy,
+    ) -> Result<(), DurabilityError> {
+        self.db.create_view(name, x, y, policy)?;
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    /// Register a selection view durably (DDL checkpoint included).
+    ///
+    /// # Errors
+    /// As [`Database::create_selection_view`], plus durability failures.
+    pub fn create_selection_view(
+        &self,
+        name: &str,
+        x: AttrSet,
+        y: Option<AttrSet>,
+        pred: Pred,
+    ) -> Result<(), DurabilityError> {
+        self.db.create_selection_view(name, x, y, pred)?;
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    /// Replace Σ durably (DDL checkpoint included).
+    ///
+    /// # Errors
+    /// As [`Database::set_fds`], plus durability failures.
+    pub fn set_fds(&self, fds: FdSet) -> Result<(), DurabilityError> {
+        self.db.set_fds(fds)?;
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    /// Explicit durability barrier: fsync the WAL's current segment.
+    ///
+    /// # Errors
+    /// [`DurabilityError::Poisoned`] / [`DurabilityError::Vfs`].
+    pub fn sync(&self) -> Result<(), DurabilityError> {
+        self.wal.lock().sync()
+    }
+
+    /// Re-run the paper's invariants on the current in-memory state.
+    ///
+    /// # Errors
+    /// [`DurabilityError::InvariantViolation`] naming the failure.
+    pub fn check_invariants(&self) -> Result<(), DurabilityError> {
+        check_invariants(&self.db)
+    }
+
+    /// The WAL writer's current state.
+    pub fn wal_status(&self) -> WalStatus {
+        let wal = self.wal.lock();
+        WalStatus {
+            next_seq: wal.next_seq(),
+            records_appended: wal.records_appended(),
+            current_segment: wal.current_segment().map(|(n, l)| (n.to_string(), l)),
+            poisoned: wal.is_poisoned(),
+        }
+    }
+
+    /// The wrapped engine, for **reads** (queries, dumps, stats).
+    ///
+    /// Mutating the engine directly through this handle bypasses the
+    /// WAL — such updates exist only in memory and will not survive a
+    /// crash (recovery will also flag the seq mismatch). Use
+    /// [`Self::apply`] and the DDL wrappers for anything durable.
+    pub fn engine(&self) -> &Database {
+        &self.db
+    }
+
+    /// The storage backend (for tests and tooling).
+    pub fn vfs(&self) -> &V {
+        &self.vfs
+    }
+}

@@ -1,0 +1,511 @@
+//! The storage abstraction: every byte the durability layer reads or
+//! writes goes through a [`Vfs`], so tests can intercept all I/O.
+//!
+//! Two backends ship with the crate:
+//!
+//! * [`StdVfs`] — a flat directory of real files (`std::fs`);
+//! * [`MemVfs`] — an in-memory filesystem with a **deterministic
+//!   failpoint layer**: it counts mutating operations, crashes after a
+//!   scripted operation index, can cut an append short (a torn write),
+//!   and can flip bits at chosen offsets. Crucially it models a page
+//!   cache: appended bytes become *durable* only once [`Vfs::sync`]
+//!   runs, and [`MemVfs::crash_image`] exposes exactly what a restarted
+//!   process would see.
+//!
+//! Metadata operations (`create`, `rename`, `remove`, `truncate`) are
+//! modeled as durable once they return — the usual journalling-
+//! filesystem simplification. The checkpoint writer orders its syncs so
+//! that this assumption is never load-bearing for atomicity.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::VfsError;
+
+/// Result alias for storage operations.
+pub type VfsResult<T> = std::result::Result<T, VfsError>;
+
+/// A minimal flat-namespace filesystem: everything the WAL and the
+/// checkpointer need, and nothing else.
+///
+/// Implementations must be usable from multiple threads; the durability
+/// layer serializes writers itself but readers may probe concurrently.
+pub trait Vfs: Send + Sync {
+    /// The names of all files, sorted.
+    fn list(&self) -> VfsResult<Vec<String>>;
+    /// Read a whole file.
+    fn read(&self, name: &str) -> VfsResult<Vec<u8>>;
+    /// Append bytes to a file, creating it if absent.
+    fn append(&self, name: &str, data: &[u8]) -> VfsResult<()>;
+    /// Create (or truncate) a file with the given contents.
+    fn create(&self, name: &str, data: &[u8]) -> VfsResult<()>;
+    /// Flush a file's contents to durable storage (fsync).
+    fn sync(&self, name: &str) -> VfsResult<()>;
+    /// Atomically rename `from` to `to`, replacing any existing `to`.
+    fn rename(&self, from: &str, to: &str) -> VfsResult<()>;
+    /// Delete a file.
+    fn remove(&self, name: &str) -> VfsResult<()>;
+    /// Truncate a file to `len` bytes (used to drop a torn WAL tail).
+    fn truncate(&self, name: &str, len: u64) -> VfsResult<()>;
+    /// A file's current length in bytes.
+    fn file_len(&self, name: &str) -> VfsResult<u64> {
+        Ok(self.read(name)?.len() as u64)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Real files.
+// ---------------------------------------------------------------------
+
+/// A [`Vfs`] over a real directory. File names are flat (no separators).
+#[derive(Clone, Debug)]
+pub struct StdVfs {
+    root: PathBuf,
+}
+
+impl StdVfs {
+    /// Open (creating if needed) a directory-backed store.
+    ///
+    /// # Errors
+    /// [`VfsError::Io`] if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> VfsResult<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(StdVfs { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Best-effort fsync of the directory itself, so renames and removals
+    /// survive power loss on journalling filesystems.
+    fn sync_dir(&self) {
+        if let Ok(dir) = std::fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+impl Vfs for StdVfs {
+    fn list(&self) -> VfsResult<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> VfsResult<Vec<u8>> {
+        match std::fs::read(self.path(name)) {
+            Ok(data) => Ok(data),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(VfsError::NotFound {
+                name: name.to_string(),
+            }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> VfsResult<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    fn create(&self, name: &str, data: &[u8]) -> VfsResult<()> {
+        std::fs::write(self.path(name), data)?;
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> VfsResult<()> {
+        let f = std::fs::File::open(self.path(name))?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> VfsResult<()> {
+        std::fs::rename(self.path(from), self.path(to))?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> VfsResult<()> {
+        std::fs::remove_file(self.path(name))?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> VfsResult<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))?;
+        f.set_len(len)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    fn file_len(&self, name: &str) -> VfsResult<u64> {
+        match std::fs::metadata(self.path(name)) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(VfsError::NotFound {
+                name: name.to_string(),
+            }),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-memory files with deterministic fault injection.
+// ---------------------------------------------------------------------
+
+/// Cut the `op`-th mutating operation short: keep only a prefix of the
+/// bytes an append would have written, then crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShortWrite {
+    /// 1-based index of the mutating operation to interrupt.
+    pub op: u64,
+    /// How many of the appended bytes actually reach the file.
+    pub keep: usize,
+}
+
+/// A scripted fault schedule for [`MemVfs`]. All faults are
+/// deterministic functions of the mutating-operation counter, so a
+/// workload replayed against the same plan fails identically every time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Crash (permanently fail every operation) after this many mutating
+    /// operations have completed. `Some(0)` crashes before the first one.
+    pub crash_after_writes: Option<u64>,
+    /// Interrupt one append partway through, then crash.
+    pub short_write: Option<ShortWrite>,
+}
+
+impl FaultPlan {
+    /// A plan that crashes after `n` mutating operations.
+    pub fn crash_after(n: u64) -> Self {
+        FaultPlan {
+            crash_after_writes: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that cuts the `op`-th mutating operation short after
+    /// `keep` bytes and then crashes.
+    pub fn short_write(op: u64, keep: usize) -> Self {
+        FaultPlan {
+            short_write: Some(ShortWrite { op, keep }),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+#[derive(Clone, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Bytes `0..synced_len` have been fsynced and survive a crash.
+    synced_len: usize,
+}
+
+#[derive(Default)]
+struct MemInner {
+    files: BTreeMap<String, MemFile>,
+    plan: FaultPlan,
+    write_ops: u64,
+    crashed: bool,
+}
+
+/// The in-memory fault-injecting [`Vfs`]. Cheap to clone (clones share
+/// the same store), so tests can keep a handle while the durability
+/// layer owns another.
+#[derive(Clone, Default)]
+pub struct MemVfs {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemVfs {
+    /// An empty store with no faults scheduled.
+    pub fn new() -> Self {
+        MemVfs::default()
+    }
+
+    /// An empty store with a fault schedule.
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        let vfs = MemVfs::new();
+        vfs.inner.lock().plan = plan;
+        vfs
+    }
+
+    /// The number of mutating operations completed so far (appends,
+    /// creates, syncs, renames, removals, truncations).
+    pub fn write_ops(&self) -> u64 {
+        self.inner.lock().write_ops
+    }
+
+    /// Has the scripted crash point been reached?
+    pub fn crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    /// What a freshly restarted process would find on disk: every file
+    /// truncated to its fsynced prefix, with no faults scheduled. This is
+    /// the store recovery should be pointed at after a crash.
+    pub fn crash_image(&self) -> MemVfs {
+        let inner = self.inner.lock();
+        let image = MemVfs::new();
+        {
+            let mut img = image.inner.lock();
+            for (name, file) in &inner.files {
+                img.files.insert(
+                    name.clone(),
+                    MemFile {
+                        data: file.data[..file.synced_len].to_vec(),
+                        synced_len: file.synced_len,
+                    },
+                );
+            }
+        }
+        image
+    }
+
+    /// Flip the bits of `mask` in the byte at `offset` of `name` —
+    /// simulated media corruption. The flip lands in the durable image
+    /// too (corruption does not care about the page cache).
+    ///
+    /// # Panics
+    /// Panics if the file or offset does not exist; corrupting nothing
+    /// would silently weaken a test.
+    pub fn flip_bits(&self, name: &str, offset: usize, mask: u8) {
+        let mut inner = self.inner.lock();
+        let file = inner.files.get_mut(name).expect("file to corrupt exists");
+        assert!(offset < file.data.len(), "corruption offset within file");
+        file.data[offset] ^= mask;
+    }
+
+    /// Run a mutating op through the failpoint layer. Returns `Err` when
+    /// the op must fail, `Ok(op_index)` (1-based) when it may proceed.
+    fn mutating_op(inner: &mut MemInner) -> VfsResult<u64> {
+        if inner.crashed {
+            return Err(VfsError::Crashed);
+        }
+        let index = inner.write_ops + 1;
+        if let Some(limit) = inner.plan.crash_after_writes {
+            if index > limit {
+                inner.crashed = true;
+                return Err(VfsError::Crashed);
+            }
+        }
+        inner.write_ops = index;
+        Ok(index)
+    }
+
+    fn check_alive(inner: &MemInner) -> VfsResult<()> {
+        if inner.crashed {
+            Err(VfsError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Vfs for MemVfs {
+    fn list(&self) -> VfsResult<Vec<String>> {
+        let inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+        Ok(inner.files.keys().cloned().collect())
+    }
+
+    fn read(&self, name: &str) -> VfsResult<Vec<u8>> {
+        let inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+        inner
+            .files
+            .get(name)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| VfsError::NotFound {
+                name: name.to_string(),
+            })
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> VfsResult<()> {
+        let mut inner = self.inner.lock();
+        let op = Self::mutating_op(&mut inner)?;
+        if let Some(sw) = inner.plan.short_write {
+            if sw.op == op {
+                // A torn write models the disk persisting part of the
+                // data before power failed, so the kept prefix counts as
+                // durable — that is exactly how a torn WAL tail is born.
+                let keep = sw.keep.min(data.len());
+                let file = inner.files.entry(name.to_string()).or_default();
+                file.data.extend_from_slice(&data[..keep]);
+                file.synced_len = file.data.len();
+                inner.crashed = true;
+                return Err(VfsError::Crashed);
+            }
+        }
+        let file = inner.files.entry(name.to_string()).or_default();
+        file.data.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn create(&self, name: &str, data: &[u8]) -> VfsResult<()> {
+        let mut inner = self.inner.lock();
+        Self::mutating_op(&mut inner)?;
+        inner.files.insert(
+            name.to_string(),
+            MemFile {
+                data: data.to_vec(),
+                synced_len: 0,
+            },
+        );
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> VfsResult<()> {
+        let mut inner = self.inner.lock();
+        Self::mutating_op(&mut inner)?;
+        let file = inner
+            .files
+            .get_mut(name)
+            .ok_or_else(|| VfsError::NotFound {
+                name: name.to_string(),
+            })?;
+        file.synced_len = file.data.len();
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> VfsResult<()> {
+        let mut inner = self.inner.lock();
+        Self::mutating_op(&mut inner)?;
+        // Metadata ops are modeled as immediately durable; the moved file
+        // keeps its own synced prefix.
+        let file = inner.files.remove(from).ok_or_else(|| VfsError::NotFound {
+            name: from.to_string(),
+        })?;
+        inner.files.insert(to.to_string(), file);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> VfsResult<()> {
+        let mut inner = self.inner.lock();
+        Self::mutating_op(&mut inner)?;
+        inner
+            .files
+            .remove(name)
+            .ok_or_else(|| VfsError::NotFound {
+                name: name.to_string(),
+            })
+            .map(|_| ())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> VfsResult<()> {
+        let mut inner = self.inner.lock();
+        Self::mutating_op(&mut inner)?;
+        let file = inner
+            .files
+            .get_mut(name)
+            .ok_or_else(|| VfsError::NotFound {
+                name: name.to_string(),
+            })?;
+        let len = (len as usize).min(file.data.len());
+        file.data.truncate(len);
+        file.synced_len = file.synced_len.min(len);
+        Ok(())
+    }
+
+    fn file_len(&self, name: &str) -> VfsResult<u64> {
+        let inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+        inner
+            .files
+            .get(name)
+            .map(|f| f.data.len() as u64)
+            .ok_or_else(|| VfsError::NotFound {
+                name: name.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_basic_file_ops() {
+        let vfs = MemVfs::new();
+        vfs.create("a", b"hello").unwrap();
+        vfs.append("a", b" world").unwrap();
+        assert_eq!(vfs.read("a").unwrap(), b"hello world");
+        assert_eq!(vfs.file_len("a").unwrap(), 11);
+        vfs.rename("a", "b").unwrap();
+        assert_eq!(
+            vfs.read("a").unwrap_err(),
+            VfsError::NotFound { name: "a".into() }
+        );
+        vfs.truncate("b", 5).unwrap();
+        assert_eq!(vfs.read("b").unwrap(), b"hello");
+        assert_eq!(vfs.list().unwrap(), vec!["b".to_string()]);
+        vfs.remove("b").unwrap();
+        assert!(vfs.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unsynced_bytes_do_not_survive_a_crash() {
+        let vfs = MemVfs::new();
+        vfs.create("f", b"").unwrap();
+        vfs.append("f", b"one").unwrap();
+        vfs.sync("f").unwrap();
+        vfs.append("f", b"two").unwrap();
+        // No sync for "two": the crash image only holds "one".
+        assert_eq!(vfs.crash_image().read("f").unwrap(), b"one");
+        vfs.sync("f").unwrap();
+        assert_eq!(vfs.crash_image().read("f").unwrap(), b"onetwo");
+    }
+
+    #[test]
+    fn crash_after_k_writes_freezes_the_store() {
+        let vfs = MemVfs::with_plan(FaultPlan::crash_after(2));
+        vfs.create("f", b"x").unwrap(); // op 1
+        vfs.sync("f").unwrap(); // op 2
+        assert_eq!(vfs.append("f", b"y").unwrap_err(), VfsError::Crashed);
+        assert!(vfs.crashed());
+        // Everything fails once crashed, including reads.
+        assert_eq!(vfs.read("f").unwrap_err(), VfsError::Crashed);
+        assert_eq!(vfs.crash_image().read("f").unwrap(), b"x");
+    }
+
+    #[test]
+    fn short_write_persists_a_torn_prefix_then_crashes() {
+        let vfs = MemVfs::with_plan(FaultPlan::short_write(2, 4));
+        vfs.create("f", b"").unwrap(); // op 1
+        assert_eq!(
+            vfs.append("f", b"abcdefgh").unwrap_err(), // op 2: torn
+            VfsError::Crashed
+        );
+        // The torn prefix models partially persisted sectors: it IS in
+        // the durable image, and nothing after it ever ran.
+        assert_eq!(vfs.crash_image().read("f").unwrap(), b"abcd");
+        assert_eq!(vfs.append("f", b"more").unwrap_err(), VfsError::Crashed);
+    }
+
+    #[test]
+    fn flip_bits_corrupts_in_place() {
+        let vfs = MemVfs::new();
+        vfs.create("f", b"\x00\x00").unwrap();
+        vfs.sync("f").unwrap();
+        vfs.flip_bits("f", 1, 0b0000_0100);
+        assert_eq!(vfs.read("f").unwrap(), b"\x00\x04");
+        assert_eq!(vfs.crash_image().read("f").unwrap(), b"\x00\x04");
+    }
+}

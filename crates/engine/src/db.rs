@@ -416,9 +416,65 @@ impl Database {
         )
     }
 
-    /// Snapshot of the audit log.
+    /// Snapshot of the whole audit log.
+    ///
+    /// Thin wrapper over [`Database::log_range`]; callers that tail the
+    /// log (WAL shippers, the REPL) should use `log_range` directly so
+    /// they never copy unbounded history under the read lock.
     pub fn log(&self) -> Vec<LogEntry> {
-        self.inner.read().log.clone()
+        self.log_range(0, usize::MAX)
+    }
+
+    /// The entries with sequence number `>= from_seq`, at most `limit` of
+    /// them, in sequence order.
+    ///
+    /// The in-memory log is contiguous in `seq` (batch rollback only ever
+    /// truncates its tail), so this is an `O(limit)` slice clone — not a
+    /// scan — and holds the read lock only for the copy.
+    pub fn log_range(&self, from_seq: u64, limit: usize) -> Vec<LogEntry> {
+        let inner = self.inner.read();
+        let Some(first) = inner.log.first().map(|e| e.seq) else {
+            return Vec::new();
+        };
+        let start = from_seq.saturating_sub(first).min(inner.log.len() as u64) as usize;
+        let end = start.saturating_add(limit).min(inner.log.len());
+        inner.log[start..end].to_vec()
+    }
+
+    /// The sequence number of the most recently applied update (0 for a
+    /// fresh database).
+    pub fn last_seq(&self) -> u64 {
+        self.inner.read().seq
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> Schema {
+        self.inner.read().schema.clone()
+    }
+
+    /// Fast-forward the update sequence counter to `seq` without applying
+    /// anything.
+    ///
+    /// This exists for recovery: a database reconstructed from a
+    /// checkpoint starts counting at 0, but the updates replayed on top
+    /// of it carry the sequence numbers they were assigned before the
+    /// crash. Calling `resume_at(checkpoint_seq)` before replay makes the
+    /// engine hand out matching numbers. Only forward jumps are allowed,
+    /// so the log stays strictly monotone.
+    ///
+    /// # Errors
+    /// [`EngineError::SeqRegression`] if `seq` is below the current
+    /// sequence number.
+    pub fn resume_at(&self, seq: u64) -> Result<()> {
+        let mut inner = self.inner.write();
+        if seq < inner.seq {
+            return Err(EngineError::SeqRegression {
+                current: inner.seq,
+                requested: seq,
+            });
+        }
+        inner.seq = seq;
+        Ok(())
     }
 
     /// Insert `t` through the named view under its policy.
@@ -444,6 +500,17 @@ impl Database {
     /// As for [`Database::insert_via`].
     pub fn replace_via(&self, name: &str, t1: Tuple, t2: Tuple) -> Result<UpdateReport> {
         self.apply(name, UpdateOp::Replace { t1, t2 })
+    }
+
+    /// Apply an arbitrary [`UpdateOp`] through the named view — the
+    /// operation-agnostic form of [`Database::insert_via`] /
+    /// [`Database::delete_via`] / [`Database::replace_via`], used by
+    /// log replay (`relvu-durability`) and request routers.
+    ///
+    /// # Errors
+    /// As for [`Database::insert_via`].
+    pub fn apply_op(&self, name: &str, op: UpdateOp) -> Result<UpdateReport> {
+        self.apply(name, op)
     }
 
     fn apply(&self, name: &str, op: UpdateOp) -> Result<UpdateReport> {
@@ -597,6 +664,44 @@ mod tests {
         assert_eq!(db.base().len(), 3);
         assert_eq!(db.log().len(), 3);
         assert_eq!(db.log()[2].seq, 3);
+    }
+
+    #[test]
+    fn log_range_slices_without_full_copies() {
+        let (f, db) = edm_db();
+        db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        for i in 0..6u64 {
+            let t = Tuple::new([f.dict.sym(&format!("w{i}")), f.dict.sym("toys")]);
+            db.insert_via("staff", t).unwrap();
+        }
+        assert_eq!(db.last_seq(), 6);
+        let mid = db.log_range(3, 2);
+        assert_eq!(mid.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4]);
+        // from_seq 0 and 1 both mean "from the start".
+        assert_eq!(db.log_range(0, usize::MAX).len(), 6);
+        assert_eq!(db.log_range(1, usize::MAX).len(), 6);
+        assert_eq!(db.log_range(7, 10), vec![]);
+        assert_eq!(db.log(), db.log_range(0, usize::MAX));
+    }
+
+    #[test]
+    fn resume_at_only_moves_forward() {
+        let (f, db) = edm_db();
+        db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        db.resume_at(41).unwrap();
+        let t = Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]);
+        db.insert_via("staff", t).unwrap();
+        assert_eq!(db.last_seq(), 42);
+        assert_eq!(db.log_range(42, 8)[0].seq, 42);
+        assert_eq!(
+            db.resume_at(7),
+            Err(EngineError::SeqRegression {
+                current: 42,
+                requested: 7
+            })
+        );
     }
 
     #[test]

@@ -46,8 +46,17 @@ pub enum EngineError {
     Relation(RelationError),
     /// A dump could not be parsed back into a database.
     Load {
-        /// Human-readable reason.
+        /// Human-readable reason, prefixed with `line N:` when the
+        /// offending input line is known.
         reason: String,
+    },
+    /// [`crate::Database::resume_at`] was asked to move the update
+    /// sequence counter backwards.
+    SeqRegression {
+        /// The engine's current sequence number.
+        current: u64,
+        /// The (smaller) requested sequence number.
+        requested: u64,
     },
 }
 
@@ -73,6 +82,10 @@ impl fmt::Display for EngineError {
             EngineError::Core(e) => write!(f, "{e}"),
             EngineError::Relation(e) => write!(f, "{e}"),
             EngineError::Load { reason } => write!(f, "cannot load dump: {reason}"),
+            EngineError::SeqRegression { current, requested } => write!(
+                f,
+                "cannot resume at seq {requested}: the engine is already at seq {current}"
+            ),
         }
     }
 }

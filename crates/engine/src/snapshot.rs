@@ -60,6 +60,15 @@ fn load_err(reason: impl Into<String>) -> EngineError {
     }
 }
 
+/// A parse error pinned to a 1-based input line — `line N: reason`.
+/// Torn-WAL and checkpoint diagnostics in `relvu-durability` lean on
+/// this prefix to point at the offending line of an embedded dump.
+fn load_err_at(line: usize, reason: impl Into<String>) -> EngineError {
+    EngineError::Load {
+        reason: format!("line {line}: {}", reason.into()),
+    }
+}
+
 impl Database {
     /// Serialize the schema, Σ, base instance and view definitions.
     ///
@@ -127,16 +136,16 @@ impl Database {
     /// [`EngineError::Load`] on malformed input; the usual creation errors
     /// if the dumped state is inconsistent.
     pub fn load(text: &str) -> Result<Database> {
-        let mut lines = text.lines();
-        if lines.next().map(str::trim) != Some("relvu-dump v1") {
-            return Err(load_err("missing `relvu-dump v1` header"));
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+        if lines.next().map(|(_, l)| l.trim()) != Some("relvu-dump v1") {
+            return Err(load_err_at(1, "missing `relvu-dump v1` header"));
         }
         let mut schema: Option<relvu_relation::Schema> = None;
-        let mut fd_lines: Vec<String> = Vec::new();
+        let mut fd_lines: Vec<(usize, String)> = Vec::new();
         let mut rows: Vec<Tuple> = Vec::new();
-        let mut view_lines: Vec<(bool, String)> = Vec::new();
+        let mut view_lines: Vec<(usize, bool, String)> = Vec::new();
         let mut ended = false;
-        for line in lines {
+        for (ln, line) in lines {
             let line = line.trim();
             if line.is_empty() {
                 continue;
@@ -145,30 +154,42 @@ impl Database {
             match head {
                 "schema" => {
                     if schema.is_some() {
-                        return Err(load_err("duplicate `schema` directive"));
+                        return Err(load_err_at(ln, "duplicate `schema` directive"));
                     }
                     let names: Vec<&str> = rest.split_whitespace().collect();
                     schema = Some(
-                        relvu_relation::Schema::new(names).map_err(|e| load_err(e.to_string()))?,
+                        relvu_relation::Schema::new(names)
+                            .map_err(|e| load_err_at(ln, e.to_string()))?,
                     );
                 }
-                "fd" => fd_lines.push(rest.to_string()),
+                "fd" => fd_lines.push((ln, rest.to_string())),
                 "row" => {
                     let vals: std::result::Result<Vec<Value>, _> = rest
                         .split_whitespace()
                         .map(|w| w.parse::<u64>().map(Value::Const))
                         .collect();
-                    rows.push(Tuple::new(
-                        vals.map_err(|_| load_err(format!("bad row `{line}`")))?,
-                    ));
+                    let vals = vals.map_err(|_| load_err_at(ln, format!("bad row `{line}`")))?;
+                    if let Some(s) = &schema {
+                        if vals.len() != s.arity() {
+                            return Err(load_err_at(
+                                ln,
+                                format!(
+                                    "row has {} values but the schema has {} attributes",
+                                    vals.len(),
+                                    s.arity()
+                                ),
+                            ));
+                        }
+                    }
+                    rows.push(Tuple::new(vals));
                 }
-                "view" => view_lines.push((false, rest.to_string())),
-                "sview" => view_lines.push((true, rest.to_string())),
+                "view" => view_lines.push((ln, false, rest.to_string())),
+                "sview" => view_lines.push((ln, true, rest.to_string())),
                 "end" => {
                     ended = true;
                     break;
                 }
-                other => return Err(load_err(format!("unknown directive `{other}`"))),
+                other => return Err(load_err_at(ln, format!("unknown directive `{other}`"))),
             }
         }
         if !ended {
@@ -176,23 +197,23 @@ impl Database {
         }
         let schema = schema.ok_or_else(|| load_err("missing `schema` line"))?;
         let mut fds = relvu_deps::FdSet::default();
-        for l in &fd_lines {
-            fds.push(relvu_deps::Fd::parse(&schema, l).map_err(|e| load_err(e.to_string()))?);
+        for (ln, l) in &fd_lines {
+            fds.push(relvu_deps::Fd::parse(&schema, l).map_err(|e| load_err_at(*ln, e.to_string()))?);
         }
         let base =
             Relation::from_rows(schema.universe(), rows).map_err(|e| load_err(e.to_string()))?;
         let db = Database::new(schema.clone(), fds, base)?;
-        for (is_selection, l) in view_lines {
+        for (ln, is_selection, l) in view_lines {
             let words: Vec<&str> = l.split_whitespace().collect();
             if words.len() < 3 {
-                return Err(load_err(format!("bad view line `{l}`")));
+                return Err(load_err_at(ln, format!("bad view line `{l}`")));
             }
             let name = words[0];
             let policy = match words[1] {
                 "exact" => Policy::Exact,
                 "test1" => Policy::Test1,
                 "test2" => Policy::Test2,
-                p => return Err(load_err(format!("unknown policy `{p}`"))),
+                p => return Err(load_err_at(ln, format!("unknown policy `{p}`"))),
             };
             // Sections: [auto] x <names…> y <names…> [pred <a op v>…].
             // `auto` only counts as the marker *before* the first section
@@ -212,18 +233,18 @@ impl Database {
                             x.insert(
                                 schema
                                     .attr_checked(w)
-                                    .map_err(|e| load_err(e.to_string()))?,
+                                    .map_err(|e| load_err_at(ln, e.to_string()))?,
                             );
                         }
                         "y" => {
                             y.insert(
                                 schema
                                     .attr_checked(w)
-                                    .map_err(|e| load_err(e.to_string()))?,
+                                    .map_err(|e| load_err_at(ln, e.to_string()))?,
                             );
                         }
                         "pred" => pred_toks.push(w),
-                        _ => return Err(load_err(format!("stray token `{w}` in `{l}`"))),
+                        _ => return Err(load_err_at(ln, format!("stray token `{w}` in `{l}`"))),
                     },
                 }
             }
@@ -233,18 +254,18 @@ impl Database {
             let y = if auto { None } else { Some(y) };
             if is_selection {
                 if pred_toks.len() % 3 != 0 || pred_toks.is_empty() {
-                    return Err(load_err(format!("bad predicate in `{l}`")));
+                    return Err(load_err_at(ln, format!("bad predicate in `{l}`")));
                 }
                 let mut pred = Pred::all();
                 for chunk in pred_toks.chunks(3) {
                     let attr = schema
                         .attr_checked(chunk[0])
-                        .map_err(|e| load_err(e.to_string()))?;
+                        .map_err(|e| load_err_at(ln, e.to_string()))?;
                     let op = parse_cmp(chunk[1])
-                        .ok_or_else(|| load_err(format!("bad operator `{}`", chunk[1])))?;
+                        .ok_or_else(|| load_err_at(ln, format!("bad operator `{}`", chunk[1])))?;
                     let value: u64 = chunk[2]
                         .parse()
-                        .map_err(|_| load_err(format!("bad constant `{}`", chunk[2])))?;
+                        .map_err(|_| load_err_at(ln, format!("bad constant `{}`", chunk[2])))?;
                     pred = pred.and(attr, op, value);
                 }
                 db.create_selection_view(name, x, y, pred)?;
@@ -317,6 +338,26 @@ mod tests {
             Database::load("relvu-dump v1\nschema A B\nwat 1\nend\n"),
             Err(EngineError::Load { .. })
         ));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let reason = |text: &str| match Database::load(text) {
+            Err(EngineError::Load { reason }) => reason,
+            Err(other) => panic!("expected Load error, got {other:?}"),
+            Ok(_) => panic!("expected Load error, got a database"),
+        };
+        assert!(reason("nope").starts_with("line 1:"));
+        assert!(reason("relvu-dump v1\nschema A B\nwat 1\nend\n").starts_with("line 3:"));
+        assert!(reason("relvu-dump v1\nschema A B\nrow 1 x\nend\n").starts_with("line 3:"));
+        // Row arity mismatches are pinned to the row, not deferred to the
+        // final Relation::from_rows.
+        let r = reason("relvu-dump v1\nschema A B\nrow 1 2\nrow 3\nend\n");
+        assert!(r.starts_with("line 4:"), "{r}");
+        let r = reason("relvu-dump v1\nschema A B\nfd A -> C\nend\n");
+        assert!(r.starts_with("line 3:"), "{r}");
+        let r = reason("relvu-dump v1\nschema A B\nview v exact x A y Q\nend\n");
+        assert!(r.starts_with("line 3:"), "{r}");
     }
 
     #[test]

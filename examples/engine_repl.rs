@@ -1,4 +1,6 @@
-//! A tiny interactive shell over the view-update engine.
+//! A tiny interactive shell over the view-update engine — now with the
+//! durability layer underneath: every accepted update is written to a
+//! WAL (in-memory [`MemVfs`], so the demo needs no files on disk).
 //!
 //! ```sh
 //! cargo run --example engine_repl
@@ -14,25 +16,43 @@
 //! delete <emp> <dept>  remove through the view
 //! move <emp> <d1> <d2> replace (emp,d1) by (emp,d2)
 //! log                  show the audit log
+//! \wal                 WAL status: next seq, segments, bytes
+//! \checkpoint          write a checkpoint (prunes covered WAL segments)
+//! \crash               simulate a crash + recovery from durable storage
 //! \metrics             dump engine metrics (Prometheus text format)
 //! quit
 //! ```
 
 use std::io::{self, BufRead, Write};
 
+use relvu::durability::{DurabilityError, DurableDatabase, MemVfs, Vfs, WalOptions};
 use relvu::engine::{Database, EngineError, Policy};
 use relvu::relation::{RelationDisplay, Tuple};
 use relvu::workload::fixtures;
 
-fn main() {
-    let f = fixtures::edm();
+fn fresh_engine(f: &fixtures::EdmFixture) -> Database {
     let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).expect("legal base");
     db.create_view("staff", f.x, Some(f.y), Policy::Exact)
         .expect("complementary");
+    db
+}
+
+fn main() {
+    let f = fixtures::edm();
+    let mut vfs = MemVfs::new();
+    // Small segments so `\wal` shows rotation after a handful of updates.
+    let opts = WalOptions {
+        segment_bytes: 1024,
+        ..WalOptions::default()
+    };
+    let mut ddb =
+        DurableDatabase::create(vfs.clone(), fresh_engine(&f), opts).expect("fresh store");
 
     println!("relvu engine shell — view `staff` over Emp/Dept, complement Dept/Mgr");
+    println!("durability: WAL + checkpoints on an in-memory store");
     println!(
-        "commands: show | base | insert E D | delete E D | move E D1 D2 | log | \\metrics | quit"
+        "commands: show | base | insert E D | delete E D | move E D1 D2 | log \
+         | \\wal | \\checkpoint | \\crash | \\metrics | quit"
     );
 
     let stdin = io::stdin();
@@ -49,36 +69,97 @@ fn main() {
             [] => {}
             ["quit"] | ["exit"] => break,
             ["show"] => {
-                let v = db.view_instance("staff").expect("registered");
+                let v = ddb.engine().view_instance("staff").expect("registered");
                 print!("{}", RelationDisplay::new(&v, &f.schema, Some(&f.dict)));
             }
             ["base"] => {
-                let b = db.base();
+                let b = ddb.engine().base();
                 print!("{}", RelationDisplay::new(&b, &f.schema, Some(&f.dict)));
             }
             ["insert", e, d] => {
-                report(db.insert_via("staff", Tuple::new([f.dict.sym(e), f.dict.sym(d)])));
+                report(ddb.apply(
+                    "staff",
+                    relvu::engine::UpdateOp::Insert {
+                        t: Tuple::new([f.dict.sym(e), f.dict.sym(d)]),
+                    },
+                ));
             }
             ["delete", e, d] => {
-                report(db.delete_via("staff", Tuple::new([f.dict.sym(e), f.dict.sym(d)])));
+                report(ddb.apply(
+                    "staff",
+                    relvu::engine::UpdateOp::Delete {
+                        t: Tuple::new([f.dict.sym(e), f.dict.sym(d)]),
+                    },
+                ));
             }
             ["move", e, d1, d2] => {
-                report(db.replace_via(
+                report(ddb.apply(
                     "staff",
-                    Tuple::new([f.dict.sym(e), f.dict.sym(d1)]),
-                    Tuple::new([f.dict.sym(e), f.dict.sym(d2)]),
+                    relvu::engine::UpdateOp::Replace {
+                        t1: Tuple::new([f.dict.sym(e), f.dict.sym(d1)]),
+                        t2: Tuple::new([f.dict.sym(e), f.dict.sym(d2)]),
+                    },
                 ));
             }
             ["log"] => {
-                for entry in db.log() {
+                for entry in ddb.engine().log() {
                     println!(
                         "  #{} {:?} ({} → {} rows)",
                         entry.seq, entry.op, entry.rows_before, entry.rows_after
                     );
                 }
             }
+            ["\\wal"] | ["wal"] => {
+                let st = ddb.wal_status();
+                println!(
+                    "  next seq {}, {} records appended this session{}",
+                    st.next_seq,
+                    st.records_appended,
+                    if st.poisoned { " [POISONED]" } else { "" }
+                );
+                match vfs.list() {
+                    Ok(names) => {
+                        for name in names {
+                            let len = vfs.file_len(&name).unwrap_or(0);
+                            println!("  {name}  {len} bytes");
+                        }
+                    }
+                    Err(e) => println!("  storage error: {e}"),
+                }
+            }
+            ["\\checkpoint"] | ["checkpoint"] => match ddb.checkpoint() {
+                Ok(seq) => println!("checkpointed at seq {seq}"),
+                Err(e) => println!("checkpoint failed: {e}"),
+            },
+            ["\\crash"] | ["crash"] => {
+                // What would a restarted process see? Exactly the fsynced
+                // prefix of the store.
+                let image = vfs.crash_image();
+                match DurableDatabase::recover(image.clone(), opts) {
+                    Ok((recovered, report)) => {
+                        println!(
+                            "recovered from `{}` (seq {}) + {} WAL records → seq {}",
+                            report.checkpoint,
+                            report.checkpoint_seq,
+                            report.records_replayed,
+                            report.last_seq
+                        );
+                        if let Some(t) = report.torn_truncated {
+                            println!("  truncated torn tail in `{}` at {}", t.segment, t.offset);
+                        }
+                        let lost = ddb.engine().last_seq() - report.last_seq;
+                        if lost > 0 {
+                            println!("  {lost} unsynced update(s) would be lost");
+                        }
+                        // The "restarted process" now lives on the image.
+                        ddb = recovered;
+                        vfs = image;
+                    }
+                    Err(e) => println!("recovery failed: {e}"),
+                }
+            }
             ["\\metrics"] | ["metrics"] => {
-                print!("{}", db.metrics().render_prometheus());
+                print!("{}", ddb.engine().metrics().render_prometheus());
             }
             other => println!("unknown command: {other:?}"),
         }
@@ -88,13 +169,13 @@ fn main() {
     println!("bye");
 }
 
-fn report(result: Result<relvu::engine::UpdateReport, EngineError>) {
+fn report(result: Result<relvu::engine::UpdateReport, DurabilityError>) {
     match result {
         Ok(r) => println!(
-            "ok: base {} → {} rows",
+            "ok (durable): base {} → {} rows",
             r.base_rows_before, r.base_rows_after
         ),
-        Err(EngineError::Rejected { trace, .. }) => {
+        Err(DurabilityError::Engine(EngineError::Rejected { trace, .. })) => {
             println!("rejected (untranslatable): {trace}");
         }
         Err(e) => println!("error: {e}"),

@@ -14,6 +14,8 @@
 //! * [`core`] — the paper's algorithms: complements, translatability tests,
 //!   insertion/deletion/replacement translation, complement search;
 //! * [`engine`] — a usable updatable-view database engine;
+//! * [`durability`] — write-ahead logging, atomic checkpoints, crash
+//!   recovery, and a deterministic fault-injection harness;
 //! * [`logic`] — 3-CNF/SAT/QBF oracles and the paper's hardness reductions;
 //! * [`workload`] — reproducible generators for benches and tests;
 //! * [`obs`] — metrics substrate (counters, latency histograms, registry).
@@ -38,6 +40,7 @@
 pub use relvu_chase as chase;
 pub use relvu_core as core;
 pub use relvu_deps as deps;
+pub use relvu_durability as durability;
 pub use relvu_engine as engine;
 pub use relvu_logic as logic;
 pub use relvu_obs as obs;
@@ -53,6 +56,7 @@ pub mod prelude {
         Test2, Translatability, Translation,
     };
     pub use relvu_deps::{closure, Fd, FdSet, Jd, Mvd};
+    pub use relvu_durability::{DurableDatabase, MemVfs, StdVfs, SyncPolicy, Vfs, WalOptions};
     pub use relvu_engine::{
         BatchOptions, BatchReport, BatchRequest, BatchStats, Database, Policy, UpdateOp,
     };

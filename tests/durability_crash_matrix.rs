@@ -1,0 +1,327 @@
+//! The durability contract, checked exhaustively: for EVERY possible
+//! crash point in a scripted workload, recovery must reconstruct
+//! exactly the prefix of updates whose commit record reached durable
+//! storage — never more (no phantom updates), never less (no lost
+//! acknowledged updates), and always a Σ-consistent database.
+//!
+//! The harness is the fault-injecting [`MemVfs`]: it counts mutating
+//! storage operations, so a baseline run yields a map from "operation
+//! budget `k`" to "updates durably acknowledged by then". The matrix
+//! then replays the identical workload once per `k` with a scripted
+//! crash, recovers from the crash image, and compares dumps. No real
+//! filesystem is involved anywhere.
+
+use relvu::durability::{
+    DurabilityError, DurableDatabase, FaultPlan, MemVfs, SyncPolicy, Vfs, WalOptions,
+};
+use relvu::prelude::*;
+use relvu_workload::schema_gen::{self, BenchSchema};
+use relvu_workload::update_gen::{self, BatchMix, ViewUpdate};
+use relvu_workload::instance_gen;
+
+use rand::prelude::*;
+
+const SEED: u64 = 0xC0DA_1983;
+/// The acceptance bar: at least this many updates must commit.
+const MIN_ACCEPTED: usize = 64;
+/// Checkpoint mid-workload after this many accepted updates, so the
+/// matrix crosses checkpoint writes, pruning, and replay-from-ckpt.
+const CHECKPOINT_AFTER: usize = 32;
+
+/// Tiny segments force several rotations over the workload.
+fn opts() -> WalOptions {
+    WalOptions {
+        sync: SyncPolicy::Always,
+        segment_bytes: 512,
+    }
+}
+
+struct Script {
+    bench: BenchSchema,
+    base: Relation,
+    updates: Vec<UpdateOp>,
+}
+
+/// One deterministic workload script, reused verbatim by every run.
+fn script() -> Script {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let bench = schema_gen::edm_family(2);
+    let base = instance_gen::edm_instance(&mut rng, &bench.schema, 40, 6);
+    let v = instance_gen::view_of(&base, bench.x);
+    let shared = bench.x & bench.y;
+    let mix = BatchMix {
+        insert: 8,
+        delete: 1,
+        replace: 2,
+        reject: 1,
+    };
+    let updates = update_gen::update_batch(&mut rng, bench.x, shared, &v, 96, mix, 1 << 40)
+        .into_iter()
+        .map(|u| match u {
+            ViewUpdate::Insert(t) => UpdateOp::Insert { t },
+            ViewUpdate::Delete(t) => UpdateOp::Delete { t },
+            ViewUpdate::Replace(t1, t2) => UpdateOp::Replace { t1, t2 },
+        })
+        .collect();
+    Script {
+        bench,
+        base,
+        updates,
+    }
+}
+
+fn fresh_db(s: &Script) -> Database {
+    let db = Database::new(s.bench.schema.clone(), s.bench.fds.clone(), s.base.clone()).unwrap();
+    db.create_view("staff", s.bench.x, Some(s.bench.y), Policy::Exact)
+        .unwrap();
+    db
+}
+
+/// A durably acknowledged update in the baseline run.
+struct Ack {
+    /// `MemVfs::write_ops()` when the ack returned — the last storage
+    /// operation this update needed.
+    ops: u64,
+    /// Engine state right after the ack.
+    dump: String,
+    seq: u64,
+}
+
+struct Trace {
+    /// Operations consumed by `DurableDatabase::create`.
+    ops_created: u64,
+    dump_created: String,
+    acks: Vec<Ack>,
+}
+
+/// Run the scripted workload against `vfs`. Stops at the injected crash
+/// (if the plan has one); rejected updates are skipped exactly as a
+/// client retry loop would skip them.
+fn run(s: &Script, vfs: &MemVfs) -> Trace {
+    let ddb = match DurableDatabase::create(vfs.clone(), fresh_db(s), opts()) {
+        Ok(d) => d,
+        Err(_) => {
+            return Trace {
+                ops_created: u64::MAX, // creation itself crashed
+                dump_created: String::new(),
+                acks: Vec::new(),
+            };
+        }
+    };
+    let mut trace = Trace {
+        ops_created: vfs.write_ops(),
+        dump_created: ddb.engine().dump(),
+        acks: Vec::new(),
+    };
+    for op in &s.updates {
+        match ddb.apply("staff", op.clone()) {
+            Ok(_) => trace.acks.push(Ack {
+                ops: vfs.write_ops(),
+                dump: ddb.engine().dump(),
+                seq: ddb.engine().last_seq(),
+            }),
+            // An engine rejection consumes no storage ops; skip it.
+            Err(DurabilityError::Engine(_)) => continue,
+            // The injected crash surfaced (directly or as poisoning).
+            Err(_) => return trace,
+        }
+        if trace.acks.len() == CHECKPOINT_AFTER && ddb.checkpoint().is_err() {
+            return trace;
+        }
+    }
+    trace
+}
+
+/// For every crash point `k`, recovery must yield exactly the durable
+/// prefix of the baseline run.
+#[test]
+fn recovery_yields_exactly_the_durable_prefix_at_every_crash_point() {
+    let s = script();
+
+    // Baseline: no faults, the whole script commits.
+    let baseline_vfs = MemVfs::new();
+    let baseline = run(&s, &baseline_vfs);
+    assert!(
+        baseline.acks.len() >= MIN_ACCEPTED,
+        "workload too small for the acceptance bar: {} accepted",
+        baseline.acks.len()
+    );
+    let total_ops = baseline_vfs.write_ops();
+    let rotated = baseline_vfs
+        .list()
+        .unwrap()
+        .iter()
+        .filter(|n| n.starts_with("wal-"))
+        .count();
+    assert!(rotated >= 2, "workload must span several WAL segments");
+
+    for k in 0..=total_ops {
+        let vfs = MemVfs::with_plan(FaultPlan::crash_after(k));
+        run(&s, &vfs);
+        assert_eq!(vfs.crashed(), k < total_ops, "crash point {k}");
+        let image = vfs.crash_image();
+        match DurableDatabase::recover(image, opts()) {
+            Ok((recovered, report)) => {
+                // The durable prefix: every ack whose last storage op
+                // fit inside the budget k.
+                let (want_dump, want_seq) = baseline
+                    .acks
+                    .iter()
+                    .take_while(|a| a.ops <= k)
+                    .last()
+                    .map_or((baseline.dump_created.as_str(), 0), |a| {
+                        (a.dump.as_str(), a.seq)
+                    });
+                assert_eq!(
+                    recovered.engine().dump(),
+                    want_dump,
+                    "crash point {k}: recovered state is not the durable prefix"
+                );
+                assert_eq!(
+                    recovered.engine().last_seq(),
+                    want_seq,
+                    "crash point {k}: wrong sequence number"
+                );
+                recovered
+                    .check_invariants()
+                    .unwrap_or_else(|e| panic!("crash point {k}: invariants violated: {e}"));
+                assert_eq!(
+                    report.last_seq, want_seq,
+                    "crash point {k}: report disagrees with engine"
+                );
+            }
+            Err(DurabilityError::NoCheckpoint) => {
+                // Legitimate only while the initial checkpoint was still
+                // being written (create → sync → rename).
+                assert!(
+                    k < baseline.ops_created,
+                    "crash point {k}: store lost its checkpoint after creation"
+                );
+            }
+            Err(e) => panic!("crash point {k}: recovery failed: {e}"),
+        }
+    }
+}
+
+/// A crashed-and-recovered database must keep accepting updates, and
+/// the updates must be durable in turn.
+#[test]
+fn recovered_database_remains_usable() {
+    let s = script();
+    let vfs = MemVfs::new();
+    let baseline = run(&s, &vfs);
+    // Crash somewhere past the mid-workload checkpoint.
+    let k = baseline.acks[CHECKPOINT_AFTER + 7].ops;
+    let crash_vfs = MemVfs::with_plan(FaultPlan::crash_after(k));
+    run(&s, &crash_vfs);
+    let image = crash_vfs.crash_image();
+    let (recovered, _) = DurableDatabase::recover(image.clone(), opts()).unwrap();
+    let before = recovered.engine().last_seq();
+
+    // Push the remaining script through the recovered handle.
+    let mut accepted = 0;
+    for op in &s.updates {
+        match recovered.apply("staff", op.clone()) {
+            Ok(_) => accepted += 1,
+            Err(DurabilityError::Engine(_)) => continue,
+            Err(e) => panic!("post-recovery apply failed: {e}"),
+        }
+    }
+    assert!(accepted > 0, "script exhausted before recovery point");
+    assert_eq!(recovered.engine().last_seq(), before + accepted);
+
+    // And those post-recovery commits survive another crash.
+    let (again, report) = DurableDatabase::recover(image.crash_image(), opts()).unwrap();
+    assert_eq!(again.engine().dump(), recovered.engine().dump());
+    assert!(report.records_replayed > 0);
+    again.check_invariants().unwrap();
+}
+
+/// A flipped bit in a non-tail WAL record is mid-log corruption:
+/// recovery must refuse with a diagnostic naming the record's offset,
+/// not silently truncate acknowledged updates.
+#[test]
+fn mid_log_bit_flip_is_refused_with_the_record_offset() {
+    let s = script();
+    let vfs = MemVfs::new();
+    // Large segments: the whole log stays in one segment, so every
+    // record but the last is structurally "non-tail".
+    let big = WalOptions {
+        sync: SyncPolicy::Always,
+        segment_bytes: 1 << 20,
+    };
+    let ddb = DurableDatabase::create(vfs.clone(), fresh_db(&s), big).unwrap();
+    let mut accepted = 0;
+    for op in &s.updates {
+        if ddb.apply("staff", op.clone()).is_ok() {
+            accepted += 1;
+        }
+        if accepted == 10 {
+            break;
+        }
+    }
+    let scan = relvu::durability::scan(&vfs).unwrap();
+    assert_eq!(scan.records.len(), 10);
+    let victim = &scan.records[3];
+    // Flip one payload bit of the fourth record.
+    vfs.flip_bits(
+        &victim.segment,
+        victim.offset as usize + relvu::durability::FRAME_HEADER + 1,
+        0x08,
+    );
+    match DurableDatabase::recover(vfs.crash_image(), big) {
+        Err(DurabilityError::CorruptRecord {
+            segment,
+            offset,
+            detail,
+        }) => {
+            assert_eq!(segment, victim.segment);
+            assert_eq!(offset, victim.offset);
+            assert!(detail.contains("checksum"), "diagnostic: {detail}");
+        }
+        Ok(_) => panic!("corrupt log recovered silently"),
+        Err(e) => panic!("wrong error for mid-log corruption: {e}"),
+    }
+}
+
+/// A short (torn) append is the benign case: the torn tail is truncated,
+/// every earlier update survives, and the handle keeps working.
+#[test]
+fn torn_tail_is_truncated_and_the_prefix_survives() {
+    let s = script();
+    // Baseline to locate the final append: with `SyncPolicy::Always`
+    // each ack ends with its fsync, so the next append is op `ops + 1`.
+    let baseline_vfs = MemVfs::new();
+    let baseline = run(&s, &baseline_vfs);
+    let n = CHECKPOINT_AFTER + 11;
+    let torn_op = baseline.acks[n - 1].ops + 1;
+
+    let vfs = MemVfs::with_plan(FaultPlan::short_write(torn_op, 7));
+    run(&s, &vfs);
+    assert!(vfs.crashed());
+    let image = vfs.crash_image();
+    let (recovered, report) = DurableDatabase::recover(image.clone(), opts()).unwrap();
+    let torn = report.torn_truncated.expect("torn tail detected");
+    assert_eq!(recovered.engine().dump(), baseline.acks[n - 1].dump);
+    assert_eq!(recovered.engine().last_seq(), baseline.acks[n - 1].seq);
+
+    // The truncation really happened on storage.
+    let len = image.file_len(&torn.segment).unwrap();
+    assert_eq!(len, torn.offset);
+
+    // And the handle accepts new durable updates after the repair.
+    let mut accepted = 0;
+    for op in &s.updates {
+        match recovered.apply("staff", op.clone()) {
+            Ok(_) => accepted += 1,
+            Err(DurabilityError::Engine(_)) => continue,
+            Err(e) => panic!("apply after torn-tail repair failed: {e}"),
+        }
+        if accepted == 5 {
+            break;
+        }
+    }
+    assert_eq!(accepted, 5);
+    let (again, _) = DurableDatabase::recover(image.crash_image(), opts()).unwrap();
+    assert_eq!(again.engine().dump(), recovered.engine().dump());
+}
