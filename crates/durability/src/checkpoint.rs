@@ -59,10 +59,10 @@ fn body_crc(body: &str) -> u64 {
 /// number. Returns the sequence number the checkpoint covers.
 ///
 /// After the rename commits the new file, old checkpoints beyond the
-/// retention count and WAL segments wholly covered by this checkpoint
-/// are removed — failures there are real errors (the store must not
-/// accumulate garbage silently), but the checkpoint itself is already
-/// durable once the rename returns.
+/// retention count and WAL segments wholly below the *oldest retained*
+/// checkpoint are removed — failures there are real errors (the store
+/// must not accumulate garbage silently), but the checkpoint itself is
+/// already durable once the rename returns.
 ///
 /// # Errors
 /// [`DurabilityError::Vfs`] on any storage failure.
@@ -82,28 +82,38 @@ pub fn write_checkpoint<V: Vfs>(vfs: &V, db: &Database) -> Result<u64, Durabilit
     vfs.sync(TMP_NAME)?;
     vfs.rename(TMP_NAME, &checkpoint_name(seq))?;
     relvu_obs::counter!("durability.checkpoints").inc();
-    prune(vfs, seq)?;
+    prune(vfs)?;
     Ok(seq)
 }
 
 /// Remove checkpoints beyond the retention window and WAL segments
-/// wholly below the checkpoint at `seq`.
-fn prune<V: Vfs>(vfs: &V, seq: u64) -> Result<(), DurabilityError> {
+/// wholly below the **oldest retained** checkpoint.
+///
+/// The bound must be the oldest retained checkpoint, not the one just
+/// written: retaining a spare checkpoint is only useful if recovery can
+/// actually fall back to it, and that requires every record between the
+/// spare and the newest checkpoint to still be replayable. Pruning up
+/// to the newest seq would leave the spare without a replay tail —
+/// recovery from it would hit a `SeqGap` and the store would be
+/// unrecoverable despite the spare.
+fn prune<V: Vfs>(vfs: &V) -> Result<(), DurabilityError> {
     let ckpts = list_checkpoints(vfs)?;
     if ckpts.len() > RETAIN {
         for (name, _) in &ckpts[..ckpts.len() - RETAIN] {
             vfs.remove(name)?;
         }
     }
-    // A segment is removable iff every record in it has seq <= checkpoint
-    // seq, i.e. some later segment starts at or below seq + 1 (segment
-    // names carry their first record's seq, so the next segment's first
-    // seq bounds this one's last).
+    // `ckpts` is never empty here: the caller just committed one.
+    let oldest_retained = ckpts[ckpts.len().saturating_sub(RETAIN)].1;
+    // A segment is removable iff every record in it has seq <= the
+    // oldest retained checkpoint's seq, i.e. some later segment starts
+    // at or below that seq + 1 (segment names carry their first record's
+    // seq, so the next segment's first seq bounds this one's last).
     let segments = list_segments(vfs)?;
     for window in segments.windows(2) {
         let (ref name, _) = window[0];
         let (_, next_first) = window[1];
-        if next_first <= seq + 1 {
+        if next_first <= oldest_retained + 1 {
             vfs.remove(name)?;
         }
     }

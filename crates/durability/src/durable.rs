@@ -16,7 +16,10 @@
 //!
 //! DDL (creating views, replacing Σ) is not logged as WAL records; each
 //! DDL call checkpoints immediately afterwards so the change is durable
-//! before it is acknowledged.
+//! before it is acknowledged. If that checkpoint fails the handle
+//! poisons itself: the schema change would be live in memory but absent
+//! from every durable checkpoint, and acknowledging further updates
+//! against it would strand WAL records recovery cannot replay.
 
 use parking_lot::Mutex;
 
@@ -86,7 +89,7 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// [`DurabilityError::InvariantViolation`] if the recovered state is
     /// inconsistent.
     pub fn recover(vfs: V, opts: WalOptions) -> Result<(Self, RecoveryReport), DurabilityError> {
-        let recovered = recover_from(&vfs)?;
+        let recovered = recover_from(&vfs, opts.sync)?;
         let wal = Wal::new(
             vfs.clone(),
             opts,
@@ -110,7 +113,9 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// # Errors
     /// [`DurabilityError::Engine`] if the engine rejects the update
     /// (nothing is logged); [`DurabilityError::Poisoned`] /
-    /// [`DurabilityError::Vfs`] on durability failures.
+    /// [`DurabilityError::Vfs`] / [`DurabilityError::Encode`] on
+    /// durability failures — any of which poisons the handle, since the
+    /// update is in memory but not in the log.
     pub fn apply(&self, view: &str, op: UpdateOp) -> Result<UpdateReport, DurabilityError> {
         let mut wal = self.wal.lock();
         if wal.is_poisoned() {
@@ -147,10 +152,28 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         write_checkpoint(&self.vfs, &self.db)
     }
 
+    /// Checkpoint after a DDL change, with the WAL lock held. A failure
+    /// here poisons the handle: the DDL is live in memory but in no
+    /// durable checkpoint, so further acknowledged updates would append
+    /// WAL records referencing schema recovery cannot rebuild.
+    fn ddl_checkpoint(&self, wal: &mut Wal<V>) -> Result<(), DurabilityError> {
+        // Pay any outstanding sync debt first (wal.sync poisons itself
+        // on failure).
+        wal.sync()?;
+        match write_checkpoint(&self.vfs, &self.db) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                wal.poison();
+                Err(e)
+            }
+        }
+    }
+
     /// Register a projective view durably (DDL checkpoint included).
     ///
     /// # Errors
-    /// As [`Database::create_view`], plus durability failures.
+    /// As [`Database::create_view`], plus durability failures (which
+    /// poison the handle — see [`DurabilityError::Poisoned`]).
     pub fn create_view(
         &self,
         name: &str,
@@ -158,15 +181,19 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         y: Option<AttrSet>,
         policy: Policy,
     ) -> Result<(), DurabilityError> {
+        let mut wal = self.wal.lock();
+        if wal.is_poisoned() {
+            return Err(DurabilityError::Poisoned);
+        }
         self.db.create_view(name, x, y, policy)?;
-        self.checkpoint()?;
-        Ok(())
+        self.ddl_checkpoint(&mut wal)
     }
 
     /// Register a selection view durably (DDL checkpoint included).
     ///
     /// # Errors
-    /// As [`Database::create_selection_view`], plus durability failures.
+    /// As [`Database::create_selection_view`], plus durability failures
+    /// (which poison the handle — see [`DurabilityError::Poisoned`]).
     pub fn create_selection_view(
         &self,
         name: &str,
@@ -174,19 +201,26 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         y: Option<AttrSet>,
         pred: Pred,
     ) -> Result<(), DurabilityError> {
+        let mut wal = self.wal.lock();
+        if wal.is_poisoned() {
+            return Err(DurabilityError::Poisoned);
+        }
         self.db.create_selection_view(name, x, y, pred)?;
-        self.checkpoint()?;
-        Ok(())
+        self.ddl_checkpoint(&mut wal)
     }
 
     /// Replace Σ durably (DDL checkpoint included).
     ///
     /// # Errors
-    /// As [`Database::set_fds`], plus durability failures.
+    /// As [`Database::set_fds`], plus durability failures (which poison
+    /// the handle — see [`DurabilityError::Poisoned`]).
     pub fn set_fds(&self, fds: FdSet) -> Result<(), DurabilityError> {
+        let mut wal = self.wal.lock();
+        if wal.is_poisoned() {
+            return Err(DurabilityError::Poisoned);
+        }
         self.db.set_fds(fds)?;
-        self.checkpoint()?;
-        Ok(())
+        self.ddl_checkpoint(&mut wal)
     }
 
     /// Explicit durability barrier: fsync the WAL's current segment.
@@ -229,5 +263,43 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// The storage backend (for tests and tooling).
     pub fn vfs(&self) -> &V {
         &self.vfs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::VfsError;
+    use crate::vfs::{FaultPlan, MemVfs};
+    use relvu_relation::Tuple;
+    use relvu_workload::fixtures;
+
+    #[test]
+    fn failed_ddl_checkpoint_poisons_the_handle() {
+        let f = fixtures::edm();
+        let db = Database::new(f.schema, f.fds, f.base).unwrap();
+        db.create_view("xy", f.x, Some(f.y), Policy::Exact).unwrap();
+        let vfs = MemVfs::new();
+        let ddb = DurableDatabase::create(vfs.clone(), db, WalOptions::default()).unwrap();
+        // Arm the crash at the current op count: the DDL checkpoint's
+        // very first storage operation fails.
+        vfs.set_plan(FaultPlan::crash_after(vfs.write_ops()));
+        let err = ddb
+            .create_view("xy2", f.x, Some(f.y), Policy::Exact)
+            .unwrap_err();
+        assert!(matches!(err, DurabilityError::Vfs(VfsError::Crashed)));
+        // The view is live in memory but in no durable checkpoint;
+        // acknowledging updates now would strand WAL records against a
+        // schema recovery cannot rebuild. The handle must refuse.
+        assert!(ddb.wal_status().poisoned);
+        let t = Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]);
+        assert!(matches!(
+            ddb.apply("xy", UpdateOp::Insert { t }),
+            Err(DurabilityError::Poisoned)
+        ));
+        assert!(matches!(
+            ddb.set_fds(ddb.engine().fds()),
+            Err(DurabilityError::Poisoned)
+        ));
     }
 }

@@ -17,13 +17,20 @@
 //!   [`SyncPolicy`];
 //! * checkpoints ([`write_checkpoint`], [`load_checkpoint`]) — full
 //!   `relvu-dump v1` snapshots committed by the temp/fsync/rename
-//!   protocol, after which covered WAL segments are pruned;
+//!   protocol; two checkpoints are retained and WAL segments are pruned
+//!   only below the *older* one, so the spare always keeps a complete
+//!   replay tail for fallback;
 //! * recovery ([`DurableDatabase::recover`]) — latest valid checkpoint
 //!   plus WAL replay *through the live translators* (each replayed
 //!   record must reproduce the translation recorded at commit time),
 //!   torn tails truncated, mid-log corruption refused with an offset,
 //!   and the paper's invariants re-checked on the result
-//!   ([`check_invariants`]).
+//!   ([`check_invariants`]). A complete final record that fails its
+//!   checksum is *not* treated as torn under [`SyncPolicy::Always`]
+//!   (it was fsynced before acknowledgement, so that shape is media
+//!   corruption and is refused); under the weaker policies it is
+//!   truncated but surfaced via
+//!   [`RecoveryReport::possibly_lost_acknowledged_record`].
 //!
 //! The crash-matrix acceptance test (in the workspace `tests/`
 //! directory) runs a scripted workload once per possible crash point
@@ -71,6 +78,6 @@ pub use record::{decode_frame, decode_payload, encode, FrameOutcome, FRAME_HEADE
 pub use recover::{check_invariants, RecoveryReport};
 pub use vfs::{FaultPlan, MemVfs, ShortWrite, StdVfs, Vfs, VfsResult};
 pub use wal::{
-    parse_segment_name, scan, segment_name, ScannedRecord, SyncPolicy, TornTail, Wal, WalOptions,
-    WalScan,
+    parse_segment_name, scan, segment_name, ScannedRecord, SyncPolicy, TornKind, TornTail, Wal,
+    WalOptions, WalScan,
 };

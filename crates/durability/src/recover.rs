@@ -15,7 +15,7 @@ use relvu_engine::Database;
 use crate::checkpoint::{self, LoadedCheckpoint};
 use crate::error::DurabilityError;
 use crate::vfs::Vfs;
-use crate::wal::{self, TornTail};
+use crate::wal::{self, SyncPolicy, TornKind, TornTail};
 
 /// What recovery did, for diagnostics and tests.
 #[derive(Debug, Clone)]
@@ -34,6 +34,22 @@ pub struct RecoveryReport {
     pub last_seq: u64,
 }
 
+impl RecoveryReport {
+    /// True when the truncated tail was a structurally complete record
+    /// that failed its checksum. Under `EveryN` / `Never` sync policies
+    /// such a record *may* have been acknowledged (an explicit sync or
+    /// a rotation could have covered it before the crash), so its loss
+    /// deserves operator attention rather than silence. Under
+    /// [`SyncPolicy::Always`] recovery refuses to truncate that shape
+    /// outright, so this is always `false` there.
+    pub fn possibly_lost_acknowledged_record(&self) -> bool {
+        matches!(
+            &self.torn_truncated,
+            Some(t) if t.kind == TornKind::ChecksumFailed
+        )
+    }
+}
+
 /// Recovery output consumed by `DurableDatabase::recover`.
 pub(crate) struct Recovered {
     pub db: Database,
@@ -42,8 +58,14 @@ pub(crate) struct Recovered {
     pub wal_resume: Option<(String, u64)>,
 }
 
-/// Run full recovery against a store.
-pub(crate) fn recover_from<V: Vfs>(vfs: &V) -> Result<Recovered, DurabilityError> {
+/// Run full recovery against a store. `sync` is the policy the store
+/// was written under: it decides whether a checksum-failed final record
+/// can be a torn append (truncatable) or must be media corruption of an
+/// acknowledged record (refused).
+pub(crate) fn recover_from<V: Vfs>(
+    vfs: &V,
+    sync: SyncPolicy,
+) -> Result<Recovered, DurabilityError> {
     let _timer = relvu_obs::histogram!("durability.recovery.replay_ns").timer();
 
     // 1. Latest valid checkpoint. Corruption in the newest is tolerated
@@ -73,9 +95,25 @@ pub(crate) fn recover_from<V: Vfs>(vfs: &V) -> Result<Recovered, DurabilityError
     };
 
     // 2. Scan the WAL; a torn tail is truncated in place so the next
-    //    append continues from the last complete record.
+    //    append continues from the last complete record. One exception:
+    //    under SyncPolicy::Always every acknowledged record was fsynced
+    //    before the ack, and a torn append always shows up as an
+    //    *incomplete* frame (partially persisted bytes are a prefix) —
+    //    so a complete-but-checksum-failed final record is media
+    //    corruption of an acknowledged update, refused exactly like
+    //    mid-log corruption instead of silently truncated.
     let scan = wal::scan(vfs)?;
     if let Some(torn) = &scan.torn {
+        if torn.kind == TornKind::ChecksumFailed && sync == SyncPolicy::Always {
+            return Err(DurabilityError::CorruptRecord {
+                segment: torn.segment.clone(),
+                offset: torn.offset,
+                detail: "checksum mismatch on the final record; under SyncPolicy::Always \
+                         it was fsynced before acknowledgement, so this is media \
+                         corruption, not a torn append — refusing to truncate"
+                    .to_string(),
+            });
+        }
         vfs.truncate(&torn.segment, torn.offset)?;
         relvu_obs::counter!("durability.recovery.torn_truncations").inc();
     }
@@ -195,9 +233,9 @@ pub fn check_invariants(db: &Database) -> Result<(), DurabilityError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checkpoint::write_checkpoint;
+    use crate::checkpoint::{checkpoint_name, write_checkpoint};
     use crate::vfs::MemVfs;
-    use crate::wal::{Wal, WalOptions};
+    use crate::wal::{list_segments, Wal, WalOptions};
     use relvu_engine::{Policy, UpdateOp};
     use relvu_relation::Tuple;
     use relvu_workload::fixtures;
@@ -237,7 +275,7 @@ mod tests {
             wal.append(&entry).unwrap();
         }
         let expected = db.dump();
-        let recovered = recover_from(&vfs).unwrap();
+        let recovered = recover_from(&vfs, SyncPolicy::Always).unwrap();
         assert_eq!(recovered.db.dump(), expected);
         assert_eq!(recovered.report.records_replayed, 2);
         assert_eq!(recovered.db.last_seq(), db.last_seq());
@@ -248,9 +286,101 @@ mod tests {
     fn no_checkpoint_is_a_hard_error() {
         let vfs = MemVfs::new();
         assert!(matches!(
-            recover_from(&vfs),
+            recover_from(&vfs, SyncPolicy::Always),
             Err(DurabilityError::NoCheckpoint)
         ));
+    }
+
+    /// Build a store whose WAL holds three updates spread over three
+    /// segments (segment_bytes = 1 rotates every record), with a second
+    /// checkpoint written after the first two. Returns the final engine
+    /// state's dump and the two checkpoint seqs.
+    fn two_checkpoint_store(vfs: &MemVfs) -> (String, u64, u64) {
+        let (db, dict) = seeded();
+        let opts = WalOptions {
+            segment_bytes: 1,
+            ..WalOptions::default()
+        };
+        let seq_a = write_checkpoint(vfs, &db).unwrap();
+        let mut wal = Wal::new(vfs.clone(), opts, db.last_seq() + 1, None);
+        let ops = [
+            UpdateOp::Insert {
+                t: vt(&dict, "dan", "toys"),
+            },
+            UpdateOp::Delete {
+                t: vt(&dict, "ada", "toys"),
+            },
+            UpdateOp::Insert {
+                t: vt(&dict, "eve", "toys"),
+            },
+        ];
+        let mut it = ops.into_iter();
+        for op in it.by_ref().take(2) {
+            db.apply_op("xy", op).unwrap();
+            wal.append(db.log().last().unwrap()).unwrap();
+        }
+        let seq_b = write_checkpoint(vfs, &db).unwrap();
+        for op in it {
+            db.apply_op("xy", op).unwrap();
+            wal.append(db.log().last().unwrap()).unwrap();
+        }
+        (db.dump(), seq_a, seq_b)
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_with_a_full_replay_tail() {
+        let vfs = MemVfs::new();
+        let (expected, seq_a, seq_b) = two_checkpoint_store(&vfs);
+        // The second checkpoint's pruning must have kept every segment
+        // the *older* retained checkpoint needs for replay.
+        let first_seg = list_segments(&vfs).unwrap()[0].1;
+        assert_eq!(first_seg, seq_a + 1, "fallback replay tail was pruned");
+        // Bit-rot the newest checkpoint: recovery must fall back to the
+        // spare and replay the full tail, losing nothing.
+        let newest = checkpoint_name(seq_b);
+        let len = vfs.read(&newest).unwrap().len();
+        vfs.flip_bits(&newest, len - 2, 0x01);
+        let recovered = recover_from(&vfs, SyncPolicy::Always).unwrap();
+        assert_eq!(recovered.report.checkpoint, checkpoint_name(seq_a));
+        assert_eq!(recovered.report.skipped_checkpoints.len(), 1);
+        assert_eq!(recovered.report.records_replayed, 3);
+        assert_eq!(recovered.db.dump(), expected);
+    }
+
+    #[test]
+    fn checksum_failed_tail_is_refused_under_sync_always() {
+        let vfs = MemVfs::new();
+        two_checkpoint_store(&vfs);
+        let (last_seg, _) = list_segments(&vfs).unwrap().pop().unwrap();
+        let len = vfs.read(&last_seg).unwrap().len();
+        vfs.flip_bits(&last_seg, len - 1, 0x01);
+        // Every record was fsynced before its ack: this is media
+        // corruption of an acknowledged update, not a torn append.
+        match recover_from(&vfs, SyncPolicy::Always) {
+            Err(DurabilityError::CorruptRecord { segment, .. }) => {
+                assert_eq!(segment, last_seg);
+            }
+            other => panic!("expected CorruptRecord, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn checksum_failed_tail_truncates_but_is_surfaced_under_weak_policies() {
+        let vfs = MemVfs::new();
+        let (_, _, seq_b) = two_checkpoint_store(&vfs);
+        let (last_seg, _) = list_segments(&vfs).unwrap().pop().unwrap();
+        let len = vfs.read(&last_seg).unwrap().len();
+        vfs.flip_bits(&last_seg, len - 1, 0x01);
+        // Without fsync-per-record the record may or may not have been
+        // acknowledged; recovery truncates it but must say so. The
+        // newest checkpoint (seq 2) is valid, so the truncated third
+        // record was the only replay candidate.
+        let recovered = recover_from(&vfs, SyncPolicy::EveryN(8)).unwrap();
+        assert_eq!(recovered.report.records_replayed, 0);
+        assert_eq!(recovered.report.last_seq, seq_b);
+        assert!(recovered.report.possibly_lost_acknowledged_record());
+        let torn = recovered.report.torn_truncated.unwrap();
+        assert_eq!(torn.kind, TornKind::ChecksumFailed);
     }
 
     #[test]

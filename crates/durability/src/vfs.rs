@@ -15,7 +15,10 @@
 //! Metadata operations (`create`, `rename`, `remove`, `truncate`) are
 //! modeled as durable once they return — the usual journalling-
 //! filesystem simplification. The checkpoint writer orders its syncs so
-//! that this assumption is never load-bearing for atomicity.
+//! that this assumption is never load-bearing for atomicity. [`StdVfs`]
+//! earns the model on real filesystems by fsyncing the directory
+//! whenever a file is born (first append), renamed, or removed, and by
+//! propagating directory-sync failures instead of swallowing them.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -81,12 +84,15 @@ impl StdVfs {
         self.root.join(name)
     }
 
-    /// Best-effort fsync of the directory itself, so renames and removals
-    /// survive power loss on journalling filesystems.
-    fn sync_dir(&self) {
-        if let Ok(dir) = std::fs::File::open(&self.root) {
-            let _ = dir.sync_all();
-        }
+    /// fsync the directory itself, so file creations, renames, and
+    /// removals survive power loss. Errors propagate: the callers
+    /// (checkpoint rename, segment pruning) act on the assumption that
+    /// the metadata change is durable, so a failed directory sync must
+    /// not be swallowed.
+    fn sync_dir(&self) -> VfsResult<()> {
+        let dir = std::fs::File::open(&self.root)?;
+        dir.sync_all()?;
+        Ok(())
     }
 }
 
@@ -115,11 +121,19 @@ impl Vfs for StdVfs {
 
     fn append(&self, name: &str, data: &[u8]) -> VfsResult<()> {
         use std::io::Write as _;
+        let path = self.path(name);
+        let created = !path.exists();
         let mut f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(self.path(name))?;
+            .open(path)?;
         f.write_all(data)?;
+        if created {
+            // fsyncing the new file alone does not make its directory
+            // entry durable on POSIX: without this, a fully fsynced WAL
+            // segment can vanish wholesale after power loss.
+            self.sync_dir()?;
+        }
         Ok(())
     }
 
@@ -136,14 +150,12 @@ impl Vfs for StdVfs {
 
     fn rename(&self, from: &str, to: &str) -> VfsResult<()> {
         std::fs::rename(self.path(from), self.path(to))?;
-        self.sync_dir();
-        Ok(())
+        self.sync_dir()
     }
 
     fn remove(&self, name: &str) -> VfsResult<()> {
         std::fs::remove_file(self.path(name))?;
-        self.sync_dir();
-        Ok(())
+        self.sync_dir()
     }
 
     fn truncate(&self, name: &str, len: u64) -> VfsResult<()> {
@@ -243,8 +255,15 @@ impl MemVfs {
     /// An empty store with a fault schedule.
     pub fn with_plan(plan: FaultPlan) -> Self {
         let vfs = MemVfs::new();
-        vfs.inner.lock().plan = plan;
+        vfs.set_plan(plan);
         vfs
+    }
+
+    /// Install (or replace) the fault schedule on a live store: lets a
+    /// test run a fault-free prefix and then arm a crash point computed
+    /// from the observed [`MemVfs::write_ops`] count.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        self.inner.lock().plan = plan;
     }
 
     /// The number of mutating operations completed so far (appends,

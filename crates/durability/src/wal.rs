@@ -123,12 +123,22 @@ impl<V: Vfs> Wal<V> {
         self.poisoned
     }
 
+    /// Poison the writer explicitly. Used when a failure *outside* the
+    /// WAL — e.g. a failed post-DDL checkpoint — leaves the in-memory
+    /// engine ahead of durable state, so no further appends may be
+    /// acknowledged until recovery rebuilds memory from storage.
+    pub(crate) fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
     /// Append one committed update's log entry.
     ///
     /// The entry's `seq` must be exactly [`Wal::next_seq`]; the WAL is
-    /// the serialization point for commit order. On an I/O failure the
-    /// writer poisons itself: the in-memory engine may now be ahead of
-    /// the durable log, and only a fresh recovery can re-establish the
+    /// the serialization point for commit order. On *any* failure —
+    /// I/O, a sequence mismatch, or an unencodable entry — the writer
+    /// poisons itself: the caller commits to memory before appending, so
+    /// every failure here means the in-memory engine may be ahead of the
+    /// durable log, and only a fresh recovery can re-establish the
     /// correspondence.
     ///
     /// # Errors
@@ -139,6 +149,10 @@ impl<V: Vfs> Wal<V> {
             return Err(DurabilityError::Poisoned);
         }
         if entry.seq != self.next_seq {
+            // Memory is already off the rails (the engine was mutated
+            // outside the durable path); freeze the divergence rather
+            // than letting later appends drift it further.
+            self.poisoned = true;
             return Err(DurabilityError::Encode {
                 detail: format!(
                     "entry seq {} does not follow the WAL (next is {})",
@@ -146,7 +160,15 @@ impl<V: Vfs> Wal<V> {
                 ),
             });
         }
-        let frame = record::encode(entry)?;
+        let frame = match record::encode(entry) {
+            Ok(frame) => frame,
+            Err(e) => {
+                // The engine has logged the update but the WAL cannot
+                // persist it — same divergence, same remedy.
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
         let _timer = relvu_obs::histogram!("durability.wal.append_ns").timer();
         // Rotate before the record that would overflow the segment, so a
         // segment's name always matches its first record's seq.
@@ -233,6 +255,21 @@ pub struct ScannedRecord {
     pub offset: u64,
 }
 
+/// What shape the torn tail has — recovery treats the two differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornKind {
+    /// The final frame is incomplete: the buffer ends before the frame
+    /// does. This is the signature of an in-flight append at crash time
+    /// — the record was never acknowledged, truncating it is safe.
+    Incomplete,
+    /// The final frame is structurally complete but fails its checksum.
+    /// A record this shape *may* have been acknowledged (it reached its
+    /// full length) and then rotted; under [`SyncPolicy::Always`]
+    /// recovery refuses to truncate it, and under the weaker policies
+    /// the truncation is surfaced as potentially-acknowledged loss.
+    ChecksumFailed,
+}
+
 /// A detected torn tail: a partial (or checksum-failing) final record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TornTail {
@@ -240,6 +277,8 @@ pub struct TornTail {
     pub segment: String,
     /// Offset of the first torn byte — the segment's valid length.
     pub offset: u64,
+    /// Whether the tail is a partial frame or a checksum failure.
+    pub kind: TornKind,
 }
 
 /// Everything a scan of the log found.
@@ -256,12 +295,14 @@ pub struct WalScan {
 
 /// Read and validate every WAL segment.
 ///
-/// Distinguishes two failure shapes the way recovery needs them
+/// Distinguishes the failure shapes the way recovery needs them
 /// distinguished:
 ///
 /// * a **torn tail** — the *final* record of the *final* segment is
-///   incomplete or fails its checksum: reported in [`WalScan::torn`],
-///   recovery truncates it (an in-flight append at crash time);
+///   incomplete or fails its checksum: reported in [`WalScan::torn`]
+///   with its [`TornKind`], so recovery can truncate a definite
+///   in-flight append but treat a complete-yet-checksum-failed record
+///   according to the sync policy (it may have been acknowledged);
 /// * **mid-log corruption** — any earlier record is malformed: a hard
 ///   [`DurabilityError::CorruptRecord`] naming segment and offset,
 ///   because records after it were acknowledged and must not be
@@ -293,6 +334,7 @@ pub fn scan<V: Vfs>(vfs: &V) -> Result<WalScan, DurabilityError> {
                         torn = Some(TornTail {
                             segment: name.clone(),
                             offset: offset as u64,
+                            kind: TornKind::Incomplete,
                         });
                         break;
                     }
@@ -312,12 +354,15 @@ pub fn scan<V: Vfs>(vfs: &V) -> Result<WalScan, DurabilityError> {
             if !checksum_ok {
                 if is_last && end == buf.len() {
                     // Checksum failure on the very last record of the
-                    // final segment: indistinguishable from a torn write
-                    // that happened to stop on a record boundary — treat
-                    // as torn and truncate.
+                    // final segment. Unlike a partial frame this is NOT
+                    // a definite in-flight append: the record reached
+                    // its full length, so it may have been acknowledged
+                    // and then rotted. Report the distinct kind and let
+                    // recovery decide by sync policy.
                     torn = Some(TornTail {
                         segment: name.clone(),
                         offset: offset as u64,
+                        kind: TornKind::ChecksumFailed,
                     });
                     break;
                 }
@@ -427,13 +472,33 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_appends_are_refused() {
+    fn out_of_order_appends_are_refused_and_poison() {
         let vfs = MemVfs::new();
         let mut wal = wal_with(&vfs, WalOptions::default(), 2);
         assert!(matches!(
             wal.append(&entry(7)),
             Err(DurabilityError::Encode { .. })
         ));
+        // The caller's memory is ahead of the log; the writer must
+        // freeze rather than let correct-looking appends resume.
+        assert!(wal.is_poisoned());
+        assert!(matches!(
+            wal.append(&entry(3)),
+            Err(DurabilityError::Poisoned)
+        ));
+    }
+
+    #[test]
+    fn unencodable_entries_poison_the_writer() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_with(&vfs, WalOptions::default(), 1);
+        let mut bad = entry(2);
+        bad.view = "has space".to_string();
+        assert!(matches!(
+            wal.append(&bad),
+            Err(DurabilityError::Encode { .. })
+        ));
+        assert!(wal.is_poisoned());
     }
 
     #[test]
@@ -448,9 +513,25 @@ mod tests {
         assert_eq!(scan.records.len(), 3);
         let torn = scan.torn.expect("torn tail detected");
         assert_eq!(torn.segment, name);
+        assert_eq!(torn.kind, TornKind::Incomplete);
         let (last, valid_len) = scan.last_segment.unwrap();
         assert_eq!(last, torn.segment);
         assert_eq!(valid_len, torn.offset);
+    }
+
+    #[test]
+    fn checksum_failed_final_record_reports_its_own_kind() {
+        let vfs = MemVfs::new();
+        wal_with(&vfs, WalOptions::default(), 3);
+        let (name, _) = list_segments(&vfs).unwrap().pop().unwrap();
+        // Rot the last payload byte: the frame stays complete, so this
+        // is NOT an in-flight append and must not look like one.
+        let len = vfs.read(&name).unwrap().len();
+        vfs.flip_bits(&name, len - 1, 0x01);
+        let scan = scan(&vfs).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        let torn = scan.torn.expect("bad tail detected");
+        assert_eq!(torn.kind, TornKind::ChecksumFailed);
     }
 
     #[test]

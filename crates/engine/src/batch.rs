@@ -384,6 +384,8 @@ impl Database {
             }
             outcomes.push(outcome);
         }
+        // With obs disabled the timer is a unit no-op without Drop.
+        #[allow(clippy::drop_non_drop)]
         drop(commit_timer);
 
         let cache_after = closure::cache::stats();

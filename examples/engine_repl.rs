@@ -144,6 +144,9 @@ fn main() {
                             report.records_replayed,
                             report.last_seq
                         );
+                        if report.possibly_lost_acknowledged_record() {
+                            println!("  WARNING: truncated tail may have been acknowledged");
+                        }
                         if let Some(t) = report.torn_truncated {
                             println!("  truncated torn tail in `{}` at {}", t.segment, t.offset);
                         }
