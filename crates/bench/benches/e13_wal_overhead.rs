@@ -174,7 +174,7 @@ fn main() {
                 let start = Instant::now();
                 let (recovered, report) =
                     DurableDatabase::recover(image, WalOptions::default()).expect("recovers");
-                black_box(recovered.engine().last_seq());
+                black_box(recovered.reader().last_seq());
                 assert_eq!(report.records_replayed, accepted);
                 start.elapsed()
             })

@@ -1,0 +1,185 @@
+//! E14 — group commit: throughput vs writer threads.
+//!
+//! PR 3's durable engine paid one fsync per acknowledged record. Group
+//! commit stages concurrent committers into a queue and lets a leader
+//! pay the sync policy once per *group*, so fsyncs/record should drop
+//! below 1 — and records/s should rise — as writer threads are added.
+//! Two storage backends answer that:
+//!
+//! 1. [`MemVfs`] with a simulated fsync latency (deterministic,
+//!    isolates the protocol from filesystem noise);
+//! 2. [`StdVfs`] in a temp directory (real files, real fsync).
+//!
+//! One writer thread IS the per-record baseline: a group of one pays
+//! exactly the append + fsync the PR 3 path paid.
+//!
+//! ```sh
+//! cargo bench --bench e14_group_commit
+//! ```
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::prelude::*;
+use relvu_bench::edm_workload;
+use relvu_durability::{DurabilityError, DurableDatabase, MemVfs, StdVfs, SyncPolicy, Vfs, WalOptions};
+use relvu_engine::{Database, Policy, UpdateOp};
+use relvu_workload::update_gen::{self, BatchMix, ViewUpdate};
+
+// Small instance: the serialized part of a durable commit (translate +
+// apply under the stage lock) must be cheap next to the fsync, or the
+// fsync amortization this experiment isolates would drown in chase
+// time. At |V| = 256 a single translation costs ~750 µs (see E13) —
+// more than the fsync it rides with.
+const ROWS: usize = 64;
+const DEPTS: usize = 32;
+const WIDTH: usize = 2;
+/// Total updates per run, partitioned round-robin across the writers.
+const UPDATES: usize = 512;
+const RUNS: usize = 7;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// The simulated fsync latency on the in-memory store: the barrier cost
+/// of a commodity SATA/NVMe device with a real cache flush.
+const SYNC_DELAY: Duration = Duration::from_millis(1);
+
+fn fresh_db(w: &relvu_bench::InsertWorkload) -> Database {
+    let db = Database::new(w.bench.schema.clone(), w.bench.fds.clone(), w.base.clone())
+        .expect("legal base");
+    db.create_view("staff", w.bench.x, Some(w.bench.y), Policy::Exact)
+        .expect("complementary");
+    db
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn partition(updates: &[UpdateOp], threads: usize) -> Vec<Vec<UpdateOp>> {
+    let mut shares = vec![Vec::new(); threads];
+    for (i, op) in updates.iter().enumerate() {
+        shares[i % threads].push(op.clone());
+    }
+    shares
+}
+
+/// Drive one concurrent run; returns wall time and accepted count.
+fn throughput<V: Vfs + Clone + Send + Sync>(
+    ddb: &DurableDatabase<V>,
+    shares: &[Vec<UpdateOp>],
+) -> (Duration, u64) {
+    let start = Instant::now();
+    let accepted: u64 = thread::scope(|s| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|ops| {
+                s.spawn(move || {
+                    let mut ok = 0u64;
+                    for op in ops {
+                        match ddb.apply("staff", op.clone()) {
+                            Ok(_) => ok += 1,
+                            Err(DurabilityError::Engine(_)) => {}
+                            Err(e) => panic!("durable apply failed: {e}"),
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    (start.elapsed(), accepted)
+}
+
+/// One backend's sweep over writer counts. `make_ddb` builds a fresh
+/// store per run (temp dir, fault-free MemVfs, …).
+fn sweep<V: Vfs + Clone + Send + Sync>(mut make_ddb: impl FnMut(usize) -> DurableDatabase<V>, updates: &[UpdateOp]) {
+    let mut base_rate = 0.0;
+    for &threads in &THREADS {
+        let shares = partition(updates, threads);
+        let mut times = Vec::with_capacity(RUNS);
+        let (mut records, mut fsyncs, mut saved) = (0u64, 0u64, 0u64);
+        for run in 0..RUNS {
+            let ddb = make_ddb(run);
+            let f0 = relvu_obs::counter!("durability.wal.fsyncs").get();
+            let s0 = relvu_obs::counter!("durability.group.fsyncs_saved").get();
+            let (t, accepted) = throughput(&ddb, &shares);
+            fsyncs += relvu_obs::counter!("durability.wal.fsyncs").get() - f0;
+            saved += relvu_obs::counter!("durability.group.fsyncs_saved").get() - s0;
+            times.push(t);
+            records += accepted;
+        }
+        let t = median(times);
+        let rate = (records / RUNS as u64) as f64 / t.as_secs_f64();
+        if threads == 1 {
+            base_rate = rate;
+        }
+        println!(
+            "  {threads} writer(s)   {:>9.0} records/s  ({:.2}x vs 1 writer)  \
+             {:.3} fsyncs/record  ({:.1} fsyncs saved/run)",
+            rate,
+            rate / base_rate,
+            fsyncs as f64 / records.max(1) as f64,
+            saved as f64 / RUNS as f64,
+        );
+    }
+}
+
+fn main() {
+    println!(
+        "e14_group_commit: |V| = {ROWS}, {DEPTS} depts, |Y−X| = {WIDTH}, \
+         {UPDATES} updates/run, SyncPolicy::Always, obs enabled = {}",
+        relvu_obs::enabled()
+    );
+    if !relvu_obs::enabled() {
+        println!("  (fsync counters read 0 without the `obs` feature)");
+    }
+
+    let w = edm_workload(WIDTH, ROWS, DEPTS, 0xE14);
+    let mut rng = StdRng::seed_from_u64(0xE14_0A17);
+    // Insert-only: disjoint hires never conflict, so the accepted count
+    // does not depend on the interleaving.
+    let mix = BatchMix {
+        insert: 1,
+        delete: 0,
+        replace: 0,
+        reject: 0,
+    };
+    let updates: Vec<UpdateOp> =
+        update_gen::update_batch(&mut rng, w.bench.x, w.bench.x & w.bench.y, &w.v, UPDATES, mix, 1 << 40)
+            .into_iter()
+            .map(|u| match u {
+                ViewUpdate::Insert(t) => UpdateOp::Insert { t },
+                ViewUpdate::Delete(t) => UpdateOp::Delete { t },
+                ViewUpdate::Replace(t1, t2) => UpdateOp::Replace { t1, t2 },
+            })
+            .collect();
+
+    let opts = WalOptions {
+        sync: SyncPolicy::Always,
+        segment_bytes: 1 << 20,
+    };
+
+    println!("MemVfs, {SYNC_DELAY:?} simulated fsync:");
+    sweep(
+        |_| {
+            let vfs = MemVfs::new();
+            vfs.set_sync_delay(SYNC_DELAY);
+            DurableDatabase::create(vfs, fresh_db(&w), opts).expect("fresh store")
+        },
+        &updates,
+    );
+
+    let tmp = std::env::temp_dir().join(format!("relvu-e14-{}", std::process::id()));
+    println!("StdVfs, real fsync ({}):", tmp.display());
+    let mut dir_no = 0usize;
+    sweep(
+        |_| {
+            dir_no += 1;
+            let vfs = StdVfs::open(tmp.join(format!("run{dir_no}"))).expect("temp dir");
+            DurableDatabase::create(vfs, fresh_db(&w), opts).expect("fresh store")
+        },
+        &updates,
+    );
+    std::fs::remove_dir_all(&tmp).ok();
+}

@@ -3,35 +3,48 @@
 //!
 //! The protocol per view update:
 //!
-//! 1. take the WAL lock (commit order **is** WAL order);
-//! 2. translate and apply the update in the engine — a rejected update
-//!    never reaches the log;
-//! 3. append the engine's log entry to the WAL and (policy permitting)
-//!    fsync it; only then acknowledge.
+//! 1. take the **stage lock** and translate/apply the update in the
+//!    engine — a rejected update never reaches the log; the stage lock
+//!    serializes engine commit with staging, so commit order, staging
+//!    order, and WAL order are all the same order;
+//! 2. stage the engine's log entry in the group-commit queue (see
+//!    [`crate::group`]) and release the stage lock;
+//! 3. wait for a group leader to append the entry — batched with every
+//!    other committer staged meanwhile — and pay the sync policy once
+//!    for the whole group; only then acknowledge. Under
+//!    [`crate::SyncPolicy::Always`] the ack therefore still implies
+//!    "fsynced", it just shares the fsync with its group.
 //!
-//! If step 3 fails, memory is ahead of storage and the handle poisons
-//! itself: every later durable operation returns
+//! If the group flush fails, memory is ahead of storage and the handle
+//! poisons itself: every later durable operation returns
 //! [`DurabilityError::Poisoned`] until the database is re-opened with
 //! [`DurableDatabase::recover`], which rebuilds memory *from* storage.
 //!
 //! DDL (creating views, replacing Σ) is not logged as WAL records; each
-//! DDL call checkpoints immediately afterwards so the change is durable
-//! before it is acknowledged. If that checkpoint fails the handle
-//! poisons itself: the schema change would be live in memory but absent
-//! from every durable checkpoint, and acknowledging further updates
-//! against it would strand WAL records recovery cannot replay.
+//! DDL call drains the commit queue, then checkpoints, so the change is
+//! durable before it is acknowledged. If that checkpoint fails the
+//! handle poisons itself: the schema change would be live in memory but
+//! absent from every durable checkpoint, and acknowledging further
+//! updates against it would strand WAL records recovery cannot replay.
+//!
+//! The wrapped engine is reachable only through the read-only
+//! [`EngineReader`] ([`DurableDatabase::reader`]): mutating the engine
+//! without writing the WAL is a compile error, not a lost update.
 
 use parking_lot::Mutex;
 
 use relvu_deps::FdSet;
-use relvu_engine::{Database, Policy, UpdateOp, UpdateReport};
+use relvu_engine::{
+    BatchOptions, BatchReport, BatchRequest, Database, EngineReader, Policy, UpdateOp, UpdateReport,
+};
 use relvu_relation::{AttrSet, Pred};
 
 use crate::checkpoint::{self, write_checkpoint};
 use crate::error::DurabilityError;
+use crate::group::GroupCommit;
 use crate::recover::{check_invariants, recover_from, RecoveryReport};
 use crate::vfs::Vfs;
-use crate::wal::{self, Wal, WalOptions};
+use crate::wal::{self, SyncPolicy, Wal, WalOptions};
 
 /// A snapshot of the WAL writer's state, for diagnostics (`\wal` in the
 /// REPL).
@@ -45,11 +58,26 @@ pub struct WalStatus {
     pub current_segment: Option<(String, u64)>,
     /// Whether the handle has poisoned itself after a failed append.
     pub poisoned: bool,
+    /// The sync policy in force — the *normalized* form (see
+    /// [`WalOptions::normalized`]), so this always reports what the
+    /// writer actually does.
+    pub sync: SyncPolicy,
 }
 
 /// A [`Database`] whose accepted updates survive crashes.
+///
+/// Safe to share across threads (`&self` methods throughout): concurrent
+/// [`DurableDatabase::apply`] calls commit through the group-commit
+/// pipeline, amortizing one fsync over every update staged while the
+/// previous fsync was in flight.
 pub struct DurableDatabase<V: Vfs + Clone> {
     db: Database,
+    /// Serializes engine mutation + staging (protocol step 1→2). Held
+    /// only for the in-memory part of a commit — never across an fsync —
+    /// so translation/commit of the next updates overlaps the current
+    /// group's flush.
+    stage: Mutex<()>,
+    group: GroupCommit,
     wal: Mutex<Wal<V>>,
     vfs: V,
 }
@@ -63,6 +91,7 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// holds a checkpoint or WAL segments (use [`Self::recover`]);
     /// [`DurabilityError::Vfs`] on storage failure.
     pub fn create(vfs: V, db: Database, opts: WalOptions) -> Result<Self, DurabilityError> {
+        let opts = opts.normalized();
         let has_ckpt = !checkpoint::list_checkpoints(&vfs)?.is_empty();
         let has_wal = !wal::list_segments(&vfs)?.is_empty();
         if has_ckpt || has_wal {
@@ -72,6 +101,8 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         let wal = Wal::new(vfs.clone(), opts, db.last_seq() + 1, None);
         Ok(DurableDatabase {
             db,
+            stage: Mutex::new(()),
+            group: GroupCommit::new(),
             wal: Mutex::new(wal),
             vfs,
         })
@@ -89,6 +120,7 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// [`DurabilityError::InvariantViolation`] if the recovered state is
     /// inconsistent.
     pub fn recover(vfs: V, opts: WalOptions) -> Result<(Self, RecoveryReport), DurabilityError> {
+        let opts = opts.normalized();
         let recovered = recover_from(&vfs, opts.sync)?;
         let wal = Wal::new(
             vfs.clone(),
@@ -99,6 +131,8 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         Ok((
             DurableDatabase {
                 db: recovered.db,
+                stage: Mutex::new(()),
+                group: GroupCommit::new(),
                 wal: Mutex::new(wal),
                 vfs,
             },
@@ -107,28 +141,69 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     }
 
     /// Apply one view update durably. The update is acknowledged only
-    /// after its log entry is in the WAL (and fsynced, under
-    /// [`crate::SyncPolicy::Always`]).
+    /// after its log entry is in the WAL (and covered by an fsync, under
+    /// [`crate::SyncPolicy::Always`]) — the fsync is shared with every
+    /// other update committed through the group-commit pipeline
+    /// meanwhile, so concurrent callers pay for it once, not once each.
     ///
     /// # Errors
     /// [`DurabilityError::Engine`] if the engine rejects the update
-    /// (nothing is logged); [`DurabilityError::Poisoned`] /
+    /// (nothing is staged or logged); [`DurabilityError::Poisoned`] /
     /// [`DurabilityError::Vfs`] / [`DurabilityError::Encode`] on
     /// durability failures — any of which poisons the handle, since the
-    /// update is in memory but not in the log.
+    /// update is in memory but not (provably) in the log.
     pub fn apply(&self, view: &str, op: UpdateOp) -> Result<UpdateReport, DurabilityError> {
-        let mut wal = self.wal.lock();
-        if wal.is_poisoned() {
-            return Err(DurabilityError::Poisoned);
-        }
-        let report = self.db.apply_op(view, op)?;
-        let seq = self.db.last_seq();
-        let entry = self
-            .db
-            .log_range(seq, 1)
-            .pop()
-            .expect("the update just applied is in the log");
-        wal.append(&entry)?;
+        let (report, slot) = {
+            let _stage = self.stage.lock();
+            if self.group.is_poisoned() {
+                return Err(DurabilityError::Poisoned);
+            }
+            let report = self.db.apply_op(view, op)?;
+            let entry = self
+                .db
+                .log_range(report.seq, 1)
+                .pop()
+                .expect("the update just applied is in the log");
+            (report, self.group.enqueue(vec![entry]))
+        };
+        self.group.wait(slot, &self.wal)?;
+        Ok(report)
+    }
+
+    /// Apply a batch of view updates durably through
+    /// [`Database::apply_batch_parallel`]: per-request outcomes are
+    /// exactly the sequential fold's (rejected requests reject, accepted
+    /// ones apply), and **all** accepted entries are staged as one unit
+    /// in the group-commit queue — one fsync covers the whole batch
+    /// (plus whatever concurrent committers joined the group).
+    ///
+    /// A batch in which *no* request was accepted touches storage not at
+    /// all, exactly like a rejected single update.
+    ///
+    /// # Errors
+    /// Durability failures only ([`DurabilityError::Poisoned`] /
+    /// [`DurabilityError::Vfs`] / [`DurabilityError::Encode`]) — engine
+    /// rejections are per-request outcomes inside the returned
+    /// [`BatchReport`], not errors of the batch.
+    pub fn apply_batch(
+        &self,
+        requests: Vec<BatchRequest>,
+        options: &BatchOptions,
+    ) -> Result<BatchReport, DurabilityError> {
+        let (report, slot) = {
+            let _stage = self.stage.lock();
+            if self.group.is_poisoned() {
+                return Err(DurabilityError::Poisoned);
+            }
+            let before_seq = self.db.last_seq();
+            let report = self.db.apply_batch_parallel(requests, options);
+            let entries = self.db.log_range(before_seq + 1, usize::MAX);
+            if entries.is_empty() {
+                return Ok(report);
+            }
+            (report, self.group.enqueue(entries))
+        };
+        self.group.wait(slot, &self.wal)?;
         Ok(report)
     }
 
@@ -140,33 +215,53 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// [`DurabilityError::Poisoned`] if the handle is poisoned;
     /// [`DurabilityError::Vfs`] on storage failure.
     pub fn checkpoint(&self) -> Result<u64, DurabilityError> {
-        // Hold the WAL lock: the snapshot must not interleave with an
-        // in-flight append, and pruning must see a quiescent segment set.
-        let mut wal = self.wal.lock();
-        if wal.is_poisoned() {
-            return Err(DurabilityError::Poisoned);
-        }
+        // The stage lock freezes the engine+queue; draining then flushes
+        // every staged group, so the snapshot never claims records the
+        // WAL does not durably hold.
+        let _stage = self.stage.lock();
+        let mut wal = self.quiesce()?;
         // Pay any outstanding sync debt so the checkpoint never claims
         // more than the WAL can prove.
-        wal.sync()?;
+        if let Err(e) = wal.sync() {
+            self.group.poison();
+            return Err(e);
+        }
         write_checkpoint(&self.vfs, &self.db)
     }
 
-    /// Checkpoint after a DDL change, with the WAL lock held. A failure
-    /// here poisons the handle: the DDL is live in memory but in no
-    /// durable checkpoint, so further acknowledged updates would append
-    /// WAL records referencing schema recovery cannot rebuild.
+    /// Checkpoint after a DDL change, with the stage and WAL locks held.
+    /// A failure here poisons the handle: the DDL is live in memory but
+    /// in no durable checkpoint, so further acknowledged updates would
+    /// append WAL records referencing schema recovery cannot rebuild.
     fn ddl_checkpoint(&self, wal: &mut Wal<V>) -> Result<(), DurabilityError> {
         // Pay any outstanding sync debt first (wal.sync poisons itself
         // on failure).
-        wal.sync()?;
+        if let Err(e) = wal.sync() {
+            self.group.poison();
+            return Err(e);
+        }
         match write_checkpoint(&self.vfs, &self.db) {
             Ok(_) => Ok(()),
             Err(e) => {
                 wal.poison();
+                self.group.poison();
                 Err(e)
             }
         }
+    }
+
+    /// Take the stage lock, drain the commit queue, and hand back the
+    /// WAL guard — the entry sequence for every DDL wrapper.
+    fn quiesce(&self) -> Result<parking_lot::MutexGuard<'_, Wal<V>>, DurabilityError> {
+        if self.group.is_poisoned() {
+            return Err(DurabilityError::Poisoned);
+        }
+        self.group.drain(&self.wal)?;
+        let wal = self.wal.lock();
+        if wal.is_poisoned() {
+            return Err(DurabilityError::Poisoned);
+        }
+        Ok(wal)
     }
 
     /// Register a projective view durably (DDL checkpoint included).
@@ -181,10 +276,8 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         y: Option<AttrSet>,
         policy: Policy,
     ) -> Result<(), DurabilityError> {
-        let mut wal = self.wal.lock();
-        if wal.is_poisoned() {
-            return Err(DurabilityError::Poisoned);
-        }
+        let _stage = self.stage.lock();
+        let mut wal = self.quiesce()?;
         self.db.create_view(name, x, y, policy)?;
         self.ddl_checkpoint(&mut wal)
     }
@@ -201,10 +294,8 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         y: Option<AttrSet>,
         pred: Pred,
     ) -> Result<(), DurabilityError> {
-        let mut wal = self.wal.lock();
-        if wal.is_poisoned() {
-            return Err(DurabilityError::Poisoned);
-        }
+        let _stage = self.stage.lock();
+        let mut wal = self.quiesce()?;
         self.db.create_selection_view(name, x, y, pred)?;
         self.ddl_checkpoint(&mut wal)
     }
@@ -215,20 +306,25 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// As [`Database::set_fds`], plus durability failures (which poison
     /// the handle — see [`DurabilityError::Poisoned`]).
     pub fn set_fds(&self, fds: FdSet) -> Result<(), DurabilityError> {
-        let mut wal = self.wal.lock();
-        if wal.is_poisoned() {
-            return Err(DurabilityError::Poisoned);
-        }
+        let _stage = self.stage.lock();
+        let mut wal = self.quiesce()?;
         self.db.set_fds(fds)?;
         self.ddl_checkpoint(&mut wal)
     }
 
-    /// Explicit durability barrier: fsync the WAL's current segment.
+    /// Explicit durability barrier: flush every staged group, then fsync
+    /// the WAL's current segment.
     ///
     /// # Errors
     /// [`DurabilityError::Poisoned`] / [`DurabilityError::Vfs`].
     pub fn sync(&self) -> Result<(), DurabilityError> {
-        self.wal.lock().sync()
+        let _stage = self.stage.lock();
+        let mut wal = self.quiesce()?;
+        if let Err(e) = wal.sync() {
+            self.group.poison();
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Re-run the paper's invariants on the current in-memory state.
@@ -246,18 +342,24 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
             next_seq: wal.next_seq(),
             records_appended: wal.records_appended(),
             current_segment: wal.current_segment().map(|(n, l)| (n.to_string(), l)),
-            poisoned: wal.is_poisoned(),
+            poisoned: wal.is_poisoned() || self.group.is_poisoned(),
+            sync: wal.options().sync,
         }
     }
 
-    /// The wrapped engine, for **reads** (queries, dumps, stats).
+    /// A **read-only** handle over the wrapped engine, for queries,
+    /// dumps, and stats.
     ///
-    /// Mutating the engine directly through this handle bypasses the
-    /// WAL — such updates exist only in memory and will not survive a
-    /// crash (recovery will also flag the seq mismatch). Use
-    /// [`Self::apply`] and the DDL wrappers for anything durable.
-    pub fn engine(&self) -> &Database {
-        &self.db
+    /// This replaces the old `engine()` accessor, which returned
+    /// `&Database` and with it the full mutating API — a caller could
+    /// `apply_op` / `set_fds` / `create_view` straight into memory,
+    /// bypassing the WAL; the divergence was only caught at the *next*
+    /// durable apply (as seq-mismatch poisoning) and the unlogged update
+    /// was silently lost on recovery. [`EngineReader`] has no mutators,
+    /// so that mistake no longer compiles. Use [`Self::apply`],
+    /// [`Self::apply_batch`], and the DDL wrappers for anything durable.
+    pub fn reader(&self) -> EngineReader<'_> {
+        self.db.reader()
     }
 
     /// The storage backend (for tests and tooling).
@@ -274,13 +376,18 @@ mod tests {
     use relvu_relation::Tuple;
     use relvu_workload::fixtures;
 
-    #[test]
-    fn failed_ddl_checkpoint_poisons_the_handle() {
+    fn seeded() -> (fixtures::EdmFixture, DurableDatabase<MemVfs>, MemVfs) {
         let f = fixtures::edm();
-        let db = Database::new(f.schema, f.fds, f.base).unwrap();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
         db.create_view("xy", f.x, Some(f.y), Policy::Exact).unwrap();
         let vfs = MemVfs::new();
         let ddb = DurableDatabase::create(vfs.clone(), db, WalOptions::default()).unwrap();
+        (f, ddb, vfs)
+    }
+
+    #[test]
+    fn failed_ddl_checkpoint_poisons_the_handle() {
+        let (f, ddb, vfs) = seeded();
         // Arm the crash at the current op count: the DDL checkpoint's
         // very first storage operation fails.
         vfs.set_plan(FaultPlan::crash_after(vfs.write_ops()));
@@ -298,7 +405,103 @@ mod tests {
             Err(DurabilityError::Poisoned)
         ));
         assert!(matches!(
-            ddb.set_fds(ddb.engine().fds()),
+            ddb.set_fds(ddb.reader().fds()),
+            Err(DurabilityError::Poisoned)
+        ));
+    }
+
+    #[test]
+    fn wal_status_reports_the_normalized_policy() {
+        let f = fixtures::edm();
+        let db = Database::new(f.schema, f.fds, f.base).unwrap();
+        let vfs = MemVfs::new();
+        let opts = WalOptions {
+            sync: SyncPolicy::EveryN(0),
+            ..WalOptions::default()
+        };
+        let ddb = DurableDatabase::create(vfs, db, opts).unwrap();
+        assert_eq!(ddb.wal_status().sync, SyncPolicy::EveryN(1));
+    }
+
+    /// The satellite-1 regression: with the escape hatch closed, every
+    /// path that mutates the engine goes through the WAL or a DDL
+    /// checkpoint, so an acknowledged update can never be memory-only —
+    /// recovery from the durable image always reproduces the live state
+    /// exactly, after any interleaving of mutators.
+    #[test]
+    fn every_acknowledged_mutation_survives_recovery() {
+        let (f, ddb, vfs) = seeded();
+        let t = |e: &str, d: &str| Tuple::new([f.dict.sym(e), f.dict.sym(d)]);
+
+        ddb.apply("xy", UpdateOp::Insert { t: t("dan", "toys") })
+            .unwrap();
+        ddb.create_view("xy2", f.x, Some(f.y), Policy::Test1).unwrap();
+        ddb.apply_batch(
+            vec![
+                BatchRequest::new("xy2", UpdateOp::Insert { t: t("eve", "books") }),
+                BatchRequest::new("xy", UpdateOp::Delete { t: t("dan", "toys") }),
+            ],
+            &BatchOptions::default(),
+        )
+        .unwrap();
+        ddb.set_fds(ddb.reader().fds()).unwrap();
+        ddb.apply("xy2", UpdateOp::Insert { t: t("gus", "toys") })
+            .unwrap();
+
+        // After every acknowledged call above: memory is never ahead of
+        // the log (the old engine() hole made exactly this go wrong).
+        assert_eq!(ddb.wal_status().next_seq, ddb.reader().last_seq() + 1);
+
+        let (recovered, _) =
+            DurableDatabase::recover(vfs.crash_image(), WalOptions::default()).unwrap();
+        assert_eq!(recovered.reader().dump(), ddb.reader().dump());
+        assert_eq!(recovered.reader().last_seq(), ddb.reader().last_seq());
+    }
+
+    #[test]
+    fn durable_batch_with_only_rejections_touches_no_storage() {
+        let (f, ddb, vfs) = seeded();
+        let ops_before = vfs.write_ops();
+        let report = ddb
+            .apply_batch(
+                vec![BatchRequest::new(
+                    "xy",
+                    UpdateOp::Insert {
+                        // Unknown department: untranslatable, rejected.
+                        t: Tuple::new([f.dict.sym("zed"), f.dict.sym("games")]),
+                    },
+                )],
+                &BatchOptions::default(),
+            )
+            .unwrap();
+        assert!(report.outcomes[0].is_err());
+        assert_eq!(vfs.write_ops(), ops_before, "rejections must not hit storage");
+        assert_eq!(ddb.wal_status().next_seq, 1);
+    }
+
+    #[test]
+    fn group_flush_failure_poisons_and_reports_to_the_committer() {
+        let (f, ddb, vfs) = seeded();
+        // Crash on the very next storage op: the append of this commit's
+        // group fails, the committer sees the error, the handle poisons.
+        vfs.set_plan(FaultPlan::crash_after(vfs.write_ops()));
+        let err = ddb
+            .apply(
+                "xy",
+                UpdateOp::Insert {
+                    t: Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, DurabilityError::Vfs(VfsError::Crashed)));
+        assert!(ddb.wal_status().poisoned);
+        assert!(matches!(
+            ddb.apply(
+                "xy",
+                UpdateOp::Insert {
+                    t: Tuple::new([f.dict.sym("eve"), f.dict.sym("books")]),
+                },
+            ),
             Err(DurabilityError::Poisoned)
         ));
     }

@@ -192,6 +192,28 @@ pub struct ShortWrite {
     pub keep: usize,
 }
 
+/// Interrupt one `sync` partway through: of the bytes that were sitting
+/// unsynced in the page cache, only a prefix reaches durable storage
+/// before the crash.
+///
+/// This is the crash point **between a group commit's appends and its
+/// covering fsync**: the appends all completed (into the cache), the
+/// fsync was issued, and power failed while the kernel was writing the
+/// dirty range back. Depending on `keep`, the durable image can then
+/// hold any prefix of the group — including a complete-but-unacked
+/// record, or a torn one — even though *no* append was interrupted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartialSync {
+    /// 1-based index of the mutating operation to interrupt. The plan
+    /// fires only if that operation is a `sync`; armed at any other kind
+    /// of op it is inert (tests should assert [`MemVfs::crashed`] so an
+    /// aim miss fails loudly instead of silently not testing).
+    pub op: u64,
+    /// How many of the not-yet-durable bytes become durable before the
+    /// crash.
+    pub keep: usize,
+}
+
 /// A scripted fault schedule for [`MemVfs`]. All faults are
 /// deterministic functions of the mutating-operation counter, so a
 /// workload replayed against the same plan fails identically every time.
@@ -202,6 +224,8 @@ pub struct FaultPlan {
     pub crash_after_writes: Option<u64>,
     /// Interrupt one append partway through, then crash.
     pub short_write: Option<ShortWrite>,
+    /// Interrupt one sync partway through its writeback, then crash.
+    pub partial_sync: Option<PartialSync>,
 }
 
 impl FaultPlan {
@@ -221,6 +245,15 @@ impl FaultPlan {
             ..FaultPlan::default()
         }
     }
+
+    /// A plan that interrupts the `op`-th mutating operation — expected
+    /// to be a sync — after `keep` bytes of its writeback, then crashes.
+    pub fn partial_sync(op: u64, keep: usize) -> Self {
+        FaultPlan {
+            partial_sync: Some(PartialSync { op, keep }),
+            ..FaultPlan::default()
+        }
+    }
 }
 
 #[derive(Clone, Default)]
@@ -236,6 +269,9 @@ struct MemInner {
     plan: FaultPlan,
     write_ops: u64,
     crashed: bool,
+    /// Simulated device latency per successful sync, for benchmarks that
+    /// want MemVfs to cost like a disk without real-filesystem noise.
+    sync_delay: Option<std::time::Duration>,
 }
 
 /// The in-memory fault-injecting [`Vfs`]. Cheap to clone (clones share
@@ -275,6 +311,15 @@ impl MemVfs {
     /// Has the scripted crash point been reached?
     pub fn crashed(&self) -> bool {
         self.inner.lock().crashed
+    }
+
+    /// Make every successful [`Vfs::sync`] block for `delay` before
+    /// returning — a deterministic stand-in for device fsync latency, so
+    /// benchmarks can measure fsync-bound pipelines (group commit) on
+    /// the in-memory store. The sleep happens *after* the bookkeeping,
+    /// outside the store's lock.
+    pub fn set_sync_delay(&self, delay: std::time::Duration) {
+        self.inner.lock().sync_delay = Some(delay);
     }
 
     /// What a freshly restarted process would find on disk: every file
@@ -393,14 +438,27 @@ impl Vfs for MemVfs {
 
     fn sync(&self, name: &str) -> VfsResult<()> {
         let mut inner = self.inner.lock();
-        Self::mutating_op(&mut inner)?;
+        let op = Self::mutating_op(&mut inner)?;
+        let partial = inner.plan.partial_sync.filter(|ps| ps.op == op);
         let file = inner
             .files
             .get_mut(name)
             .ok_or_else(|| VfsError::NotFound {
                 name: name.to_string(),
             })?;
+        if let Some(ps) = partial {
+            // Power fails mid-writeback: only `keep` of the dirty bytes
+            // became durable. Everything before them already was.
+            file.synced_len = (file.synced_len + ps.keep).min(file.data.len());
+            inner.crashed = true;
+            return Err(VfsError::Crashed);
+        }
         file.synced_len = file.data.len();
+        let delay = inner.sync_delay;
+        drop(inner);
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
         Ok(())
     }
 
@@ -516,6 +574,28 @@ mod tests {
         // the durable image, and nothing after it ever ran.
         assert_eq!(vfs.crash_image().read("f").unwrap(), b"abcd");
         assert_eq!(vfs.append("f", b"more").unwrap_err(), VfsError::Crashed);
+    }
+
+    #[test]
+    fn partial_sync_persists_a_prefix_of_the_dirty_range() {
+        let vfs = MemVfs::new();
+        vfs.create("f", b"").unwrap(); // op 1
+        vfs.append("f", b"old").unwrap(); // op 2
+        vfs.sync("f").unwrap(); // op 3
+        vfs.append("f", b"abcdefgh").unwrap(); // op 4: dirty bytes
+        vfs.set_plan(FaultPlan::partial_sync(5, 3));
+        assert_eq!(vfs.sync("f").unwrap_err(), VfsError::Crashed); // op 5
+        assert!(vfs.crashed());
+        // Previously-durable bytes survive; of the dirty range, exactly
+        // the kept prefix made it to disk before power failed.
+        assert_eq!(vfs.crash_image().read("f").unwrap(), b"oldabc");
+        // keep larger than the dirty range clamps to a full sync's worth.
+        let vfs2 = MemVfs::new();
+        vfs2.create("f", b"").unwrap(); // op 1
+        vfs2.append("f", b"xy").unwrap(); // op 2
+        vfs2.set_plan(FaultPlan::partial_sync(3, 99));
+        assert_eq!(vfs2.sync("f").unwrap_err(), VfsError::Crashed);
+        assert_eq!(vfs2.crash_image().read("f").unwrap(), b"xy");
     }
 
     #[test]

@@ -19,8 +19,12 @@ use crate::vfs::Vfs;
 pub enum SyncPolicy {
     /// fsync after every record — an acknowledged update is durable.
     Always,
-    /// fsync after every `n`-th record (and on [`Wal::sync`]); up to
-    /// `n − 1` acknowledged updates can be lost to a crash.
+    /// fsync once the writer has accumulated `n` unsynced records (and
+    /// on [`Wal::sync`]); up to `n − 1` acknowledged updates can be
+    /// lost to a crash. `EveryN(0)` makes no sense (there is no such
+    /// thing as syncing more often than every record) and is normalized
+    /// to `EveryN(1)` by [`WalOptions::normalized`], which every
+    /// construction path applies.
     EveryN(u64),
     /// Never fsync implicitly; durability only at checkpoints and
     /// explicit [`Wal::sync`] calls.
@@ -34,6 +38,24 @@ pub struct WalOptions {
     pub sync: SyncPolicy,
     /// Rotate to a fresh segment once the current one reaches this size.
     pub segment_bytes: u64,
+}
+
+impl WalOptions {
+    /// The canonical form of these options: the degenerate
+    /// `SyncPolicy::EveryN(0)` is clamped to `EveryN(1)`. Everything
+    /// that constructs a writer (or reports options back to the user)
+    /// goes through this, so the stored policy, `wal_status`, and the
+    /// sync behavior always agree — there is no append-time patch-up.
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        WalOptions {
+            sync: match self.sync {
+                SyncPolicy::EveryN(0) => SyncPolicy::EveryN(1),
+                other => other,
+            },
+            ..self
+        }
+    }
 }
 
 impl Default for WalOptions {
@@ -94,7 +116,7 @@ impl<V: Vfs> Wal<V> {
     ) -> Self {
         Wal {
             vfs,
-            opts,
+            opts: opts.normalized(),
             current,
             next_seq,
             appends_since_sync: 0,
@@ -116,6 +138,11 @@ impl<V: Vfs> Wal<V> {
     /// The current segment file name and length, if a segment is open.
     pub fn current_segment(&self) -> Option<(&str, u64)> {
         self.current.as_ref().map(|(n, l)| (n.as_str(), *l))
+    }
+
+    /// The (normalized) options this writer runs under.
+    pub fn options(&self) -> WalOptions {
+        self.opts
     }
 
     /// Whether an earlier failure has poisoned this writer.
@@ -145,9 +172,49 @@ impl<V: Vfs> Wal<V> {
     /// [`DurabilityError::Poisoned`] after any earlier failure;
     /// [`DurabilityError::Encode`] / [`DurabilityError::Vfs`] otherwise.
     pub fn append(&mut self, entry: &LogEntry) -> Result<(), DurabilityError> {
+        self.append_group(std::iter::once(entry))
+    }
+
+    /// Append a whole commit group's entries, paying the sync policy
+    /// **once** at the end instead of per record — the storage half of
+    /// group commit. For a single entry this is exactly [`Wal::append`].
+    ///
+    /// The entries must be contiguous in `seq`, starting at
+    /// [`Wal::next_seq`]. Under [`SyncPolicy::Always`] the group is
+    /// covered by one fsync before this returns; under
+    /// [`SyncPolicy::EveryN`] the fsync debt is settled at the group
+    /// boundary whenever it has reached `n`, so at most `n − 1`
+    /// records are ever unsynced after a return (the same bound a
+    /// per-record check gives at ack time). Rotation still seals the
+    /// outgoing segment mid-group, so cross-segment groups never leave
+    /// an older segment with unpaid debt.
+    ///
+    /// # Errors
+    /// As [`Wal::append`]; any failure poisons the writer (some of the
+    /// group's records may already be in the log — memory is ahead of
+    /// durable storage either way).
+    pub fn append_group<'a, I>(&mut self, entries: I) -> Result<(), DurabilityError>
+    where
+        I: IntoIterator<Item = &'a LogEntry>,
+    {
         if self.poisoned {
             return Err(DurabilityError::Poisoned);
         }
+        for entry in entries {
+            self.append_one(entry)?;
+        }
+        if self.sync_due() {
+            if let Err(e) = self.sync_current() {
+                self.poisoned = true;
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Frame and append a single entry with no policy sync (the caller
+    /// settles sync debt at the group boundary).
+    fn append_one(&mut self, entry: &LogEntry) -> Result<(), DurabilityError> {
         if entry.seq != self.next_seq {
             // Memory is already off the rails (the engine was mutated
             // outside the durable path); freeze the divergence rather
@@ -200,18 +267,18 @@ impl<V: Vfs> Wal<V> {
         self.next_seq += 1;
         self.records_appended += 1;
         self.appends_since_sync += 1;
-        let due = match self.opts.sync {
-            SyncPolicy::Always => true,
-            SyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
-            SyncPolicy::Never => false,
-        };
-        if due {
-            if let Err(e) = self.sync_current() {
-                self.poisoned = true;
-                return Err(e);
-            }
-        }
         Ok(())
+    }
+
+    /// Whether the accumulated sync debt must be paid at the next group
+    /// boundary. `EveryN(0)` cannot occur here: every construction path
+    /// normalizes it to `EveryN(1)` (see [`WalOptions::normalized`]).
+    fn sync_due(&self) -> bool {
+        match self.opts.sync {
+            SyncPolicy::Always => self.appends_since_sync > 0,
+            SyncPolicy::EveryN(n) => self.appends_since_sync >= n,
+            SyncPolicy::Never => false,
+        }
     }
 
     /// Explicitly fsync the current segment (a durability barrier for
@@ -556,6 +623,73 @@ mod tests {
             }
             other => panic!("expected CorruptRecord, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn every_n_zero_is_normalized_at_construction() {
+        let raw = WalOptions {
+            sync: SyncPolicy::EveryN(0),
+            ..WalOptions::default()
+        };
+        assert_eq!(raw.normalized().sync, SyncPolicy::EveryN(1));
+        // Nonzero values and the other policies pass through untouched.
+        assert_eq!(
+            WalOptions {
+                sync: SyncPolicy::EveryN(3),
+                ..WalOptions::default()
+            }
+            .normalized()
+            .sync,
+            SyncPolicy::EveryN(3)
+        );
+        assert_eq!(WalOptions::default().normalized(), WalOptions::default());
+        // A writer built from the raw options stores — and behaves as —
+        // the normalized form: every record is durable at return.
+        let vfs = MemVfs::new();
+        let mut wal = Wal::new(vfs.clone(), raw, 1, None);
+        assert_eq!(wal.options().sync, SyncPolicy::EveryN(1));
+        wal.append(&entry(1)).unwrap();
+        assert_eq!(scan(&vfs.crash_image()).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn append_group_syncs_once_and_matches_per_record_appends() {
+        let vfs = MemVfs::new();
+        let mut wal = Wal::new(vfs.clone(), WalOptions::default(), 1, None);
+        let entries: Vec<LogEntry> = (1..=5).map(entry).collect();
+        wal.append_group(entries.iter()).unwrap();
+        // One fsync covered the whole group: everything is durable...
+        assert_eq!(scan(&vfs.crash_image()).unwrap().records.len(), 5);
+        // ...and the bytes are identical to five per-record appends.
+        let per_record = MemVfs::new();
+        wal_with(&per_record, WalOptions::default(), 5);
+        let name = list_segments(&vfs).unwrap()[0].0.clone();
+        assert_eq!(vfs.read(&name).unwrap(), per_record.read(&name).unwrap());
+        // Only the group's tail-end fsync ran (1 sync op for 5 appends):
+        // 5 appends + 1 sync vs 5 appends + 5 syncs.
+        assert_eq!(vfs.write_ops() + 4, per_record.write_ops());
+    }
+
+    #[test]
+    fn append_group_seals_rotated_segments_mid_group() {
+        let vfs = MemVfs::new();
+        let opts = WalOptions {
+            sync: SyncPolicy::Never,
+            segment_bytes: 120,
+        };
+        let mut wal = Wal::new(vfs.clone(), opts, 1, None);
+        let entries: Vec<LogEntry> = (1..=10).map(entry).collect();
+        wal.append_group(entries.iter()).unwrap();
+        let segs = list_segments(&vfs).unwrap();
+        assert!(segs.len() > 1, "rotation must have produced segments");
+        // Under Never no group-boundary sync runs, but every segment
+        // except the open one was sealed (synced) at rotation: the crash
+        // image holds all full segments and none of the open tail.
+        let image = vfs.crash_image();
+        let durable = scan(&image).unwrap();
+        let (open_seg, _) = wal.current_segment().unwrap();
+        let first_open_seq = parse_segment_name(open_seg).unwrap();
+        assert_eq!(durable.records.len() as u64 + 1, first_open_seq);
     }
 
     #[test]

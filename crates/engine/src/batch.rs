@@ -318,6 +318,16 @@ impl Database {
             .clamp(1, n.max(1));
         let mut specs: Vec<Option<Result<Translatability>>> = Vec::new();
         specs.resize_with(n, || None);
+        // A panic inside a speculation worker (a buggy translator, a
+        // sabotaged view definition) must not take the batch down with
+        // state half-built: workers catch it, the first payload is kept,
+        // and it is re-raised below only after the write guard has been
+        // released — nothing has committed yet at that point, so the
+        // engine is observably untouched and stays usable (the in-
+        // workspace `parking_lot` shim does not poison locks, so "guard
+        // released during unwind" alone is not enough to rely on).
+        let panicked: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+            parking_lot::Mutex::new(None);
         if !serial_only && n > 0 {
             let _t = relvu_obs::histogram!("engine.batch.speculate_ns").timer();
             let chunk = n.div_ceil(threads);
@@ -325,6 +335,7 @@ impl Database {
             let fds = &inner.fds;
             let view_ctx = &view_ctx;
             let requests = &requests;
+            let panicked = &panicked;
             std::thread::scope(|s| {
                 for (c, spec_chunk) in specs.chunks_mut(chunk).enumerate() {
                     let start = c * chunk;
@@ -332,12 +343,33 @@ impl Database {
                         for (off, slot) in spec_chunk.iter_mut().enumerate() {
                             let req = &requests[start + off];
                             if let Some((def, v)) = view_ctx.get(&req.view) {
-                                *slot = Some(check_update(schema, fds, def, v, &req.op));
+                                // check_update takes only shared refs and
+                                // writes nothing on the panic path, so
+                                // observing the captures afterwards is
+                                // sound.
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                    || check_update(schema, fds, def, v, &req.op),
+                                )) {
+                                    Ok(res) => *slot = Some(res),
+                                    Err(payload) => {
+                                        let mut first = panicked.lock();
+                                        if first.is_none() {
+                                            *first = Some(payload);
+                                        }
+                                        return;
+                                    }
+                                }
                             }
                         }
                     });
                 }
             });
+        }
+        if let Some(payload) = panicked.into_inner() {
+            // Release the engine write lock with the batch uncommitted,
+            // then propagate the original panic to the caller.
+            drop(inner);
+            std::panic::resume_unwind(payload);
         }
 
         // Commit strictly in submission order. `dirty` is the union of
@@ -556,6 +588,57 @@ mod tests {
         assert_eq!(report.stats.groups, 2);
         assert_eq!(report.stats.reused, 2);
         assert_eq!(report.stats.revalidated, 0);
+    }
+
+    #[test]
+    fn speculation_panic_releases_state_and_propagates_the_payload() {
+        let f = fixtures::edm();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        db.create_view("staff", f.x, Some(f.y), Policy::Test2)
+            .unwrap();
+        // Sabotage the prepared Test 2 state: speculation for any insert
+        // through `staff` now hits `.expect("prepared at creation")`.
+        db.inner.write().views.get_mut("staff").unwrap().test2 = None;
+        let base_before = db.base();
+        let log_before = db.log();
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            db.apply_batch_parallel(
+                vec![ins(&f, "dan", "toys"), ins(&f, "eve", "books")],
+                &BatchOptions { threads: Some(2) },
+            )
+        }));
+        // The original payload propagates (not a generic scoped-thread
+        // wrapper), so callers can still tell what went wrong.
+        let payload = result.expect_err("sabotaged translator must panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("prepared at creation"),
+            "original panic payload must survive, got {msg:?}"
+        );
+
+        // Nothing committed, no lock left held: the engine is unchanged
+        // and fully usable afterwards.
+        assert_eq!(db.base(), base_before);
+        assert_eq!(db.log(), log_before);
+        db.create_view("staff2", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        let report = db.apply_batch_parallel(
+            vec![BatchRequest::new(
+                "staff2",
+                UpdateOp::Insert {
+                    t: Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]),
+                },
+            )],
+            &BatchOptions::default(),
+        );
+        assert!(report.outcomes[0].is_ok());
+        assert_eq!(db.base().len(), 4);
     }
 
     #[test]

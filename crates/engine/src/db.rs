@@ -20,6 +20,8 @@ use crate::{EngineError, Policy, Result};
 /// What an applied update did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdateReport {
+    /// The sequence number the update was assigned in the audit log.
+    pub seq: u64,
     /// The translated database update.
     pub translation: Translation,
     /// Base cardinality before.
@@ -578,10 +580,19 @@ impl Database {
         };
         inner.log.push(entry);
         Ok(UpdateReport {
+            seq: inner.seq,
             translation,
             base_rows_before: rows_before,
             base_rows_after: rows_after,
         })
+    }
+
+    /// A read-only handle over this database: every query, none of the
+    /// mutators. `relvu-durability`'s `DurableDatabase` hands this out
+    /// instead of `&Database` so WAL-bypassing mutation is a compile
+    /// error rather than a silently-lost update.
+    pub fn reader(&self) -> crate::reader::EngineReader<'_> {
+        crate::reader::EngineReader::new(self)
     }
 }
 

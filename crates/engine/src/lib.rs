@@ -29,6 +29,7 @@ mod error;
 mod log;
 mod metrics;
 mod policy;
+mod reader;
 mod snapshot;
 mod view;
 
@@ -38,6 +39,7 @@ pub use error::EngineError;
 pub use metrics::EngineMetrics;
 pub use log::{LogEntry, UpdateOp};
 pub use policy::Policy;
+pub use reader::EngineReader;
 pub use view::ViewDef;
 
 /// Crate-wide result alias.

@@ -1,0 +1,131 @@
+//! [`EngineReader`]: a read-only handle over a [`Database`].
+//!
+//! The durability layer wraps a [`Database`] and must route **every**
+//! mutation through its WAL: an update applied directly to the wrapped
+//! engine exists only in memory, is silently lost on recovery, and is
+//! only detected at the *next* durable append (as a sequence mismatch
+//! that poisons the handle). `DurableDatabase` therefore exposes this
+//! type instead of `&Database` — queries stay free, while the mutators
+//! (`apply_op`, `apply_batch*`, `set_fds`, `create_*_view`, `resume_at`)
+//! simply do not exist here, making the WAL bypass a compile error.
+
+use relvu_deps::FdSet;
+use relvu_relation::{Relation, Schema};
+
+use crate::db::{Database, ViewStats};
+use crate::log::LogEntry;
+use crate::metrics::EngineMetrics;
+use crate::view::ViewDef;
+use crate::Result;
+
+/// A read-only view of a [`Database`]: every query method, no mutators.
+///
+/// Obtained from [`Database::reader`]. All methods delegate to the
+/// underlying database and take the same locks the direct calls would.
+#[derive(Clone, Copy)]
+pub struct EngineReader<'a> {
+    db: &'a Database,
+}
+
+impl<'a> EngineReader<'a> {
+    pub(crate) fn new(db: &'a Database) -> Self {
+        EngineReader { db }
+    }
+
+    /// The current instance of a view — see [`Database::view_instance`].
+    ///
+    /// # Errors
+    /// As [`Database::view_instance`].
+    pub fn view_instance(&self, name: &str) -> Result<Relation> {
+        self.db.view_instance(name)
+    }
+
+    /// Snapshot of the base relation — see [`Database::base`].
+    pub fn base(&self) -> Relation {
+        self.db.base()
+    }
+
+    /// Snapshot of the whole audit log — see [`Database::log`].
+    pub fn log(&self) -> Vec<LogEntry> {
+        self.db.log()
+    }
+
+    /// A bounded slice of the audit log — see [`Database::log_range`].
+    pub fn log_range(&self, from_seq: u64, limit: usize) -> Vec<LogEntry> {
+        self.db.log_range(from_seq, limit)
+    }
+
+    /// The most recently applied sequence number — see
+    /// [`Database::last_seq`].
+    pub fn last_seq(&self) -> u64 {
+        self.db.last_seq()
+    }
+
+    /// The database schema — see [`Database::schema`].
+    pub fn schema(&self) -> Schema {
+        self.db.schema()
+    }
+
+    /// The current dependency set Σ — see [`Database::fds`].
+    pub fn fds(&self) -> FdSet {
+        self.db.fds()
+    }
+
+    /// Per-view accepted/rejected counters — see [`Database::stats`].
+    ///
+    /// # Errors
+    /// As [`Database::stats`].
+    pub fn stats(&self, name: &str) -> Result<ViewStats> {
+        self.db.stats(name)
+    }
+
+    /// The names of the registered views — see [`Database::view_names`].
+    pub fn view_names(&self) -> Vec<String> {
+        self.db.view_names()
+    }
+
+    /// A registered view's definition — see [`Database::view_def`].
+    ///
+    /// # Errors
+    /// As [`Database::view_def`].
+    pub fn view_def(&self, name: &str) -> Result<ViewDef> {
+        self.db.view_def(name)
+    }
+
+    /// The `relvu-dump v1` serialization — see [`Database::dump`].
+    pub fn dump(&self) -> String {
+        self.db.dump()
+    }
+
+    /// Metrics snapshot — see [`Database::metrics`].
+    pub fn metrics(&self) -> EngineMetrics {
+        self.db.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Database, Policy};
+    use relvu_relation::Tuple;
+    use relvu_workload::fixtures;
+
+    #[test]
+    fn reader_sees_exactly_what_the_database_sees() {
+        let f = fixtures::edm();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        db.insert_via("staff", Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]))
+            .unwrap();
+        let r = db.reader();
+        assert_eq!(r.base(), db.base());
+        assert_eq!(r.log(), db.log());
+        assert_eq!(r.last_seq(), 1);
+        assert_eq!(r.view_names(), vec!["staff".to_string()]);
+        assert_eq!(r.view_instance("staff").unwrap(), db.view_instance("staff").unwrap());
+        assert_eq!(r.stats("staff").unwrap().accepted, 1);
+        assert_eq!(r.dump(), db.dump());
+        assert_eq!(r.fds(), db.fds());
+        assert_eq!(r.schema(), db.schema());
+    }
+}

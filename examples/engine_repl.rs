@@ -69,11 +69,11 @@ fn main() {
             [] => {}
             ["quit"] | ["exit"] => break,
             ["show"] => {
-                let v = ddb.engine().view_instance("staff").expect("registered");
+                let v = ddb.reader().view_instance("staff").expect("registered");
                 print!("{}", RelationDisplay::new(&v, &f.schema, Some(&f.dict)));
             }
             ["base"] => {
-                let b = ddb.engine().base();
+                let b = ddb.reader().base();
                 print!("{}", RelationDisplay::new(&b, &f.schema, Some(&f.dict)));
             }
             ["insert", e, d] => {
@@ -102,7 +102,7 @@ fn main() {
                 ));
             }
             ["log"] => {
-                for entry in ddb.engine().log() {
+                for entry in ddb.reader().log() {
                     println!(
                         "  #{} {:?} ({} → {} rows)",
                         entry.seq, entry.op, entry.rows_before, entry.rows_after
@@ -112,9 +112,10 @@ fn main() {
             ["\\wal"] | ["wal"] => {
                 let st = ddb.wal_status();
                 println!(
-                    "  next seq {}, {} records appended this session{}",
+                    "  next seq {}, {} records appended this session, sync {:?}{}",
                     st.next_seq,
                     st.records_appended,
+                    st.sync,
                     if st.poisoned { " [POISONED]" } else { "" }
                 );
                 match vfs.list() {
@@ -150,7 +151,7 @@ fn main() {
                         if let Some(t) = report.torn_truncated {
                             println!("  truncated torn tail in `{}` at {}", t.segment, t.offset);
                         }
-                        let lost = ddb.engine().last_seq() - report.last_seq;
+                        let lost = ddb.reader().last_seq() - report.last_seq;
                         if lost > 0 {
                             println!("  {lost} unsynced update(s) would be lost");
                         }
@@ -162,7 +163,7 @@ fn main() {
                 }
             }
             ["\\metrics"] | ["metrics"] => {
-                print!("{}", ddb.engine().metrics().render_prometheus());
+                print!("{}", ddb.reader().metrics().render_prometheus());
             }
             other => println!("unknown command: {other:?}"),
         }

@@ -110,15 +110,15 @@ fn run(s: &Script, vfs: &MemVfs) -> Trace {
     };
     let mut trace = Trace {
         ops_created: vfs.write_ops(),
-        dump_created: ddb.engine().dump(),
+        dump_created: ddb.reader().dump(),
         acks: Vec::new(),
     };
     for op in &s.updates {
         match ddb.apply("staff", op.clone()) {
             Ok(_) => trace.acks.push(Ack {
                 ops: vfs.write_ops(),
-                dump: ddb.engine().dump(),
-                seq: ddb.engine().last_seq(),
+                dump: ddb.reader().dump(),
+                seq: ddb.reader().last_seq(),
             }),
             // An engine rejection consumes no storage ops; skip it.
             Err(DurabilityError::Engine(_)) => continue,
@@ -173,12 +173,12 @@ fn recovery_yields_exactly_the_durable_prefix_at_every_crash_point() {
                         (a.dump.as_str(), a.seq)
                     });
                 assert_eq!(
-                    recovered.engine().dump(),
+                    recovered.reader().dump(),
                     want_dump,
                     "crash point {k}: recovered state is not the durable prefix"
                 );
                 assert_eq!(
-                    recovered.engine().last_seq(),
+                    recovered.reader().last_seq(),
                     want_seq,
                     "crash point {k}: wrong sequence number"
                 );
@@ -216,7 +216,7 @@ fn recovered_database_remains_usable() {
     run(&s, &crash_vfs);
     let image = crash_vfs.crash_image();
     let (recovered, _) = DurableDatabase::recover(image.clone(), opts()).unwrap();
-    let before = recovered.engine().last_seq();
+    let before = recovered.reader().last_seq();
 
     // Push the remaining script through the recovered handle.
     let mut accepted = 0;
@@ -228,11 +228,11 @@ fn recovered_database_remains_usable() {
         }
     }
     assert!(accepted > 0, "script exhausted before recovery point");
-    assert_eq!(recovered.engine().last_seq(), before + accepted);
+    assert_eq!(recovered.reader().last_seq(), before + accepted);
 
     // And those post-recovery commits survive another crash.
     let (again, report) = DurableDatabase::recover(image.crash_image(), opts()).unwrap();
-    assert_eq!(again.engine().dump(), recovered.engine().dump());
+    assert_eq!(again.reader().dump(), recovered.reader().dump());
     assert!(report.records_replayed > 0);
     again.check_invariants().unwrap();
 }
@@ -302,8 +302,8 @@ fn torn_tail_is_truncated_and_the_prefix_survives() {
     let image = vfs.crash_image();
     let (recovered, report) = DurableDatabase::recover(image.clone(), opts()).unwrap();
     let torn = report.torn_truncated.expect("torn tail detected");
-    assert_eq!(recovered.engine().dump(), baseline.acks[n - 1].dump);
-    assert_eq!(recovered.engine().last_seq(), baseline.acks[n - 1].seq);
+    assert_eq!(recovered.reader().dump(), baseline.acks[n - 1].dump);
+    assert_eq!(recovered.reader().last_seq(), baseline.acks[n - 1].seq);
 
     // The truncation really happened on storage.
     let len = image.file_len(&torn.segment).unwrap();
@@ -323,5 +323,5 @@ fn torn_tail_is_truncated_and_the_prefix_survives() {
     }
     assert_eq!(accepted, 5);
     let (again, _) = DurableDatabase::recover(image.crash_image(), opts()).unwrap();
-    assert_eq!(again.engine().dump(), recovered.engine().dump());
+    assert_eq!(again.reader().dump(), recovered.reader().dump());
 }
