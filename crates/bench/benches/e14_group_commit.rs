@@ -22,7 +22,9 @@ use std::time::{Duration, Instant};
 
 use rand::prelude::*;
 use relvu_bench::edm_workload;
-use relvu_durability::{DurabilityError, DurableDatabase, MemVfs, StdVfs, SyncPolicy, Vfs, WalOptions};
+use relvu_durability::{
+    DurabilityError, DurableDatabase, MemVfs, StdVfs, SyncPolicy, Vfs, WalOptions,
+};
 use relvu_engine::{Database, Policy, UpdateOp};
 use relvu_workload::update_gen::{self, BatchMix, ViewUpdate};
 
@@ -93,7 +95,10 @@ fn throughput<V: Vfs + Clone + Send + Sync>(
 
 /// One backend's sweep over writer counts. `make_ddb` builds a fresh
 /// store per run (temp dir, fault-free MemVfs, …).
-fn sweep<V: Vfs + Clone + Send + Sync>(mut make_ddb: impl FnMut(usize) -> DurableDatabase<V>, updates: &[UpdateOp]) {
+fn sweep<V: Vfs + Clone + Send + Sync>(
+    mut make_ddb: impl FnMut(usize) -> DurableDatabase<V>,
+    updates: &[UpdateOp],
+) {
     let mut base_rate = 0.0;
     for &threads in &THREADS {
         let shares = partition(updates, threads);
@@ -145,15 +150,22 @@ fn main() {
         replace: 0,
         reject: 0,
     };
-    let updates: Vec<UpdateOp> =
-        update_gen::update_batch(&mut rng, w.bench.x, w.bench.x & w.bench.y, &w.v, UPDATES, mix, 1 << 40)
-            .into_iter()
-            .map(|u| match u {
-                ViewUpdate::Insert(t) => UpdateOp::Insert { t },
-                ViewUpdate::Delete(t) => UpdateOp::Delete { t },
-                ViewUpdate::Replace(t1, t2) => UpdateOp::Replace { t1, t2 },
-            })
-            .collect();
+    let updates: Vec<UpdateOp> = update_gen::update_batch(
+        &mut rng,
+        w.bench.x,
+        w.bench.x & w.bench.y,
+        &w.v,
+        UPDATES,
+        mix,
+        1 << 40,
+    )
+    .into_iter()
+    .map(|u| match u {
+        ViewUpdate::Insert(t) => UpdateOp::Insert { t },
+        ViewUpdate::Delete(t) => UpdateOp::Delete { t },
+        ViewUpdate::Replace(t1, t2) => UpdateOp::Replace { t1, t2 },
+    })
+    .collect();
 
     let opts = WalOptions {
         sync: SyncPolicy::Always,

@@ -45,7 +45,8 @@ impl ViewCtx {
         if v.attrs() != x {
             return Err(CoreError::TupleNotOverView);
         }
-        if v.iter().any(Tuple::has_null) {
+        // O(1): the relation maintains a null-row count.
+        if v.has_nulls() {
             return Err(CoreError::ViewInstanceHasNulls);
         }
         for t in tuples {

@@ -269,7 +269,11 @@ pub struct RejectTrace {
 
 impl std::fmt::Display for RejectTrace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} failed [{}]: {}", self.condition, self.code, self.detail)?;
+        write!(
+            f,
+            "{} failed [{}]: {}",
+            self.condition, self.code, self.detail
+        )?;
         if !self.offending.is_empty() {
             write!(f, "; offending tuples:")?;
             for t in &self.offending {

@@ -47,7 +47,8 @@ impl Criterion {
 
     /// Run one stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        let (sample_size, warm_up, measurement) = (self.sample_size, self.warm_up, self.measurement);
+        let (sample_size, warm_up, measurement) =
+            (self.sample_size, self.warm_up, self.measurement);
         run_one(id, sample_size, warm_up, measurement, f);
         self
     }
@@ -170,8 +171,7 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(f());
             }
-            self.samples
-                .push(t0.elapsed().as_secs_f64() / batch as f64);
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
         }
     }
 }

@@ -193,9 +193,10 @@ pub mod cache {
         let cache = global();
         let fp = super::fingerprint(fds);
         let key = (fp, x);
-        let shard_idx = (fp ^ x.words()[0]).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize
-            % SHARDS;
-        let mut shard = cache.shards[shard_idx].lock().unwrap_or_else(|e| e.into_inner());
+        let shard_idx = (fp ^ x.words()[0]).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % SHARDS;
+        let mut shard = cache.shards[shard_idx]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         shard.tick += 1;
         let tick = shard.tick;
         if let Some(entry) = shard.map.get_mut(&key) {
@@ -259,17 +260,11 @@ pub mod cache {
     /// for `(fds, x)` must detect the Σ mismatch and recompute rather
     /// than return `wrong_result`.
     #[doc(hidden)]
-    pub fn plant_colliding_entry(
-        fds: &FdSet,
-        x: AttrSet,
-        wrong_fds: FdSet,
-        wrong_result: AttrSet,
-    ) {
+    pub fn plant_colliding_entry(fds: &FdSet, x: AttrSet, wrong_fds: FdSet, wrong_result: AttrSet) {
         let cache = global();
         let fp = super::fingerprint(fds);
         let key = (fp, x);
-        let shard_idx =
-            (fp ^ x.words()[0]).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % SHARDS;
+        let shard_idx = (fp ^ x.words()[0]).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % SHARDS;
         let mut shard = cache.shards[shard_idx]
             .lock()
             .unwrap_or_else(|e| e.into_inner());
@@ -283,6 +278,26 @@ pub mod cache {
                 stamp: tick,
             },
         );
+    }
+
+    /// Drop every entry computed under the Σ with fingerprint `fp`,
+    /// leaving other FD sets' entries (and all counters) untouched.
+    ///
+    /// This is the right invalidation for one database replacing *its*
+    /// Σ: the cache is process-wide and fingerprint-keyed, so entries
+    /// under other fingerprints belong to other live FD sets (or are
+    /// harmless stale ones that LRU out). A blanket [`reset`] would
+    /// evict every other database's working set too.
+    pub fn evict_fingerprint(fp: u64) {
+        let cache = global();
+        let mut evicted = 0u64;
+        for shard in &cache.shards {
+            let mut s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let before = s.map.len();
+            s.map.retain(|k, _| k.0 != fp);
+            evicted += (before - s.map.len()) as u64;
+        }
+        cache.evictions.add(evicted);
     }
 
     /// Drop every entry and zero the counters (e.g. after a schema or
@@ -386,7 +401,31 @@ mod tests {
         let mut fds2 = fds.clone();
         fds2.push(Fd::parse(&s, "M -> E").unwrap());
         assert_ne!(fingerprint(&fds), fingerprint(&fds2));
-        assert_eq!(cache::closure_cached(&fds2, s.set(["M"]).unwrap()), s.universe());
+        assert_eq!(
+            cache::closure_cached(&fds2, s.set(["M"]).unwrap()),
+            s.universe()
+        );
+    }
+
+    #[test]
+    fn evict_fingerprint_is_scoped() {
+        let (s, fds) = edm();
+        let mut other = fds.clone();
+        other.push(Fd::parse(&s, "M -> E").unwrap());
+        cache::reset();
+        let e = s.set(["E"]).unwrap();
+        let _ = cache::closure_cached(&fds, e);
+        let _ = cache::closure_cached(&other, e);
+        let resident = cache::stats().len;
+        cache::evict_fingerprint(fingerprint(&fds));
+        // Only the targeted Σ's entry goes; the other survives.
+        assert_eq!(cache::stats().len, resident - 1);
+        let before = cache::stats();
+        let _ = cache::closure_cached(&other, e);
+        let after = cache::stats();
+        if relvu_obs::enabled() {
+            assert_eq!(after.hits, before.hits + 1, "other Σ must still hit");
+        }
     }
 
     #[test]

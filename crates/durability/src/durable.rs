@@ -113,6 +113,12 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// log, re-checks invariants, and resumes appending where the log
     /// ends.
     ///
+    /// View materializations are rebuilt from scratch when the
+    /// checkpoint is loaded and then maintained incrementally through
+    /// each replayed record; [`check_invariants`] verifies they match a
+    /// fresh projection of the recovered base before the handle is
+    /// returned.
+    ///
     /// # Errors
     /// [`DurabilityError::NoCheckpoint`] on an uninitialized store;
     /// [`DurabilityError::CorruptRecord`] / [`DurabilityError::SeqGap`]
@@ -433,20 +439,41 @@ mod tests {
         let (f, ddb, vfs) = seeded();
         let t = |e: &str, d: &str| Tuple::new([f.dict.sym(e), f.dict.sym(d)]);
 
-        ddb.apply("xy", UpdateOp::Insert { t: t("dan", "toys") })
+        ddb.apply(
+            "xy",
+            UpdateOp::Insert {
+                t: t("dan", "toys"),
+            },
+        )
+        .unwrap();
+        ddb.create_view("xy2", f.x, Some(f.y), Policy::Test1)
             .unwrap();
-        ddb.create_view("xy2", f.x, Some(f.y), Policy::Test1).unwrap();
         ddb.apply_batch(
             vec![
-                BatchRequest::new("xy2", UpdateOp::Insert { t: t("eve", "books") }),
-                BatchRequest::new("xy", UpdateOp::Delete { t: t("dan", "toys") }),
+                BatchRequest::new(
+                    "xy2",
+                    UpdateOp::Insert {
+                        t: t("eve", "books"),
+                    },
+                ),
+                BatchRequest::new(
+                    "xy",
+                    UpdateOp::Delete {
+                        t: t("dan", "toys"),
+                    },
+                ),
             ],
             &BatchOptions::default(),
         )
         .unwrap();
         ddb.set_fds(ddb.reader().fds()).unwrap();
-        ddb.apply("xy2", UpdateOp::Insert { t: t("gus", "toys") })
-            .unwrap();
+        ddb.apply(
+            "xy2",
+            UpdateOp::Insert {
+                t: t("gus", "toys"),
+            },
+        )
+        .unwrap();
 
         // After every acknowledged call above: memory is never ahead of
         // the log (the old engine() hole made exactly this go wrong).
@@ -475,7 +502,11 @@ mod tests {
             )
             .unwrap();
         assert!(report.outcomes[0].is_err());
-        assert_eq!(vfs.write_ops(), ops_before, "rejections must not hit storage");
+        assert_eq!(
+            vfs.write_ops(),
+            ops_before,
+            "rejections must not hit storage"
+        );
         assert_eq!(ddb.wal_status().next_seq, 1);
     }
 

@@ -101,7 +101,10 @@ impl GroupCommit {
     /// Stage one committer's entries for the next group. The caller must
     /// hold the stage lock, so enqueue order equals engine commit order.
     pub(crate) fn enqueue(&self, entries: Vec<LogEntry>) -> SlotHandle {
-        debug_assert!(!entries.is_empty(), "a committer with nothing to log must not stage");
+        debug_assert!(
+            !entries.is_empty(),
+            "a committer with nothing to log must not stage"
+        );
         let slot = Arc::new(AckSlot {
             result: Mutex::new(None),
         });

@@ -342,11 +342,7 @@ mod tests {
 
     #[test]
     fn truncated_frames_are_incomplete() {
-        let e = entry(
-            7,
-            UpdateOp::Insert { t: tup![1, 2] },
-            Translation::Identity,
-        );
+        let e = entry(7, UpdateOp::Insert { t: tup![1, 2] }, Translation::Identity);
         let frame = encode(&e).unwrap();
         for cut in 0..frame.len() {
             assert!(
@@ -387,16 +383,9 @@ mod tests {
 
     #[test]
     fn unencodable_entries_are_rejected() {
-        let mut e = entry(
-            1,
-            UpdateOp::Insert { t: tup![1, 2] },
-            Translation::Identity,
-        );
+        let mut e = entry(1, UpdateOp::Insert { t: tup![1, 2] }, Translation::Identity);
         e.view = "has space".to_string();
-        assert!(matches!(
-            encode(&e),
-            Err(DurabilityError::Encode { .. })
-        ));
+        assert!(matches!(encode(&e), Err(DurabilityError::Encode { .. })));
         let null_entry = LogEntry {
             seq: 1,
             view: "v".to_string(),

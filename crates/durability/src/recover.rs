@@ -11,6 +11,7 @@
 use relvu_core::are_complementary;
 use relvu_deps::check::satisfies_fds;
 use relvu_engine::Database;
+use relvu_relation::ops;
 
 use crate::checkpoint::{self, LoadedCheckpoint};
 use crate::error::DurabilityError;
@@ -182,6 +183,10 @@ pub(crate) fn recover_from<V: Vfs>(
 /// * every registered view's `(X, Y)` pair passes Theorem 1's
 ///   complementarity test under the current Σ, and a selection view's
 ///   predicate only mentions view attributes;
+/// * every view's incrementally maintained materialization — rebuilt at
+///   checkpoint load, then folded forward delta-by-delta during WAL
+///   replay — equals a fresh `π_X(R)` of the recovered base (and, for
+///   selection views, the fresh `σ_P`/`σ_¬P` split);
 /// * the in-memory log's sequence numbers are contiguous and end at the
 ///   database's current sequence number.
 ///
@@ -191,7 +196,8 @@ pub fn check_invariants(db: &Database) -> Result<(), DurabilityError> {
     let violated = |detail: String| DurabilityError::InvariantViolation { detail };
     let schema = db.schema();
     let fds = db.fds();
-    if !satisfies_fds(&db.base(), &fds) {
+    let base = db.base();
+    if !satisfies_fds(&base, &fds) {
         return Err(violated("base instance violates Σ".to_string()));
     }
     for name in db.view_names() {
@@ -205,6 +211,27 @@ pub fn check_invariants(db: &Database) -> Result<(), DurabilityError> {
             if !pred.attrs().is_subset(&def.x()) {
                 return Err(violated(format!(
                     "view `{name}`: selection predicate mentions attributes outside X"
+                )));
+            }
+        }
+        let (instance, split) = db.mat_parts(&name)?;
+        let fresh = ops::project(&base, def.x())
+            .map_err(|e| violated(format!("view `{name}`: projecting π_X failed: {e}")))?;
+        if instance != fresh {
+            return Err(violated(format!(
+                "view `{name}`: materialized instance diverged from π_X(R)"
+            )));
+        }
+        if let Some((matching, rest)) = split {
+            let pred = def.pred().ok_or_else(|| {
+                violated(format!("view `{name}`: split present without a predicate"))
+            })?;
+            let x = def.x();
+            if matching != ops::select(&fresh, |t| pred.eval(&x, t))
+                || rest != ops::select(&fresh, |t| !pred.eval(&x, t))
+            {
+                return Err(violated(format!(
+                    "view `{name}`: materialized σ_P/σ_¬P split diverged"
                 )));
             }
         }

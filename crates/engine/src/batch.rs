@@ -46,7 +46,7 @@ use std::collections::{HashMap, HashSet};
 
 use relvu_core::Translatability;
 use relvu_deps::closure;
-use relvu_relation::{ops, Attr, Relation, Value};
+use relvu_relation::{Attr, Relation, Value};
 
 use crate::db::check_update;
 use crate::log::UpdateOp;
@@ -276,16 +276,22 @@ impl Database {
         let cache_before = closure::cache::stats();
         let n = requests.len();
 
-        // Resolve each request's view once, and each distinct view's
-        // starting instance π_X(B₀) once.
-        let mut view_ctx: HashMap<String, (ViewDef, Relation)> = HashMap::new();
+        // Resolve each request's view once, and snapshot each distinct
+        // view's starting instance π_X(B₀) (plus the σ_P/σ_¬P split for
+        // selection views) from its materialization — no projection scan.
+        type Ctx = (ViewDef, Relation, Option<(Relation, Relation)>);
+        let mut view_ctx: HashMap<String, Ctx> = HashMap::new();
         for req in &requests {
             if !view_ctx.contains_key(&req.view) {
                 if let Some(def) = inner.views.get(&req.view) {
                     let def = def.clone();
-                    let v = ops::project(&inner.base, def.x())
-                        .expect("view attrs validated at registration");
-                    view_ctx.insert(req.view.clone(), (def, v));
+                    let mat = inner
+                        .mats
+                        .get(&req.view)
+                        .expect("registered views have mats");
+                    let v = mat.instance().clone();
+                    let split = mat.split().cloned();
+                    view_ctx.insert(req.view.clone(), (def, v, split));
                 }
             }
         }
@@ -302,7 +308,7 @@ impl Database {
                 .map(|req| {
                     view_ctx
                         .get(&req.view)
-                        .map(|(def, _)| components.footprint(def, &req.op))
+                        .map(|(def, _, _)| components.footprint(def, &req.op))
                 })
                 .collect()
         };
@@ -342,14 +348,14 @@ impl Database {
                     s.spawn(move || {
                         for (off, slot) in spec_chunk.iter_mut().enumerate() {
                             let req = &requests[start + off];
-                            if let Some((def, v)) = view_ctx.get(&req.view) {
+                            if let Some((def, v, split)) = view_ctx.get(&req.view) {
                                 // check_update takes only shared refs and
                                 // writes nothing on the panic path, so
                                 // observing the captures afterwards is
                                 // sound.
-                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                    || check_update(schema, fds, def, v, &req.op),
-                                )) {
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    check_update(schema, fds, def, v, split.as_ref(), &req.op)
+                                })) {
                                     Ok(res) => *slot = Some(res),
                                     Err(payload) => {
                                         let mut first = panicked.lock();
@@ -396,13 +402,13 @@ impl Database {
                     reused += 1;
                     match spec {
                         Ok(Translatability::Translatable(tr)) => {
-                            let (def, _) = &view_ctx[&req.view];
+                            let (def, _, _) = &view_ctx[&req.view];
                             let (x, y) = (def.x(), def.y());
                             self.commit(&mut inner, &req.view, req.op, x, y, tr)
                         }
-                        Ok(Translatability::Rejected(reason)) => {
-                            Err(crate::db::record_rejection(&mut inner, &req.view, &req.op, reason))
-                        }
+                        Ok(Translatability::Rejected(reason)) => Err(crate::db::record_rejection(
+                            &mut inner, &req.view, &req.op, reason,
+                        )),
                         Err(e) => Err(e),
                     }
                 }
@@ -562,25 +568,19 @@ mod tests {
         // requests touching different suppliers are conflict-free.
         let base = Relation::from_rows(
             s.universe(),
-            [tup![1, 100, 5, 70], tup![1, 101, 3, 70], tup![2, 200, 9, 71]],
+            [
+                tup![1, 100, 5, 70],
+                tup![1, 101, 3, 70],
+                tup![2, 200, 9, 71],
+            ],
         )
         .unwrap();
         let db = Database::new(s, fds, base).unwrap();
         db.create_view("orders", x, Some(y), Policy::Exact).unwrap();
         let report = db.apply_batch_parallel(
             vec![
-                BatchRequest::new(
-                    "orders",
-                    UpdateOp::Insert {
-                        t: tup![1, 102, 7],
-                    },
-                ),
-                BatchRequest::new(
-                    "orders",
-                    UpdateOp::Insert {
-                        t: tup![2, 201, 4],
-                    },
-                ),
+                BatchRequest::new("orders", UpdateOp::Insert { t: tup![1, 102, 7] }),
+                BatchRequest::new("orders", UpdateOp::Insert { t: tup![2, 201, 4] }),
             ],
             &BatchOptions::default(),
         );
@@ -649,8 +649,7 @@ mod tests {
         let a = s.set(["A"]).unwrap();
         // ∅ → B: every row has the same B value.
         let fds = FdSet::new([Fd::new(AttrSet::EMPTY, s.set(["B"]).unwrap())]);
-        let base =
-            Relation::from_rows(s.universe(), [relvu_relation::tup![1, 9]]).unwrap();
+        let base = Relation::from_rows(s.universe(), [relvu_relation::tup![1, 9]]).unwrap();
         let db = Database::new(s.clone(), fds, base).unwrap();
         db.create_view("va", a, None, Policy::Exact).unwrap();
         let report = db.apply_batch_parallel(

@@ -11,9 +11,10 @@ use relvu_core::{
 };
 use relvu_deps::check::satisfies_fds;
 use relvu_deps::{closure, FdSet};
-use relvu_relation::{ops, AttrSet, Pred, Relation, Schema, Tuple};
+use relvu_relation::{AttrSet, Pred, Relation, Schema, Tuple};
 
 use crate::log::{LogEntry, UpdateOp};
+use crate::mat::ViewMat;
 use crate::view::ViewDef;
 use crate::{EngineError, Policy, Result};
 
@@ -47,6 +48,10 @@ pub(crate) struct Inner {
     pub(crate) fds: FdSet,
     pub(crate) base: Relation,
     pub(crate) views: HashMap<String, ViewDef>,
+    /// One materialization per registered view, maintained
+    /// incrementally by [`Database::commit`] and rebuilt from scratch
+    /// only on `set_fds`, load, and batch rollback.
+    pub(crate) mats: HashMap<String, ViewMat>,
     pub(crate) stats: HashMap<String, ViewStats>,
     pub(crate) log: Vec<LogEntry>,
     pub(crate) seq: u64,
@@ -68,20 +73,27 @@ pub(crate) fn check_update(
     fds: &FdSet,
     def: &ViewDef,
     v: &Relation,
+    split: Option<&(Relation, Relation)>,
     op: &UpdateOp,
 ) -> Result<Translatability> {
     let _timer = relvu_obs::histogram!("engine.check_ns").timer();
-    // Selection views translate through the σ_P machinery (§6(2)).
+    // Selection views translate through the σ_P machinery (§6(2)),
+    // against the (σ_P, σ_¬P) split — materialized when the caller has
+    // it, recomputed from `v` otherwise.
     if let Some(pred) = def.pred() {
         let sel = SelectionView::new(def.x(), def.y(), pred.clone())?;
-        let w = sel.instance(v);
-        let w_bar = sel.anti_instance(v);
-        let verdict = match op {
-            UpdateOp::Insert { t } => sel.translate_insert(schema, fds, &w, &w_bar, t)?,
-            UpdateOp::Delete { t } => sel.translate_delete(schema, fds, &w, &w_bar, t)?,
-            UpdateOp::Replace { t1, t2 } => {
-                sel.translate_replace(schema, fds, &w, &w_bar, t1, t2)?
+        let computed;
+        let (w, w_bar) = match split {
+            Some((w, w_bar)) => (w, w_bar),
+            None => {
+                computed = (sel.instance(v), sel.anti_instance(v));
+                (&computed.0, &computed.1)
             }
+        };
+        let verdict = match op {
+            UpdateOp::Insert { t } => sel.translate_insert(schema, fds, w, w_bar, t)?,
+            UpdateOp::Delete { t } => sel.translate_delete(schema, fds, w, w_bar, t)?,
+            UpdateOp::Replace { t1, t2 } => sel.translate_replace(schema, fds, w, w_bar, t1, t2)?,
         };
         return Ok(match verdict {
             Ok(v) => v,
@@ -159,6 +171,7 @@ impl Database {
                 fds,
                 base,
                 views: HashMap::new(),
+                mats: HashMap::new(),
                 stats: HashMap::new(),
                 log: Vec::new(),
                 seq: 0,
@@ -220,8 +233,30 @@ impl Database {
         if let Some(pred) = pred {
             def = def.with_pred(pred);
         }
+        // Materialize before registering so an error leaves no trace.
+        let mat = ViewMat::build(&inner.base, &def)?;
+        inner.mats.insert(name.to_string(), mat);
         inner.views.insert(name.to_string(), def);
         Ok(())
+    }
+
+    /// Rebuild every view's materialization from the current base by a
+    /// full scan — the recovery path after wholesale state changes
+    /// (Σ replacement, batch rollback) where incremental maintenance
+    /// has no delta to fold.
+    pub(crate) fn rebuild_mats(inner: &mut Inner) {
+        for mat in inner.mats.values() {
+            mat.retire();
+        }
+        inner.mats = inner
+            .views
+            .iter()
+            .map(|(name, def)| {
+                let mat = ViewMat::build(&inner.base, def)
+                    .expect("registered view attrs lie within the universe");
+                (name.clone(), mat)
+            })
+            .collect();
     }
 
     /// Replace the dependency set Σ wholesale, revalidating the base and
@@ -229,9 +264,11 @@ impl Database {
     ///
     /// The per-view cached complement is invalidated: auto-derived
     /// complements are recomputed (Corollary 2), declared complements are
-    /// revalidated via Theorem 1, and prepared Test 2 state is rebuilt.
-    /// The global closure memo cache is reset so no stale Σ entries
-    /// linger.
+    /// revalidated via Theorem 1, prepared Test 2 state is rebuilt, and
+    /// every view's materialization is rebuilt (a complement change
+    /// moves the `π_Y(R)` side wholesale). The old Σ's entries are
+    /// evicted from the closure memo cache *by fingerprint* — other
+    /// databases in the process keep their memoized closures.
     ///
     /// # Errors
     /// [`EngineError::IllegalBase`] if the current base violates the new
@@ -270,9 +307,13 @@ impl Database {
             }
             rebuilt.insert(name.clone(), fresh);
         }
+        let old_fp = closure::fingerprint(&inner.fds);
         inner.views = rebuilt;
         inner.fds = fds;
-        closure::cache::reset();
+        if old_fp != fp {
+            closure::cache::evict_fingerprint(old_fp);
+        }
+        Self::rebuild_mats(&mut inner);
         Ok(())
     }
 
@@ -331,19 +372,47 @@ impl Database {
         // interleave, so the rollback is a true transaction abort.
         let mut inner = self.inner.write();
         let _hold = relvu_obs::histogram!("engine.lock.write_hold_ns").timer();
-        let snapshot_base = inner.base.clone();
-        let snapshot_len = inner.log.len();
-        let snapshot_seq = inner.seq;
-        let snapshot_stats = inner.stats.clone();
+        // A singleton batch needs no snapshot at all: with one update
+        // there is never an applied prefix to undo, so failure leaves
+        // the engine exactly as a plain `apply_op` rejection would.
+        let snapshot = (updates.len() > 1).then(|| {
+            (
+                inner.base.clone(),
+                inner.log.len(),
+                inner.seq,
+                inner.stats.clone(),
+            )
+        });
         let mut reports = Vec::with_capacity(updates.len());
         for (index, (view, op)) in updates.into_iter().enumerate() {
             match self.apply_inner(&mut inner, &view, op) {
                 Ok(r) => reports.push(r),
                 Err(e) => {
-                    inner.base = snapshot_base;
-                    inner.log.truncate(snapshot_len);
-                    inner.seq = snapshot_seq;
-                    inner.stats = snapshot_stats;
+                    if let Some((base, len, seq, stats)) = snapshot {
+                        inner.base = base;
+                        inner.log.truncate(len);
+                        inner.seq = seq;
+                        inner.stats = stats;
+                        Self::rebuild_mats(&mut inner);
+                        // Compensate the global counters for the
+                        // rolled-back prefix (every prefix update was
+                        // accepted — a rejection aborts the batch), so
+                        // the registry keeps agreeing with the summed
+                        // per-view stats.
+                        relvu_obs::counter!("engine.accepted").sub(reports.len() as u64);
+                        // The failing update's own rejection really
+                        // happened and was already counted globally;
+                        // restoring the stats map erased its per-view
+                        // record, so put that back.
+                        if let EngineError::Rejected { ref reason, .. } = e {
+                            let stats = inner.stats.entry(view.clone()).or_default();
+                            stats.rejected += 1;
+                            *stats
+                                .rejected_by_reason
+                                .entry(reason.code().to_string())
+                                .or_insert(0) += 1;
+                        }
+                    }
                     return Err(EngineError::BatchFailed {
                         index,
                         source: Box::new(e),
@@ -383,20 +452,36 @@ impl Database {
     /// [`EngineError::UnknownView`] if absent.
     pub fn view_instance(&self, name: &str) -> Result<Relation> {
         let inner = self.inner.read();
-        let def = inner
-            .views
+        let mat = inner
+            .mats
             .get(name)
             .ok_or_else(|| EngineError::UnknownView {
                 name: name.to_string(),
             })?;
-        let full = ops::project(&inner.base, def.x())?;
-        Ok(match def.pred() {
-            Some(p) => {
-                let x = def.x();
-                ops::select(&full, |t| p.eval(&x, t))
-            }
-            None => full,
+        // Answered from the materialization: O(|V|) for the clone,
+        // never O(|base|) for a re-projection.
+        Ok(match mat.split() {
+            Some((matching, _)) => matching.clone(),
+            None => mat.instance().clone(),
         })
+    }
+
+    /// The materialized instance and (for selection views) the
+    /// `(σ_P, σ_¬P)` split — test/diagnostic access for the
+    /// differential oracles; not part of the stable API.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if absent.
+    #[doc(hidden)]
+    pub fn mat_parts(&self, name: &str) -> Result<(Relation, Option<(Relation, Relation)>)> {
+        let inner = self.inner.read();
+        let mat = inner
+            .mats
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownView {
+                name: name.to_string(),
+            })?;
+        Ok((mat.instance().clone(), mat.split().cloned()))
     }
 
     /// Snapshot of the base relation.
@@ -536,15 +621,32 @@ impl Database {
             .ok_or_else(|| EngineError::UnknownView {
                 name: name.to_string(),
             })?;
-        let v = ops::project(&inner.base, def.x())?;
-        match check_update(&inner.schema, &inner.fds, &def, &v, &op)? {
+        // The check reads the materialized instance (and split) — no
+        // O(|base|) re-projection per update.
+        let verdict = {
+            let mat = inner.mats.get(name).expect("registered views have mats");
+            check_update(
+                &inner.schema,
+                &inner.fds,
+                &def,
+                mat.instance(),
+                mat.split(),
+                &op,
+            )?
+        };
+        match verdict {
             Translatability::Translatable(tr) => self.commit(inner, name, op, def.x(), def.y(), tr),
             Translatability::Rejected(reason) => Err(record_rejection(inner, name, &op, reason)),
         }
     }
 
-    /// Apply a verified translation to the base, with legality and
-    /// constant-complement assertions, logging and stats.
+    /// Apply a verified translation to the base as a tuple delta, fold
+    /// the delta into every view's materialization, and log. The delta
+    /// is derived from the committing view's bucketed complement — the
+    /// whole commit is O(|Δ| · views), independent of |base|. In debug
+    /// builds the old full recomputation survives as an oracle: the
+    /// delta-updated base must equal [`Translation::apply`]'s result
+    /// and every materialization must equal a fresh projection.
     pub(crate) fn commit(
         &self,
         inner: &mut Inner,
@@ -555,18 +657,68 @@ impl Database {
         translation: Translation,
     ) -> Result<UpdateReport> {
         let rows_before = inner.base.len();
-        let new_base = translation.apply(&inner.base, x, y)?;
+        #[cfg(debug_assertions)]
+        let old_base = inner.base.clone();
+        let delta_timer = relvu_obs::histogram!("engine.mat.delta_ns").timer();
+        let (added, removed) = inner
+            .mats
+            .get(name)
+            .expect("registered views have mats")
+            .delta(&inner.base, &translation);
+        // The checks guarantee x ∪ y = U, so joined rows have base
+        // arity; verify up front so the in-place edit below can never
+        // abort half-applied.
+        if let Some(row) = added.first() {
+            if row.arity() != inner.base.attrs().len() {
+                return Err(relvu_relation::RelationError::ArityMismatch {
+                    expected: inner.base.attrs().len(),
+                    got: row.arity(),
+                }
+                .into());
+            }
+        }
+        for row in &removed {
+            inner.base.remove(row);
+        }
+        for row in &added {
+            inner
+                .base
+                .insert(row.clone())
+                .expect("arity verified above");
+        }
+        let from = inner.base.attrs();
+        for mat in inner.mats.values_mut() {
+            mat.fold(&from, &added, &removed);
+        }
+        // With obs disabled the timer is a unit no-op without Drop.
+        #[allow(clippy::drop_non_drop)]
+        drop(delta_timer);
         debug_assert!(
-            satisfies_fds(&new_base, &inner.fds),
+            satisfies_fds(&inner.base, &inner.fds),
             "translated update must preserve legality"
         );
-        debug_assert_eq!(
-            ops::project(&new_base, y).expect("complement within U"),
-            ops::project(&inner.base, y).expect("complement within U"),
-            "complement must stay constant"
-        );
-        let rows_after = new_base.len();
-        inner.base = new_base;
+        #[cfg(debug_assertions)]
+        {
+            use relvu_relation::ops;
+            assert_eq!(
+                inner.base,
+                translation
+                    .apply(&old_base, x, y)
+                    .expect("checked translation applies"),
+                "delta commit must equal the full recomputation"
+            );
+            assert_eq!(
+                ops::project(&inner.base, y).expect("complement within U"),
+                ops::project(&old_base, y).expect("complement within U"),
+                "complement must stay constant"
+            );
+            for mat in inner.mats.values() {
+                mat.debug_assert_consistent(&inner.base);
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = (x, y);
+        let rows_after = inner.base.len();
         inner.seq += 1;
         inner.stats.entry(name.to_string()).or_default().accepted += 1;
         relvu_obs::counter!("engine.accepted").inc();
@@ -600,7 +752,7 @@ impl Database {
 mod tests {
     use super::*;
     use relvu_core::RejectReason;
-    use relvu_relation::tup;
+    use relvu_relation::{ops, tup};
     use relvu_workload::fixtures;
 
     fn edm_db() -> (fixtures::EdmFixture, Database) {
@@ -799,7 +951,7 @@ mod tests {
 #[cfg(test)]
 mod selection_tests {
     use super::*;
-    use relvu_relation::{tup, CmpOp, Value};
+    use relvu_relation::{ops, tup, CmpOp, Value};
     use relvu_workload::fixtures;
 
     fn orders_db() -> (fixtures::SupplierFixture, Database) {

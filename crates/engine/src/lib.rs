@@ -27,6 +27,7 @@ mod batch;
 mod db;
 mod error;
 mod log;
+mod mat;
 mod metrics;
 mod policy;
 mod reader;
@@ -36,8 +37,8 @@ mod view;
 pub use batch::{BatchOptions, BatchOutcome, BatchReport, BatchRequest, BatchStats};
 pub use db::{Database, UpdateReport, ViewStats};
 pub use error::EngineError;
-pub use metrics::EngineMetrics;
 pub use log::{LogEntry, UpdateOp};
+pub use metrics::EngineMetrics;
 pub use policy::Policy;
 pub use reader::EngineReader;
 pub use view::ViewDef;

@@ -1,0 +1,269 @@
+//! Incremental materialized view instances.
+//!
+//! Every hot path of the engine consults the view instance `π_X(R)` and
+//! (through the translations `t ⋈ π_Y(R)`) the constant complement
+//! `π_Y(R)`. Recomputing either from the full base is O(|base|) per
+//! operation; [`ViewMat`] keeps both materialized and folds each
+//! committed [`Translation`]'s base-row delta into them in O(|Δ|), in
+//! the support-counting style of Incremental Relational Lenses (Horn,
+//! Perera, Cheney, 2018).
+//!
+//! * The **view side** maps each view tuple to the number of base rows
+//!   projecting onto it. A base-row insert bumps the count (creating
+//!   the view tuple at 0→1); a base-row delete drops it (removing the
+//!   view tuple only at 1→0, i.e. when its *last* supporting row goes).
+//!   Selection views additionally keep the `σ_P` / `σ_¬P` split of the
+//!   instance, which is the pair the §6(2) machinery checks against.
+//! * The **complement side** keeps the distinct `π_Y(R)` tuples bucketed
+//!   by their `X∩Y` projection, so a translation's join `t ⋈ π_Y(R)`
+//!   reads one bucket instead of scanning the base.
+//!
+//! Full recomputation ([`ViewMat::build`]) survives as the rebuild path
+//! after Σ replacement, snapshot load, and batch rollback — and, in
+//! debug builds, as the oracle [`ViewMat::debug_assert_consistent`]
+//! checks after every commit.
+
+use std::collections::HashMap;
+
+use relvu_core::Translation;
+use relvu_relation::{ops, AttrSet, Pred, Relation, Tuple};
+
+use crate::view::ViewDef;
+use crate::Result;
+
+/// The materialized state of one registered view: its instance
+/// `π_X(R)` with per-tuple support counts, the optional `σ_P`/`σ_¬P`
+/// split, and the bucketed complement `π_Y(R)`.
+pub(crate) struct ViewMat {
+    x: AttrSet,
+    y: AttrSet,
+    shared: AttrSet,
+    pred: Option<Pred>,
+    /// View tuple → number of base rows projecting onto it.
+    support: HashMap<Tuple, u64>,
+    /// `π_X(R)`, kept equal to `support`'s key set.
+    instance: Relation,
+    /// `(σ_P(π_X(R)), σ_¬P(π_X(R)))` for selection views.
+    split: Option<(Relation, Relation)>,
+    /// Complement tuple → number of base rows projecting onto it.
+    y_support: HashMap<Tuple, u64>,
+    /// Distinct `π_Y(R)` tuples bucketed by their `X∩Y` projection —
+    /// the index a translation's `t ⋈ π_Y(R)` probes. With `X∩Y = ∅`
+    /// every tuple lands in the single empty-key bucket, which degrades
+    /// to the Cartesian product exactly like the natural join does.
+    y_by_key: HashMap<Tuple, Vec<Tuple>>,
+}
+
+impl ViewMat {
+    /// Materialize `def` over `base` by a full scan. O(|base|); used at
+    /// view registration and as the rebuild path after `set_fds`,
+    /// `Database::load`, and batch rollback.
+    ///
+    /// # Errors
+    /// The same [`relvu_relation::RelationError::NotASubset`] a fresh
+    /// projection would produce if the view's attribute sets reach
+    /// outside the base's universe.
+    pub(crate) fn build(base: &Relation, def: &ViewDef) -> Result<Self> {
+        let x = def.x();
+        let y = def.y();
+        if !x.is_subset(&base.attrs()) {
+            ops::project(base, x)?;
+        }
+        if !y.is_subset(&base.attrs()) {
+            ops::project(base, y)?;
+        }
+        let mut mat = ViewMat {
+            x,
+            y,
+            shared: x & y,
+            pred: def.pred().cloned(),
+            support: HashMap::new(),
+            instance: Relation::new(x),
+            split: def.pred().map(|_| (Relation::new(x), Relation::new(x))),
+            y_support: HashMap::new(),
+            y_by_key: HashMap::new(),
+        };
+        let from = base.attrs();
+        for row in base.iter() {
+            mat.add_base_row(&from, row);
+        }
+        relvu_obs::counter!("engine.mat.rebuilds").inc();
+        Ok(mat)
+    }
+
+    /// The materialized `π_X(R)`.
+    pub(crate) fn instance(&self) -> &Relation {
+        &self.instance
+    }
+
+    /// The materialized `(σ_P, σ_¬P)` split, for selection views.
+    pub(crate) fn split(&self) -> Option<&(Relation, Relation)> {
+        self.split.as_ref()
+    }
+
+    /// Retire this materialization's contribution to the
+    /// `engine.mat.tuples` gauge (called when it is about to be
+    /// replaced by a rebuild).
+    pub(crate) fn retire(&self) {
+        relvu_obs::counter!("engine.mat.tuples").sub(self.instance.len() as u64);
+    }
+
+    /// The base rows `{t} ⋈ π_Y(R)` — a translation's touched rows —
+    /// answered from the bucketed complement in O(bucket).
+    fn join_rows<'a>(&'a self, t: &'a Tuple) -> impl Iterator<Item = Tuple> + 'a {
+        let key = t.project(&self.x, &self.shared);
+        self.y_by_key
+            .get(&key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .map(move |m| t.joined(&self.x, m, &self.y))
+    }
+
+    /// The base-row delta a committed translation induces, relative to
+    /// `base`: `(added, removed)` with `added ∩ base = ∅` and
+    /// `removed ⊆ base`, both sorted by tuple value. Applying
+    /// `base − removed ∪ added` equals [`Translation::apply`]'s result
+    /// — the sort makes replay after crash recovery reproduce base row
+    /// *order* too, not just set content, since row order is then a
+    /// pure function of the starting order and the operation sequence.
+    pub(crate) fn delta(&self, base: &Relation, tr: &Translation) -> (Vec<Tuple>, Vec<Tuple>) {
+        let (mut added, mut removed) = match tr {
+            Translation::Identity => (Vec::new(), Vec::new()),
+            Translation::InsertJoin { t } => (
+                self.join_rows(t).filter(|b| !base.contains(b)).collect(),
+                Vec::new(),
+            ),
+            Translation::DeleteJoin { t } => (
+                Vec::new(),
+                self.join_rows(t).filter(|b| base.contains(b)).collect(),
+            ),
+            Translation::ReplaceJoin { t1, t2 } => {
+                let add: Vec<Tuple> = self.join_rows(t2).collect();
+                // `(base − del) ∪ add` re-adds rows in both sets, so a
+                // row of `del ∩ add` is not removed at all.
+                let removed = self
+                    .join_rows(t1)
+                    .filter(|b| base.contains(b) && !add.contains(b))
+                    .collect();
+                (
+                    add.into_iter().filter(|b| !base.contains(b)).collect(),
+                    removed,
+                )
+            }
+        };
+        added.sort();
+        removed.sort();
+        (added, removed)
+    }
+
+    /// Fold a committed base-row delta into the materialization:
+    /// O(|added| + |removed|), independent of |base| and |V|.
+    pub(crate) fn fold(&mut self, from: &AttrSet, added: &[Tuple], removed: &[Tuple]) {
+        for row in removed {
+            self.remove_base_row(from, row);
+        }
+        for row in added {
+            self.add_base_row(from, row);
+        }
+    }
+
+    fn add_base_row(&mut self, from: &AttrSet, row: &Tuple) {
+        let xt = row.project(from, &self.x);
+        let count = self.support.entry(xt.clone()).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            if let Some((matching, rest)) = self.split.as_mut() {
+                let pred = self.pred.as_ref().expect("split implies pred");
+                if pred.eval(&self.x, &xt) {
+                    let _ = matching.insert(xt.clone());
+                } else {
+                    let _ = rest.insert(xt.clone());
+                }
+            }
+            self.instance.insert(xt).expect("projection of a base row");
+            relvu_obs::counter!("engine.mat.tuples").inc();
+        }
+        let yt = row.project(from, &self.y);
+        let ycount = self.y_support.entry(yt.clone()).or_insert(0);
+        *ycount += 1;
+        if *ycount == 1 {
+            let key = yt.project(&self.y, &self.shared);
+            self.y_by_key.entry(key).or_default().push(yt);
+        }
+    }
+
+    fn remove_base_row(&mut self, from: &AttrSet, row: &Tuple) {
+        let xt = row.project(from, &self.x);
+        let count = self
+            .support
+            .get_mut(&xt)
+            .expect("removed row was folded in");
+        *count -= 1;
+        if *count == 0 {
+            self.support.remove(&xt);
+            if let Some((matching, rest)) = self.split.as_mut() {
+                matching.remove(&xt);
+                rest.remove(&xt);
+            }
+            self.instance.remove(&xt);
+            relvu_obs::counter!("engine.mat.tuples").sub(1);
+        }
+        let yt = row.project(from, &self.y);
+        let ycount = self
+            .y_support
+            .get_mut(&yt)
+            .expect("removed row was folded in");
+        *ycount -= 1;
+        if *ycount == 0 {
+            self.y_support.remove(&yt);
+            let key = yt.project(&self.y, &self.shared);
+            let bucket = self.y_by_key.get_mut(&key).expect("tuple was bucketed");
+            let i = bucket.iter().position(|m| *m == yt).expect("in bucket");
+            bucket.swap_remove(i);
+            if bucket.is_empty() {
+                self.y_by_key.remove(&key);
+            }
+        }
+    }
+
+    /// Debug oracle: the incrementally maintained state must equal a
+    /// fresh recomputation from `base`. Only called (and only does
+    /// anything) in debug builds.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn debug_assert_consistent(&self, base: &Relation) {
+        if cfg!(debug_assertions) {
+            let fresh = ops::project(base, self.x).expect("x within the universe");
+            assert_eq!(
+                self.instance, fresh,
+                "materialized instance diverged from π_X(R)"
+            );
+            if let Some((matching, rest)) = &self.split {
+                let pred = self.pred.as_ref().expect("split implies pred");
+                assert_eq!(
+                    *matching,
+                    ops::select(&fresh, |t| pred.eval(&self.x, t)),
+                    "materialized σ_P diverged"
+                );
+                assert_eq!(
+                    *rest,
+                    ops::select(&fresh, |t| !pred.eval(&self.x, t)),
+                    "materialized σ_¬P diverged"
+                );
+            }
+            let fresh_y = ops::project(base, self.y).expect("y within the universe");
+            let mut resident: Vec<&Tuple> = self.y_by_key.values().flatten().collect();
+            resident.sort();
+            resident.dedup();
+            assert_eq!(
+                resident.len(),
+                fresh_y.len(),
+                "materialized complement diverged from π_Y(R)"
+            );
+            assert!(
+                resident.iter().all(|t| fresh_y.contains(t)),
+                "materialized complement holds a tuple not in π_Y(R)"
+            );
+        }
+    }
+}

@@ -122,7 +122,10 @@ mod tests {
         assert_eq!(r.log(), db.log());
         assert_eq!(r.last_seq(), 1);
         assert_eq!(r.view_names(), vec!["staff".to_string()]);
-        assert_eq!(r.view_instance("staff").unwrap(), db.view_instance("staff").unwrap());
+        assert_eq!(
+            r.view_instance("staff").unwrap(),
+            db.view_instance("staff").unwrap()
+        );
         assert_eq!(r.stats("staff").unwrap().accepted, 1);
         assert_eq!(r.dump(), db.dump());
         assert_eq!(r.fds(), db.fds());

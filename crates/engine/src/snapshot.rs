@@ -198,7 +198,9 @@ impl Database {
         let schema = schema.ok_or_else(|| load_err("missing `schema` line"))?;
         let mut fds = relvu_deps::FdSet::default();
         for (ln, l) in &fd_lines {
-            fds.push(relvu_deps::Fd::parse(&schema, l).map_err(|e| load_err_at(*ln, e.to_string()))?);
+            fds.push(
+                relvu_deps::Fd::parse(&schema, l).map_err(|e| load_err_at(*ln, e.to_string()))?,
+            );
         }
         let base =
             Relation::from_rows(schema.universe(), rows).map_err(|e| load_err(e.to_string()))?;

@@ -107,6 +107,19 @@ mod imp {
             self.value.load(Ordering::Relaxed)
         }
 
+        /// Decrement by `n`, saturating at zero. Counters stay
+        /// monotonic for readers in the common case; this exists for
+        /// compensating rolled-back work (e.g. a batch prefix undone by
+        /// an all-or-nothing failure).
+        #[inline]
+        pub fn sub(&self, n: u64) {
+            let _ = self
+                .value
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(n))
+                });
+        }
+
         /// Reset to zero (used by tests and `reset_all`).
         #[inline]
         pub fn reset(&self) {
@@ -163,7 +176,11 @@ mod imp {
 
         pub(crate) fn snap(&self) -> super::HistogramSnapshot {
             super::HistogramSnapshot {
-                buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                buckets: self
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
                 sum: self.sum.load(Ordering::Relaxed),
                 count: self.count.load(Ordering::Relaxed),
             }
@@ -200,7 +217,9 @@ mod imp {
     fn registry() -> &'static Registry {
         static REGISTRY: OnceLock<Registry> = OnceLock::new();
         REGISTRY.get_or_init(|| Registry {
-            shards: (0..REGISTRY_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..REGISTRY_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         })
     }
 
@@ -304,6 +323,9 @@ mod imp {
         pub fn get(&self) -> u64 {
             0
         }
+        /// No-op.
+        #[inline]
+        pub fn sub(&self, _n: u64) {}
         /// No-op.
         #[inline]
         pub fn reset(&self) {}
@@ -541,6 +563,19 @@ mod tests {
     }
 
     #[test]
+    fn counter_sub_saturates_at_zero() {
+        let c = counter!("obs.test.counter_sub");
+        c.reset();
+        c.add(5);
+        c.sub(3);
+        if enabled() {
+            assert_eq!(c.get(), 2);
+        }
+        c.sub(100);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
     fn histogram_records_and_snapshots() {
         let h = histogram!("obs.test.hist_ns");
         h.reset();
@@ -612,7 +647,11 @@ mod tests {
         let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
         buckets[1] = 50; // value 1
         buckets[8] = 50; // values 128..=255
-        let hs = HistogramSnapshot { buckets, sum: 50 + 50 * 200, count: 100 };
+        let hs = HistogramSnapshot {
+            buckets,
+            sum: 50 + 50 * 200,
+            count: 100,
+        };
         assert_eq!(hs.quantile(0.25), 1);
         assert_eq!(hs.quantile(0.99), 255);
     }

@@ -1,19 +1,26 @@
 //! Relation instances with set semantics.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use crate::{AttrSet, RelationError, Result, Tuple, Value};
 
 /// A relation instance over an attribute set.
 ///
 /// Rows are a *set* (duplicate inserts are ignored), matching the paper's
-/// pure relational model. Iteration order is insertion order, which keeps
-/// displays and tests deterministic.
+/// pure relational model. Iteration order is deterministic — a pure
+/// function of the sequence of inserts and removals — which keeps
+/// displays and tests reproducible, but removal is swap-based, so a
+/// `remove` may move the last row into the vacated slot rather than
+/// preserve the original insertion order.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     attrs: AttrSet,
     rows: Vec<Tuple>,
-    seen: HashSet<Tuple>,
+    /// Tuple → its position in `rows`, for O(1) membership and removal.
+    index: HashMap<Tuple, usize>,
+    /// Rows currently containing at least one labeled null, maintained
+    /// on insert/remove so `has_nulls` is O(1).
+    null_rows: usize,
 }
 
 impl Relation {
@@ -22,7 +29,8 @@ impl Relation {
         Relation {
             attrs,
             rows: Vec::new(),
-            seen: HashSet::new(),
+            index: HashMap::new(),
+            null_rows: 0,
         }
     }
 
@@ -67,32 +75,46 @@ impl Relation {
                 got: t.arity(),
             });
         }
-        if self.seen.contains(&t) {
+        if self.index.contains_key(&t) {
             return Ok(false);
         }
-        self.seen.insert(t.clone());
+        self.null_rows += usize::from(t.has_null());
+        self.index.insert(t.clone(), self.rows.len());
         self.rows.push(t);
         Ok(true)
     }
 
-    /// Remove a tuple. Returns `true` if it was present.
+    /// Remove a tuple in O(1). Returns `true` if it was present.
+    ///
+    /// The last row is swapped into the vacated position, so iteration
+    /// order after a removal differs from pure insertion order (it stays
+    /// deterministic for a given operation sequence).
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        if self.seen.remove(t) {
-            let i = self.rows.iter().position(|r| r == t).expect("in seen");
-            self.rows.remove(i);
-            true
-        } else {
-            false
+        let Some(i) = self.index.remove(t) else {
+            return false;
+        };
+        self.null_rows -= usize::from(t.has_null());
+        self.rows.swap_remove(i);
+        if let Some(moved) = self.rows.get(i) {
+            *self.index.get_mut(moved).expect("moved row is indexed") = i;
         }
+        true
     }
 
     /// Membership test.
     #[inline]
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.seen.contains(t)
+        self.index.contains_key(t)
     }
 
-    /// Iterate over rows in insertion order.
+    /// Does any row contain a labeled null? O(1): the count is
+    /// maintained on insert/remove.
+    #[inline]
+    pub fn has_nulls(&self) -> bool {
+        self.null_rows > 0
+    }
+
+    /// Iterate over rows in storage order.
     pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
         self.rows.iter()
     }
@@ -106,7 +128,7 @@ impl Relation {
     pub fn set_eq(&self, other: &Relation) -> bool {
         self.attrs == other.attrs
             && self.rows.len() == other.rows.len()
-            && self.rows.iter().all(|t| other.seen.contains(t))
+            && self.rows.iter().all(|t| other.index.contains_key(t))
     }
 
     /// The value of attribute `a` in row `i`.
@@ -183,12 +205,40 @@ mod tests {
     }
 
     #[test]
+    fn removal_keeps_the_index_consistent() {
+        let mut r = Relation::from_rows(set(&[0]), [tup![1], tup![2], tup![3], tup![4]]).unwrap();
+        // Removing a middle row swaps the last one into its slot; every
+        // surviving row must stay findable and removable.
+        assert!(r.remove(&tup![2]));
+        for t in [tup![1], tup![3], tup![4]] {
+            assert!(r.contains(&t));
+        }
+        assert!(r.remove(&tup![4]));
+        assert!(r.remove(&tup![1]));
+        assert!(r.remove(&tup![3]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
     fn set_equality_ignores_order() {
         let a = Relation::from_rows(set(&[0]), [tup![1], tup![2]]).unwrap();
         let b = Relation::from_rows(set(&[0]), [tup![2], tup![1]]).unwrap();
         assert_eq!(a, b);
         let c = Relation::from_rows(set(&[0]), [tup![2]]).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn has_nulls_is_maintained() {
+        let mut r = Relation::new(set(&[0, 1]));
+        assert!(!r.has_nulls());
+        let withnull = Tuple::new([Value::int(1), Value::Null(7)]);
+        r.insert(withnull.clone()).unwrap();
+        r.insert(tup![2, 3]).unwrap();
+        assert!(r.has_nulls());
+        r.remove(&withnull);
+        assert!(!r.has_nulls());
+        assert_eq!(r.len(), 1);
     }
 
     #[test]

@@ -138,8 +138,7 @@ pub fn update_batch<R: Rng>(
                 ViewUpdate::Delete(row.clone())
             } else if pick < mix.insert + mix.delete + mix.replace {
                 let row = &v.rows()[rng.gen_range(0..v.len())];
-                let fresh =
-                    insert_candidate(rng, x, shared, v, InsertKind::SharedKept, fresh_base);
+                let fresh = insert_candidate(rng, x, shared, v, InsertKind::SharedKept, fresh_base);
                 ViewUpdate::Replace(row.clone(), fresh)
             } else {
                 ViewUpdate::Insert(insert_candidate(
@@ -216,15 +215,7 @@ mod tests {
         let shared = b.x & b.y;
         let gen = |seed| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            update_batch(
-                &mut rng,
-                b.x,
-                shared,
-                &v,
-                64,
-                BatchMix::default(),
-                1 << 40,
-            )
+            update_batch(&mut rng, b.x, shared, &v, 64, BatchMix::default(), 1 << 40)
         };
         let a = gen(42);
         assert_eq!(a, gen(42), "same seed, same batch");

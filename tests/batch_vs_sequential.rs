@@ -24,7 +24,14 @@ struct Scenario {
     requests: Vec<BatchRequest>,
 }
 
-fn scenario(seed: u64, width: usize, rows: usize, depts: usize, n: usize, policy: Policy) -> Scenario {
+fn scenario(
+    seed: u64,
+    width: usize,
+    rows: usize,
+    depts: usize,
+    n: usize,
+    policy: Policy,
+) -> Scenario {
     let mut rng = StdRng::seed_from_u64(seed);
     let b = schema_gen::edm_family(width);
     let base = instance_gen::edm_instance(&mut rng, &b.schema, rows, depts);
@@ -73,7 +80,8 @@ fn scenario(seed: u64, width: usize, rows: usize, depts: usize, n: usize, policy
 
 fn make_db(s: &Scenario) -> Database {
     let db = Database::new(s.schema.clone(), s.fds.clone(), s.base.clone()).expect("legal base");
-    db.create_view("staff", s.x, Some(s.y), s.policy).expect("complementary");
+    db.create_view("staff", s.x, Some(s.y), s.policy)
+        .expect("complementary");
     db
 }
 

@@ -1,0 +1,72 @@
+//! Regression: `Database::set_fds` must evict only the *replaced* Σ's
+//! entries from the process-wide closure memo cache (fingerprint-scoped
+//! eviction), not flush the whole cache — another database's warm
+//! closures survive.
+//!
+//! This lives in its own integration binary because the closure cache
+//! and its hit/miss counters are process-global.
+
+use relvu::obs;
+use relvu::prelude::*;
+use relvu_deps::closure::cache;
+use relvu_relation::tup;
+use relvu_workload::fixtures;
+
+#[test]
+fn set_fds_on_one_database_keeps_the_other_warm() {
+    if !obs::enabled() {
+        return; // cache stats are no-ops without the obs feature
+    }
+    // Database 1: the EDM fixture.
+    let f = fixtures::edm();
+    let db1 = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+    db1.create_view("staff", f.x, Some(f.y), Policy::Exact)
+        .unwrap();
+
+    // Database 2: a different schema and Σ entirely.
+    let s = Schema::new(["S", "P", "Qty", "City"]).unwrap();
+    let fds2 = FdSet::parse(&s, "S P -> Qty; S -> City").unwrap();
+    let x2 = s.set(["S", "P", "Qty"]).unwrap();
+    let y2 = s.set(["S", "City"]).unwrap();
+    let base2 = Relation::from_rows(
+        s.universe(),
+        [
+            tup![1, 100, 5, 70],
+            tup![1, 101, 3, 70],
+            tup![2, 200, 9, 71],
+        ],
+    )
+    .unwrap();
+    let db2 = Database::new(s.clone(), fds2, base2).unwrap();
+    db2.create_view("orders", x2, Some(y2), Policy::Exact)
+        .unwrap();
+
+    // Warm both databases' closure entries, then prove db2 is warm:
+    // a repeat update computes (X∩Y)⁺ against the same Σ — a pure hit.
+    db1.insert_via("staff", Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]))
+        .unwrap();
+    db2.insert_via("orders", tup![1, 102, 7]).unwrap();
+    let warm = cache::stats();
+    db2.insert_via("orders", tup![2, 201, 4]).unwrap();
+    let mid = cache::stats();
+    assert!(mid.hits > warm.hits, "db2's check should hit the memo");
+    assert_eq!(mid.misses, warm.misses, "db2's check should not miss");
+
+    // db1 replaces its Σ (with an equivalent but structurally different
+    // set, so the fingerprint changes). Only db1's old entries may go.
+    let fds1b = FdSet::parse(&f.schema, "Emp -> Dept; Dept -> Mgr; Emp -> Mgr").unwrap();
+    db1.set_fds(fds1b).unwrap();
+
+    // db2's entries survived: its next check is still all hits.
+    let after_set = cache::stats();
+    db2.insert_via("orders", tup![1, 103, 8]).unwrap();
+    let end = cache::stats();
+    assert!(
+        end.hits > after_set.hits,
+        "db2's closures must survive db1's set_fds"
+    );
+    assert_eq!(
+        end.misses, after_set.misses,
+        "db1's set_fds flushed db2's cache entries"
+    );
+}

@@ -15,9 +15,9 @@ use relvu::durability::{
     DurabilityError, DurableDatabase, FaultPlan, MemVfs, SyncPolicy, Vfs, WalOptions,
 };
 use relvu::prelude::*;
+use relvu_workload::instance_gen;
 use relvu_workload::schema_gen::{self, BenchSchema};
 use relvu_workload::update_gen::{self, BatchMix, ViewUpdate};
-use relvu_workload::instance_gen;
 
 use rand::prelude::*;
 

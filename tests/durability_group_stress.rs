@@ -68,7 +68,10 @@ fn writer_ops(f: &EdmFixture) -> Vec<Vec<UpdateOp>> {
 /// Run the concurrent workload. Each thread applies its script in
 /// order, recording `(acknowledged seq, op)` pairs; a storage error
 /// (the injected crash, directly or as poisoning) stops that thread.
-fn run_writers(ddb: &DurableDatabase<MemVfs>, scripts: Vec<Vec<UpdateOp>>) -> Vec<Vec<(u64, UpdateOp)>> {
+fn run_writers(
+    ddb: &DurableDatabase<MemVfs>,
+    scripts: Vec<Vec<UpdateOp>>,
+) -> Vec<Vec<(u64, UpdateOp)>> {
     thread::scope(|s| {
         let handles: Vec<_> = scripts
             .into_iter()
@@ -107,7 +110,10 @@ fn wal_order_matches_ack_order_under_concurrency() {
         for thread_acks in &acked {
             assert_eq!(thread_acks.len(), UPDATES_PER_WRITER, "{sync:?}: lost acks");
             for w in thread_acks.windows(2) {
-                assert!(w[0].0 < w[1].0, "{sync:?}: acks out of order within a thread");
+                assert!(
+                    w[0].0 < w[1].0,
+                    "{sync:?}: acks out of order within a thread"
+                );
             }
             for (seq, _) in thread_acks {
                 assert!(seen.insert(*seq), "{sync:?}: seq {seq} acked twice");
@@ -120,7 +126,11 @@ fn wal_order_matches_ack_order_under_concurrency() {
         let scan = relvu::durability::scan(&vfs).unwrap();
         assert_eq!(scan.records.len() as u64, TOTAL, "{sync:?}");
         for (i, rec) in scan.records.iter().enumerate() {
-            assert_eq!(rec.entry.seq, i as u64 + 1, "{sync:?}: WAL out of seq order");
+            assert_eq!(
+                rec.entry.seq,
+                i as u64 + 1,
+                "{sync:?}: WAL out of seq order"
+            );
             assert_eq!(rec.entry.view, "staff");
         }
         for thread_acks in &acked {
@@ -134,8 +144,7 @@ fn wal_order_matches_ack_order_under_concurrency() {
         }
 
         // After the explicit sync, a crash loses nothing at all.
-        let (recovered, report) =
-            DurableDatabase::recover(vfs.crash_image(), opts(sync)).unwrap();
+        let (recovered, report) = DurableDatabase::recover(vfs.crash_image(), opts(sync)).unwrap();
         assert_eq!(recovered.reader().dump(), ddb.reader().dump(), "{sync:?}");
         assert_eq!(report.last_seq, TOTAL, "{sync:?}");
         recovered.check_invariants().unwrap();
@@ -256,7 +265,10 @@ fn crash_between_group_append_and_fsync_recovers_a_clean_prefix() {
     // one fsync (op number `ops_after`, under `Always`).
     let scan = relvu::durability::scan(&vfs).unwrap();
     assert_eq!(scan.records.len(), 5); // 1 pre-insert + 4 accepted
-    assert!(scan.records.iter().all(|r| r.segment == scan.records[0].segment));
+    assert!(scan
+        .records
+        .iter()
+        .all(|r| r.segment == scan.records[0].segment));
 
     // Expected state after each sequential prefix of the group.
     let replay = fresh_engine(&f);
@@ -289,7 +301,11 @@ fn crash_between_group_append_and_fsync_recovers_a_clean_prefix() {
         assert!(run(&vfs).is_err(), "k={k}: batch acked despite the crash");
         assert!(vfs.crashed(), "k={k}");
         let (recovered, report) = DurableDatabase::recover(vfs.crash_image(), big).unwrap();
-        assert_eq!(recovered.reader().dump(), dumps[0], "k={k}: phantom group member");
+        assert_eq!(
+            recovered.reader().dump(),
+            dumps[0],
+            "k={k}: phantom group member"
+        );
         assert_eq!(report.last_seq, 1, "k={k}");
         recovered.check_invariants().unwrap();
     }
@@ -303,8 +319,14 @@ fn crash_between_group_append_and_fsync_recovers_a_clean_prefix() {
     let mut prefixes = BTreeSet::new();
     for keep in 0..=group_bytes {
         let vfs = MemVfs::with_plan(FaultPlan::partial_sync(ops_after, keep as usize));
-        assert!(run(&vfs).is_err(), "keep={keep}: batch acked despite the crash");
-        assert!(vfs.crashed(), "keep={keep}: op {ops_after} was not the group's fsync");
+        assert!(
+            run(&vfs).is_err(),
+            "keep={keep}: batch acked despite the crash"
+        );
+        assert!(
+            vfs.crashed(),
+            "keep={keep}: op {ops_after} was not the group's fsync"
+        );
         let (recovered, report) = DurableDatabase::recover(vfs.crash_image(), big).unwrap();
         let s = report.last_seq;
         assert!((1..=5).contains(&s), "keep={keep}: seq {s} out of range");

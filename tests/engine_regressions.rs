@@ -80,7 +80,10 @@ fn failed_selection_view_creation_registers_nothing() {
     let city = f.schema.attr("City").unwrap();
     let err = db.create_selection_view("bad", f.x, Some(f.y), Pred::cmp(city, CmpOp::Eq, 70));
     assert!(err.is_err());
-    assert!(db.view_def("bad").is_err(), "half-registered view left over");
+    assert!(
+        db.view_def("bad").is_err(),
+        "half-registered view left over"
+    );
     assert!(matches!(
         db.insert_via("bad", tup![1, 104, 2]),
         Err(EngineError::UnknownView { .. })
@@ -98,8 +101,18 @@ fn apply_batch_reports_failing_index() {
     let t = |e: &str, d: &str| Tuple::new([f.dict.sym(e), f.dict.sym(d)]);
     let err = db
         .apply_batch(vec![
-            ("staff".into(), UpdateOp::Insert { t: t("dan", "toys") }),
-            ("staff".into(), UpdateOp::Insert { t: t("eve", "toys") }),
+            (
+                "staff".into(),
+                UpdateOp::Insert {
+                    t: t("dan", "toys"),
+                },
+            ),
+            (
+                "staff".into(),
+                UpdateOp::Insert {
+                    t: t("eve", "toys"),
+                },
+            ),
             (
                 "staff".into(),
                 UpdateOp::Insert {
@@ -209,8 +222,9 @@ fn metrics_cover_engine_and_registry() {
 
     let text = m.render_prometheus();
     assert!(text.contains("relvu_view_accepted_total{view=\"staff\"} 1"));
-    assert!(text
-        .contains("relvu_view_rejected_total{view=\"staff\",reason=\"intersection_not_in_view\"} 1"));
+    assert!(text.contains(
+        "relvu_view_rejected_total{view=\"staff\",reason=\"intersection_not_in_view\"} 1"
+    ));
 
     // Registry-backed metrics are process-wide and shared across tests in
     // this binary: assert presence and monotonicity, not exact values —
@@ -241,8 +255,18 @@ fn metrics_cover_batch_stage_timings() {
     let t = |e: &str, d: &str| Tuple::new([f.dict.sym(e), f.dict.sym(d)]);
     let report = db.apply_batch_parallel(
         vec![
-            relvu::engine::BatchRequest::new("staff", UpdateOp::Insert { t: t("dan", "toys") }),
-            relvu::engine::BatchRequest::new("staff", UpdateOp::Insert { t: t("eve", "books") }),
+            relvu::engine::BatchRequest::new(
+                "staff",
+                UpdateOp::Insert {
+                    t: t("dan", "toys"),
+                },
+            ),
+            relvu::engine::BatchRequest::new(
+                "staff",
+                UpdateOp::Insert {
+                    t: t("eve", "books"),
+                },
+            ),
         ],
         &relvu::engine::BatchOptions::default(),
     );
@@ -254,7 +278,10 @@ fn metrics_cover_batch_stage_timings() {
             "engine.batch.speculate_ns",
             "engine.batch.commit_ns",
         ] {
-            let h = m.obs.histogram(stage).unwrap_or_else(|| panic!("{stage} missing"));
+            let h = m
+                .obs
+                .histogram(stage)
+                .unwrap_or_else(|| panic!("{stage} missing"));
             assert!(h.count >= 1, "{stage} never recorded");
         }
         assert!(m.obs.counter("engine.batch.requests") >= 2);
