@@ -306,6 +306,61 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         self.ddl_checkpoint(&mut wal)
     }
 
+    /// Register a projective view over another view durably (DDL
+    /// checkpoint included) — see [`Database::create_view_over`].
+    ///
+    /// # Errors
+    /// As [`Database::create_view_over`], plus durability failures
+    /// (which poison the handle — see [`DurabilityError::Poisoned`]).
+    pub fn create_view_over(
+        &self,
+        name: &str,
+        parent: &str,
+        x: AttrSet,
+        y: Option<AttrSet>,
+        policy: Policy,
+    ) -> Result<(), DurabilityError> {
+        let _stage = self.stage.lock();
+        let mut wal = self.quiesce()?;
+        self.db.create_view_over(name, parent, x, y, policy)?;
+        self.ddl_checkpoint(&mut wal)
+    }
+
+    /// Register a selection view over another view durably (DDL
+    /// checkpoint included) — see
+    /// [`Database::create_selection_view_over`].
+    ///
+    /// # Errors
+    /// As [`Database::create_selection_view_over`], plus durability
+    /// failures (which poison the handle — see
+    /// [`DurabilityError::Poisoned`]).
+    pub fn create_selection_view_over(
+        &self,
+        name: &str,
+        parent: &str,
+        x: AttrSet,
+        y: Option<AttrSet>,
+        pred: Pred,
+    ) -> Result<(), DurabilityError> {
+        let _stage = self.stage.lock();
+        let mut wal = self.quiesce()?;
+        self.db
+            .create_selection_view_over(name, parent, x, y, pred)?;
+        self.ddl_checkpoint(&mut wal)
+    }
+
+    /// Drop a dependent-free view durably (DDL checkpoint included).
+    ///
+    /// # Errors
+    /// As [`Database::drop_view`], plus durability failures (which
+    /// poison the handle — see [`DurabilityError::Poisoned`]).
+    pub fn drop_view(&self, name: &str) -> Result<(), DurabilityError> {
+        let _stage = self.stage.lock();
+        let mut wal = self.quiesce()?;
+        self.db.drop_view(name)?;
+        self.ddl_checkpoint(&mut wal)
+    }
+
     /// Replace Σ durably (DDL checkpoint included).
     ///
     /// # Errors

@@ -183,6 +183,9 @@ pub(crate) fn recover_from<V: Vfs>(
 /// * every registered view's `(X, Y)` pair passes Theorem 1's
 ///   complementarity test under the current Σ, and a selection view's
 ///   predicate only mentions view attributes;
+/// * the dependency DAG is well-formed: every view's parent is itself a
+///   registered view, and the child's `X` lies within the parent's
+///   (π_X ∘ π_X′ collapsed correctly at registration);
 /// * every view's incrementally maintained materialization — rebuilt at
 ///   checkpoint load, then folded forward delta-by-delta during WAL
 ///   replay — equals a fresh `π_X(R)` of the recovered base (and, for
@@ -211,6 +214,18 @@ pub fn check_invariants(db: &Database) -> Result<(), DurabilityError> {
             if !pred.attrs().is_subset(&def.x()) {
                 return Err(violated(format!(
                     "view `{name}`: selection predicate mentions attributes outside X"
+                )));
+            }
+        }
+        if let Some(parent) = def.parent() {
+            let pdef = db.view_def(parent).map_err(|_| {
+                violated(format!(
+                    "view `{name}`: parent `{parent}` is not a registered view"
+                ))
+            })?;
+            if !def.x().is_subset(&pdef.x()) {
+                return Err(violated(format!(
+                    "view `{name}`: X is not contained in parent `{parent}`'s X"
                 )));
             }
         }

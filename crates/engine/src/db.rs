@@ -13,6 +13,7 @@ use relvu_deps::check::satisfies_fds;
 use relvu_deps::{closure, FdSet};
 use relvu_relation::{AttrSet, Pred, Relation, Schema, Tuple};
 
+use crate::dag::ViewDag;
 use crate::log::{LogEntry, UpdateOp};
 use crate::mat::ViewMat;
 use crate::view::ViewDef;
@@ -52,6 +53,11 @@ pub(crate) struct Inner {
     /// incrementally by [`Database::commit`] and rebuilt from scratch
     /// only on `set_fds`, load, and batch rollback.
     pub(crate) mats: HashMap<String, ViewMat>,
+    /// Parent/child structure over the registered views; its
+    /// registration order doubles as the topological order every
+    /// traversal (delta propagation, rebuilds, Σ revalidation, dump
+    /// export) walks.
+    pub(crate) dag: ViewDag,
     pub(crate) stats: HashMap<String, ViewStats>,
     pub(crate) log: Vec<LogEntry>,
     pub(crate) seq: u64,
@@ -172,6 +178,7 @@ impl Database {
                 base,
                 views: HashMap::new(),
                 mats: HashMap::new(),
+                dag: ViewDag::default(),
                 stats: HashMap::new(),
                 log: Vec::new(),
                 seq: 0,
@@ -194,27 +201,176 @@ impl Database {
         policy: Policy,
     ) -> Result<()> {
         let mut inner = self.inner.write();
-        Self::create_view_locked(&mut inner, name, x, y, policy, None)
+        Self::create_view_locked(&mut inner, name, None, x, y, policy, None)
     }
 
-    /// Shared registration path for projective and selection views.
+    /// Register a view over another view's instance: `π_x(parent)`.
+    ///
+    /// The composition collapses to a flat constant-complement view of
+    /// the base — `π_x ∘ π_{x′} = π_{x∩x′}`, with the complement
+    /// validated (or derived, when `y` is `None`) against Σ for the
+    /// *collapsed* attribute set, and any ancestor predicate inherited
+    /// by conjunction — so `check_update` and rejection traces work
+    /// identically at any depth. The engine records the parent edge in
+    /// its dependency DAG and propagates each commit's delta through it
+    /// in topological order.
+    ///
+    /// # Errors
+    /// As [`Database::create_view`], plus [`EngineError::UnknownView`]
+    /// for a missing parent and [`EngineError::CompositionRejected`]
+    /// when the collapsed projection is empty, an inherited predicate
+    /// escapes it, or the policy is not supported for the composition.
+    pub fn create_view_over(
+        &self,
+        name: &str,
+        parent: &str,
+        x: AttrSet,
+        y: Option<AttrSet>,
+        policy: Policy,
+    ) -> Result<()> {
+        let mut inner = self.inner.write();
+        Self::create_view_locked(&mut inner, name, Some(parent), x, y, policy, None)
+    }
+
+    /// Register a selection view over another view's instance:
+    /// `σ_pred(π_x(parent))`. Predicates compose by conjunction — the
+    /// effective predicate is every ancestor's conjoined with `pred` —
+    /// and, as for [`Database::create_selection_view`], only the exact
+    /// test is supported.
+    ///
+    /// # Errors
+    /// As [`Database::create_view_over`], plus an input error if the
+    /// predicate mentions attributes outside `x`.
+    pub fn create_selection_view_over(
+        &self,
+        name: &str,
+        parent: &str,
+        x: AttrSet,
+        y: Option<AttrSet>,
+        pred: Pred,
+    ) -> Result<()> {
+        // Validate predicate geometry before taking the lock
+        // (SelectionView::new checks it).
+        let _probe = SelectionView::new(x, x, pred.clone())?;
+        let mut inner = self.inner.write();
+        Self::create_view_locked(
+            &mut inner,
+            name,
+            Some(parent),
+            x,
+            y,
+            Policy::Exact,
+            Some(pred),
+        )
+    }
+
+    /// Drop a registered view. Only leaves of the dependency DAG can be
+    /// dropped — a view with registered dependents must keep existing
+    /// for them to read.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if absent;
+    /// [`EngineError::HasDependents`] naming the transitive dependents
+    /// when other views are registered over this one.
+    pub fn drop_view(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !inner.views.contains_key(name) {
+            return Err(EngineError::UnknownView {
+                name: name.to_string(),
+            });
+        }
+        let dependents = inner.dag.dependents(name);
+        if !dependents.is_empty() {
+            return Err(EngineError::HasDependents {
+                name: name.to_string(),
+                dependents,
+            });
+        }
+        let def = inner.views.remove(name).expect("checked above");
+        if let Some(mat) = inner.mats.remove(name) {
+            mat.retire();
+        }
+        inner.stats.remove(name);
+        inner.dag.remove(name, def.parent());
+        Ok(())
+    }
+
+    /// Shared registration path for projective and selection views,
+    /// base-rooted or over a parent view.
     ///
     /// Runs **entirely under the caller's write lock**, and performs every
     /// validation before the single `views.insert` — so other threads can
     /// never observe a half-registered view (e.g. a selection view without
     /// its predicate), and any error leaves the view map untouched.
+    ///
+    /// With a parent, the registration *collapses* the composition into
+    /// an equivalent flat view of the base: the effective attributes are
+    /// `x ∩ x_parent` (π_X ∘ π_X′ = π_{X∩X′}), the effective predicate
+    /// is the parent's conjoined with `own_pred`, and the complement is
+    /// validated or derived against Σ for the collapsed set. Rejected
+    /// compositions are exactly those the constant-complement discipline
+    /// cannot maintain: an empty collapse, a predicate mentioning
+    /// attributes the collapse projects away (σ_P and π do not commute
+    /// there), or a non-exact policy under an inherited predicate.
     fn create_view_locked(
         inner: &mut Inner,
         name: &str,
+        parent: Option<&str>,
         x: AttrSet,
         y: Option<AttrSet>,
         policy: Policy,
-        pred: Option<Pred>,
+        own_pred: Option<Pred>,
     ) -> Result<()> {
         if inner.views.contains_key(name) {
             return Err(EngineError::DuplicateView {
                 name: name.to_string(),
             });
+        }
+        let composition = |reason: String| EngineError::CompositionRejected {
+            name: name.to_string(),
+            parent: parent.unwrap_or_default().to_string(),
+            reason,
+        };
+        let (x, parent_pred) = match parent {
+            None => (x, None),
+            Some(p) => {
+                let pdef = inner.views.get(p).ok_or_else(|| EngineError::UnknownView {
+                    name: p.to_string(),
+                })?;
+                let collapsed = x & pdef.x();
+                if collapsed.is_empty() {
+                    return Err(composition(
+                        "the collapsed projection π_{X∩X′} is empty".to_string(),
+                    ));
+                }
+                (collapsed, pdef.pred().cloned())
+            }
+        };
+        let pred = match (parent_pred, own_pred.clone()) {
+            (None, None) => None,
+            (None, Some(p)) => Some(p),
+            (Some(q), None) => Some(q),
+            (Some(q), Some(p)) => {
+                let mut conj = q;
+                for atom in p.atoms() {
+                    conj = conj.and(atom.attr, atom.op, atom.value);
+                }
+                Some(conj)
+            }
+        };
+        if let Some(pr) = &pred {
+            if !pr.attrs().is_subset(&x) {
+                return Err(composition(
+                    "the composed predicate mentions attributes the collapsed \
+                     projection removes (σ_P does not commute past π_{X∩X′})"
+                        .to_string(),
+                ));
+            }
+            if parent.is_some() && policy != Policy::Exact {
+                return Err(composition(format!(
+                    "a composed selection view supports only the exact policy, not {policy}"
+                )));
+            }
         }
         let auto = y.is_none();
         let y = match y {
@@ -233,10 +389,28 @@ impl Database {
         if let Some(pred) = pred {
             def = def.with_pred(pred);
         }
+        if let Some(own) = own_pred {
+            def = def.with_own_pred(own);
+        }
+        if let Some(p) = parent {
+            def = def.with_parent(p.to_string());
+        }
         // Materialize before registering so an error leaves no trace.
-        let mat = ViewMat::build(&inner.base, &def)?;
+        // A child's view side is fed from the parent's instance, so its
+        // support counts line up with the per-edge deltas `commit`
+        // propagates later.
+        let source = def.parent().map(|p| {
+            inner
+                .mats
+                .get(p)
+                .expect("parent was just looked up")
+                .instance()
+                .clone()
+        });
+        let mat = ViewMat::build(&inner.base, source.as_ref(), &def)?;
         inner.mats.insert(name.to_string(), mat);
         inner.views.insert(name.to_string(), def);
+        inner.dag.register(name, parent);
         Ok(())
     }
 
@@ -248,15 +422,20 @@ impl Database {
         for mat in inner.mats.values() {
             mat.retire();
         }
-        inner.mats = inner
-            .views
-            .iter()
-            .map(|(name, def)| {
-                let mat = ViewMat::build(&inner.base, def)
-                    .expect("registered view attrs lie within the universe");
-                (name.clone(), mat)
-            })
-            .collect();
+        // Walk the DAG in topological order so each child's view side can
+        // be fed from its parent's freshly rebuilt instance.
+        let mut mats = HashMap::with_capacity(inner.views.len());
+        for name in inner.dag.order() {
+            let def = inner.views.get(name).expect("dag tracks registered views");
+            let source = def.parent().map(|p| {
+                let parent: &ViewMat = mats.get(p).expect("parents precede children");
+                parent.instance().clone()
+            });
+            let mat = ViewMat::build(&inner.base, source.as_ref(), def)
+                .expect("registered view attrs lie within the universe");
+            mats.insert(name.clone(), mat);
+        }
+        inner.mats = mats;
     }
 
     /// Replace the dependency set Σ wholesale, revalidating the base and
@@ -273,7 +452,9 @@ impl Database {
     /// # Errors
     /// [`EngineError::IllegalBase`] if the current base violates the new
     /// Σ; [`EngineError::NotComplementary`] if a declared complement is
-    /// no longer one. On error the database is left unchanged.
+    /// no longer one — wrapped in [`EngineError::SetFdsRejected`] naming
+    /// the failing view's transitive dependents when other views are
+    /// registered over it. On error the database is left unchanged.
     pub fn set_fds(&self, fds: FdSet) -> Result<()> {
         let mut inner = self.inner.write();
         if !satisfies_fds(&inner.base, &fds) {
@@ -281,13 +462,25 @@ impl Database {
         }
         let fp = closure::fingerprint(&fds);
         let mut rebuilt = HashMap::with_capacity(inner.views.len());
-        for (name, def) in &inner.views {
+        // Revalidate in topological order so the first failure reported
+        // is an ancestor, with its dependents as the blast radius.
+        for name in inner.dag.order() {
+            let def = inner.views.get(name).expect("dag tracks registered views");
             let x = def.x();
             let y = if def.auto_complement {
                 minimal_complement(&inner.schema, &fds, x)
             } else {
                 if !are_complementary(&inner.schema, &fds, x, def.y()) {
-                    return Err(EngineError::NotComplementary);
+                    let dependents = inner.dag.dependents(name);
+                    return Err(if dependents.is_empty() {
+                        EngineError::NotComplementary
+                    } else {
+                        EngineError::SetFdsRejected {
+                            view: name.clone(),
+                            dependents,
+                            source: Box::new(EngineError::NotComplementary),
+                        }
+                    });
                 }
                 def.y()
             };
@@ -304,6 +497,12 @@ impl Database {
             );
             if let Some(p) = def.pred() {
                 fresh = fresh.with_pred(p.clone());
+            }
+            if let Some(p) = def.own_pred() {
+                fresh = fresh.with_own_pred(p.clone());
+            }
+            if let Some(p) = def.parent() {
+                fresh = fresh.with_parent(p.to_string());
             }
             rebuilt.insert(name.clone(), fresh);
         }
@@ -346,7 +545,7 @@ impl Database {
         // predicate — a concurrent writer in the window could commit an
         // update through the unrestricted view, bypassing σ_P.)
         let mut inner = self.inner.write();
-        Self::create_view_locked(&mut inner, name, x, y, Policy::Exact, Some(pred))
+        Self::create_view_locked(&mut inner, name, None, x, y, Policy::Exact, Some(pred))
     }
 
     /// Per-view accepted/rejected counters.
@@ -446,6 +645,36 @@ impl Database {
             })
     }
 
+    /// The view `name` was registered over, or `None` when it reads the
+    /// base relation directly.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if absent.
+    pub fn view_parent(&self, name: &str) -> Result<Option<String>> {
+        let inner = self.inner.read();
+        inner
+            .views
+            .get(name)
+            .map(|d| d.parent().map(str::to_string))
+            .ok_or_else(|| EngineError::UnknownView {
+                name: name.to_string(),
+            })
+    }
+
+    /// The views registered directly over `name`, in registration order.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if absent.
+    pub fn view_children(&self, name: &str) -> Result<Vec<String>> {
+        let inner = self.inner.read();
+        if !inner.views.contains_key(name) {
+            return Err(EngineError::UnknownView {
+                name: name.to_string(),
+            });
+        }
+        Ok(inner.dag.children(name).to_vec())
+    }
+
     /// The current instance of a view: `π_X(R)`.
     ///
     /// # Errors
@@ -490,11 +719,17 @@ impl Database {
     }
 
     /// Export the persistent parts (schema, Σ, base, view definitions)
-    /// for serialization; view definitions are sorted by name.
+    /// for serialization; view definitions come out in topological
+    /// (registration) order, so loading them back in file order always
+    /// finds each view's parent already registered.
     pub(crate) fn export_parts(&self) -> (Schema, FdSet, Relation, Vec<ViewDef>) {
         let inner = self.inner.read();
-        let mut views: Vec<ViewDef> = inner.views.values().cloned().collect();
-        views.sort_by(|a, b| a.name().cmp(b.name()));
+        let views: Vec<ViewDef> = inner
+            .dag
+            .order()
+            .iter()
+            .map(|n| inner.views[n].clone())
+            .collect();
         (
             inner.schema.clone(),
             inner.fds.clone(),
@@ -687,8 +922,41 @@ impl Database {
                 .expect("arity verified above");
         }
         let from = inner.base.attrs();
-        for mat in inner.mats.values_mut() {
-            mat.fold(&from, &added, &removed);
+        {
+            // Topological delta propagation: every view's complement side
+            // reads `π_Y(R)` off the base, so it folds the base delta
+            // unconditionally; the view side of a root also folds the
+            // base delta, while a child folds its *parent's instance
+            // delta* — which the parent's fold just produced, since the
+            // DAG order puts parents first. A node whose incoming view
+            // delta is empty does zero fold work and emits an empty
+            // delta, so an entire untouched subtree is skipped.
+            let Inner {
+                views, mats, dag, ..
+            } = &mut *inner;
+            let mut inst_deltas: HashMap<&str, (Vec<Tuple>, Vec<Tuple>)> = HashMap::new();
+            for node in dag.order() {
+                let mat = mats
+                    .get_mut(node.as_str())
+                    .expect("registered views have mats");
+                mat.fold_complement(&from, &added, &removed);
+                let def = views.get(node.as_str()).expect("registered");
+                let (in_add, in_rem): (&[Tuple], &[Tuple]) = match def.parent() {
+                    None => (&added, &removed),
+                    Some(p) => {
+                        let d = inst_deltas.get(p).expect("parents precede children");
+                        (&d.0, &d.1)
+                    }
+                };
+                if in_add.is_empty() && in_rem.is_empty() {
+                    relvu_obs::counter!("engine.dag.nodes_skipped").inc();
+                    inst_deltas.insert(node.as_str(), (Vec::new(), Vec::new()));
+                } else {
+                    relvu_obs::counter!("engine.dag.nodes_folded").inc();
+                    let out = mat.fold_instance(in_add, in_rem);
+                    inst_deltas.insert(node.as_str(), out);
+                }
+            }
         }
         // With obs disabled the timer is a unit no-op without Drop.
         #[allow(clippy::drop_non_drop)]

@@ -22,6 +22,38 @@ pub enum EngineError {
     IllegalBase,
     /// The declared view/complement pair is not complementary (Theorem 1).
     NotComplementary,
+    /// A view registered over another view composes into something the
+    /// constant-complement discipline cannot maintain — the collapsed
+    /// projection is empty, the conjoined predicate escapes the collapsed
+    /// attributes (σ and π do not commute), or the policy is unsupported
+    /// for the composition.
+    CompositionRejected {
+        /// The view being registered.
+        name: String,
+        /// The parent it was registered over.
+        parent: String,
+        /// Which composition rule failed.
+        reason: String,
+    },
+    /// The view cannot be dropped while other views are registered over
+    /// it (directly or transitively).
+    HasDependents {
+        /// The view that was asked to be dropped.
+        name: String,
+        /// Its transitive dependents, in topological order.
+        dependents: Vec<String>,
+    },
+    /// Replacing Σ would invalidate a view that other views are built
+    /// on: the new dependency set is rejected wholesale, naming the
+    /// failing view and the dependent views in its blast radius.
+    SetFdsRejected {
+        /// The view the new Σ invalidates.
+        view: String,
+        /// The views registered over it, in topological order.
+        dependents: Vec<String>,
+        /// Why the view fails under the new Σ.
+        source: Box<EngineError>,
+    },
     /// The update was rejected as untranslatable, with the paper's reason
     /// and an *explain* trace naming the failing condition and the
     /// offending tuples.
@@ -73,6 +105,32 @@ impl fmt::Display for EngineError {
             EngineError::NotComplementary => {
                 write!(f, "the declared complement does not determine the database")
             }
+            EngineError::CompositionRejected {
+                name,
+                parent,
+                reason,
+            } => {
+                write!(f, "cannot register view `{name}` over `{parent}`: {reason}")
+            }
+            EngineError::HasDependents { name, dependents } => {
+                write!(
+                    f,
+                    "cannot drop view `{name}`: views [{}] are registered over it",
+                    dependents.join(", ")
+                )
+            }
+            EngineError::SetFdsRejected {
+                view,
+                dependents,
+                source,
+            } => {
+                write!(
+                    f,
+                    "cannot replace Σ: view `{view}` fails under the new dependencies \
+                     ({source}) and views [{}] are registered over it",
+                    dependents.join(", ")
+                )
+            }
             EngineError::Rejected { trace, .. } => {
                 write!(f, "update rejected as untranslatable: {trace}")
             }
@@ -96,6 +154,7 @@ impl std::error::Error for EngineError {
             EngineError::Core(e) => Some(e),
             EngineError::Relation(e) => Some(e),
             EngineError::BatchFailed { source, .. } => Some(source),
+            EngineError::SetFdsRejected { source, .. } => Some(source),
             _ => None,
         }
     }

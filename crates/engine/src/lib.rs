@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod dag;
 mod db;
 mod error;
 mod log;

@@ -8,15 +8,22 @@
 //! the support-counting style of Incremental Relational Lenses (Horn,
 //! Perera, Cheney, 2018).
 //!
-//! * The **view side** maps each view tuple to the number of base rows
-//!   projecting onto it. A base-row insert bumps the count (creating
-//!   the view tuple at 0→1); a base-row delete drops it (removing the
-//!   view tuple only at 1→0, i.e. when its *last* supporting row goes).
-//!   Selection views additionally keep the `σ_P` / `σ_¬P` split of the
-//!   instance, which is the pair the §6(2) machinery checks against.
+//! * The **view side** maps each view tuple to the number of *source*
+//!   rows projecting onto it. For a view over the base the source is
+//!   the base relation; for a view registered over another view (PR 6)
+//!   it is the parent's materialized instance, so deltas propagate down
+//!   the dependency DAG one edge at a time. A source-row insert bumps
+//!   the count (creating the view tuple at 0→1); a source-row delete
+//!   drops it (removing the view tuple only at 1→0, i.e. when its
+//!   *last* supporting row goes). Selection views additionally keep the
+//!   `σ_P` / `σ_¬P` split of the instance, which is the pair the §6(2)
+//!   machinery checks against.
 //! * The **complement side** keeps the distinct `π_Y(R)` tuples bucketed
 //!   by their `X∩Y` projection, so a translation's join `t ⋈ π_Y(R)`
-//!   reads one bucket instead of scanning the base.
+//!   reads one bucket instead of scanning the base. It is *always* fed
+//!   from the base delta — `π_Y(R)` can change even when the parent's
+//!   instance does not — which keeps commits through any DAG node
+//!   O(|Δ|).
 //!
 //! Full recomputation ([`ViewMat::build`]) survives as the rebuild path
 //! after Σ replacement, snapshot load, and batch rollback — and, in
@@ -39,7 +46,11 @@ pub(crate) struct ViewMat {
     y: AttrSet,
     shared: AttrSet,
     pred: Option<Pred>,
-    /// View tuple → number of base rows projecting onto it.
+    /// Attributes of the relation the view side is fed from: the
+    /// universe for base-rooted views, the parent's (effective) view
+    /// attributes for views over views. `x ⊆ src` always.
+    src: AttrSet,
+    /// View tuple → number of source rows projecting onto it.
     support: HashMap<Tuple, u64>,
     /// `π_X(R)`, kept equal to `support`'s key set.
     instance: Relation,
@@ -55,19 +66,22 @@ pub(crate) struct ViewMat {
 }
 
 impl ViewMat {
-    /// Materialize `def` over `base` by a full scan. O(|base|); used at
-    /// view registration and as the rebuild path after `set_fds`,
+    /// Materialize `def` over `base` by a full scan, the view side fed
+    /// from `source` when given (the parent's materialized instance)
+    /// and from `base` otherwise. O(|base| + |source|); used at view
+    /// registration and as the rebuild path after `set_fds`,
     /// `Database::load`, and batch rollback.
     ///
     /// # Errors
     /// The same [`relvu_relation::RelationError::NotASubset`] a fresh
     /// projection would produce if the view's attribute sets reach
-    /// outside the base's universe.
-    pub(crate) fn build(base: &Relation, def: &ViewDef) -> Result<Self> {
+    /// outside its source's universe.
+    pub(crate) fn build(base: &Relation, source: Option<&Relation>, def: &ViewDef) -> Result<Self> {
         let x = def.x();
         let y = def.y();
-        if !x.is_subset(&base.attrs()) {
-            ops::project(base, x)?;
+        let feed = source.unwrap_or(base);
+        if !x.is_subset(&feed.attrs()) {
+            ops::project(feed, x)?;
         }
         if !y.is_subset(&base.attrs()) {
             ops::project(base, y)?;
@@ -77,15 +91,19 @@ impl ViewMat {
             y,
             shared: x & y,
             pred: def.pred().cloned(),
+            src: feed.attrs(),
             support: HashMap::new(),
             instance: Relation::new(x),
             split: def.pred().map(|_| (Relation::new(x), Relation::new(x))),
             y_support: HashMap::new(),
             y_by_key: HashMap::new(),
         };
+        for row in feed.iter() {
+            mat.add_source_row(row);
+        }
         let from = base.attrs();
         for row in base.iter() {
-            mat.add_base_row(&from, row);
+            mat.add_complement_row(&from, row);
         }
         relvu_obs::counter!("engine.mat.rebuilds").inc();
         Ok(mat)
@@ -157,19 +175,70 @@ impl ViewMat {
         (added, removed)
     }
 
-    /// Fold a committed base-row delta into the materialization:
-    /// O(|added| + |removed|), independent of |base| and |V|.
-    pub(crate) fn fold(&mut self, from: &AttrSet, added: &[Tuple], removed: &[Tuple]) {
+    /// Fold a committed *source*-row delta into the view side (support
+    /// counts, instance, split), returning this view's own instance
+    /// delta `(added, removed)` sorted by tuple value — the incoming
+    /// delta for its children in the dependency DAG. O(|added| +
+    /// |removed|), independent of |base| and |V|.
+    pub(crate) fn fold_instance(
+        &mut self,
+        added: &[Tuple],
+        removed: &[Tuple],
+    ) -> (Vec<Tuple>, Vec<Tuple>) {
+        let mut out_added = Vec::new();
+        let mut out_removed = Vec::new();
         for row in removed {
-            self.remove_base_row(from, row);
+            if let Some(gone) = self.remove_source_row(row) {
+                out_removed.push(gone);
+            }
         }
         for row in added {
-            self.add_base_row(from, row);
+            if let Some(new) = self.add_source_row(row) {
+                out_added.push(new);
+            }
+        }
+        // A tuple in both lists left the instance and re-entered within
+        // this commit (its support dipped to 0 before an addition
+        // restored it): a net no-op. Cancel the pair — the delta is
+        // set-level, so children see identical final support counts
+        // either way — to keep subtrees below a net-quiet node skipped
+        // instead of folding a vacuous remove/add.
+        if !out_added.is_empty() && !out_removed.is_empty() {
+            let in_both: std::collections::HashSet<Tuple> = {
+                let rem: std::collections::HashSet<&Tuple> = out_removed.iter().collect();
+                out_added
+                    .iter()
+                    .filter(|t| rem.contains(t))
+                    .cloned()
+                    .collect()
+            };
+            if !in_both.is_empty() {
+                out_added.retain(|t| !in_both.contains(t));
+                out_removed.retain(|t| !in_both.contains(t));
+            }
+        }
+        out_added.sort();
+        out_removed.sort();
+        (out_added, out_removed)
+    }
+
+    /// Fold a committed *base*-row delta into the complement side
+    /// (`π_Y(R)` buckets). Runs for every view on every commit — even
+    /// when the view-side subtree is skipped — because the complement
+    /// projects the base, not the parent. O(|added| + |removed|).
+    pub(crate) fn fold_complement(&mut self, from: &AttrSet, added: &[Tuple], removed: &[Tuple]) {
+        for row in removed {
+            self.remove_complement_row(from, row);
+        }
+        for row in added {
+            self.add_complement_row(from, row);
         }
     }
 
-    fn add_base_row(&mut self, from: &AttrSet, row: &Tuple) {
-        let xt = row.project(from, &self.x);
+    /// Account one source row into the view side. Returns the view
+    /// tuple if it is new to the instance (support 0→1).
+    fn add_source_row(&mut self, row: &Tuple) -> Option<Tuple> {
+        let xt = row.project(&self.src, &self.x);
         let count = self.support.entry(xt.clone()).or_insert(0);
         *count += 1;
         if *count == 1 {
@@ -181,20 +250,19 @@ impl ViewMat {
                     let _ = rest.insert(xt.clone());
                 }
             }
-            self.instance.insert(xt).expect("projection of a base row");
+            self.instance
+                .insert(xt.clone())
+                .expect("projection of a source row");
             relvu_obs::counter!("engine.mat.tuples").inc();
+            return Some(xt);
         }
-        let yt = row.project(from, &self.y);
-        let ycount = self.y_support.entry(yt.clone()).or_insert(0);
-        *ycount += 1;
-        if *ycount == 1 {
-            let key = yt.project(&self.y, &self.shared);
-            self.y_by_key.entry(key).or_default().push(yt);
-        }
+        None
     }
 
-    fn remove_base_row(&mut self, from: &AttrSet, row: &Tuple) {
-        let xt = row.project(from, &self.x);
+    /// Account one source row out of the view side. Returns the view
+    /// tuple if it left the instance (support 1→0).
+    fn remove_source_row(&mut self, row: &Tuple) -> Option<Tuple> {
+        let xt = row.project(&self.src, &self.x);
         let count = self
             .support
             .get_mut(&xt)
@@ -208,7 +276,22 @@ impl ViewMat {
             }
             self.instance.remove(&xt);
             relvu_obs::counter!("engine.mat.tuples").sub(1);
+            return Some(xt);
         }
+        None
+    }
+
+    fn add_complement_row(&mut self, from: &AttrSet, row: &Tuple) {
+        let yt = row.project(from, &self.y);
+        let ycount = self.y_support.entry(yt.clone()).or_insert(0);
+        *ycount += 1;
+        if *ycount == 1 {
+            let key = yt.project(&self.y, &self.shared);
+            self.y_by_key.entry(key).or_default().push(yt);
+        }
+    }
+
+    fn remove_complement_row(&mut self, from: &AttrSet, row: &Tuple) {
         let yt = row.project(from, &self.y);
         let ycount = self
             .y_support
@@ -228,8 +311,11 @@ impl ViewMat {
     }
 
     /// Debug oracle: the incrementally maintained state must equal a
-    /// fresh recomputation from `base`. Only called (and only does
-    /// anything) in debug builds.
+    /// fresh recomputation from `base`. For DAG views the view side's
+    /// support counts are relative to the parent's instance, but the
+    /// *sets* checked here are projections of the base either way
+    /// (`x ⊆ parent x` makes `π_x(π_{parent x}(R)) = π_x(R)`). Only
+    /// called (and only does anything) in debug builds.
     #[cfg_attr(not(debug_assertions), allow(dead_code))]
     pub(crate) fn debug_assert_consistent(&self, base: &Relation) {
         if cfg!(debug_assertions) {

@@ -92,7 +92,25 @@ impl<'a> EngineReader<'a> {
         self.db.view_def(name)
     }
 
-    /// The `relvu-dump v1` serialization — see [`Database::dump`].
+    /// A view's parent in the dependency DAG — see
+    /// [`Database::view_parent`].
+    ///
+    /// # Errors
+    /// As [`Database::view_parent`].
+    pub fn view_parent(&self, name: &str) -> Result<Option<String>> {
+        self.db.view_parent(name)
+    }
+
+    /// The views registered directly over `name` — see
+    /// [`Database::view_children`].
+    ///
+    /// # Errors
+    /// As [`Database::view_children`].
+    pub fn view_children(&self, name: &str) -> Result<Vec<String>> {
+        self.db.view_children(name)
+    }
+
+    /// The `relvu-dump` serialization — see [`Database::dump`].
     pub fn dump(&self) -> String {
         self.db.dump()
     }

@@ -22,6 +22,26 @@
 //! for human readers and for old parsers. Dumps without the marker (from
 //! older versions) still load, pinning whatever `y` they carry.
 //!
+//! **Views over views** (PR 6) add a `from <parent>` section and bump the
+//! header to `v2` — but only when a parented view actually exists, so
+//! flat databases keep dumping byte-identical `v1` text:
+//!
+//! ```text
+//! relvu-dump v2
+//! schema Emp Dept Mgr
+//! view staff exact x Emp Dept y Dept Mgr
+//! view managers exact auto from staff x Dept y Dept Mgr
+//! end
+//! ```
+//!
+//! A parented line serializes the view's *own* registration arguments —
+//! the `x` it asked for is already collapsed to `x ∩ x_parent`, and a
+//! `sview`'s `pred` section is its own predicate, not the inherited
+//! conjunction — so loading replays the original `create_*_over` calls
+//! and re-derives the composition. View lines are written in
+//! registration (topological) order, so every `from` target precedes its
+//! children; the loader accepts both headers.
+//!
 //! Values are raw `u64` constant ids (the engine is value-agnostic;
 //! symbol dictionaries live with the caller). Labeled nulls never appear
 //! in a legal base instance, so the format has no representation for
@@ -76,7 +96,15 @@ impl Database {
     /// session-scoped).
     pub fn dump(&self) -> String {
         let (schema, fds, base, views) = self.export_parts();
-        let mut out = String::from("relvu-dump v1\n");
+        // Only a parented view needs the v2 `from` section; flat
+        // databases keep emitting v1 so their dumps stay byte-stable
+        // across versions.
+        let version = if views.iter().any(|d| d.parent().is_some()) {
+            "relvu-dump v2\n"
+        } else {
+            "relvu-dump v1\n"
+        };
+        let mut out = String::from(version);
         out.push_str("schema");
         for a in schema.attrs() {
             out.push(' ');
@@ -97,13 +125,19 @@ impl Database {
             out.push('\n');
         }
         for def in views {
-            let kind = if def.pred().is_some() {
+            // Kind follows the view's *own* predicate: a plain projection
+            // over a selection parent inherits σ_P but replays as `view`.
+            let kind = if def.own_pred().is_some() {
                 "sview"
             } else {
                 "view"
             };
             let auto = if def.auto_complement() { " auto" } else { "" };
-            out.push_str(&format!("{kind} {} {}{auto} x", def.name(), def.policy()));
+            out.push_str(&format!("{kind} {} {}{auto}", def.name(), def.policy()));
+            if let Some(parent) = def.parent() {
+                out.push_str(&format!(" from {parent}"));
+            }
+            out.push_str(" x");
             for a in def.x().iter() {
                 out.push(' ');
                 out.push_str(schema.name(a));
@@ -113,7 +147,7 @@ impl Database {
                 out.push(' ');
                 out.push_str(schema.name(a));
             }
-            if let Some(pred) = def.pred() {
+            if let Some(pred) = def.own_pred() {
                 out.push_str(" pred");
                 for atom in pred.atoms() {
                     out.push_str(&format!(
@@ -137,8 +171,9 @@ impl Database {
     /// if the dumped state is inconsistent.
     pub fn load(text: &str) -> Result<Database> {
         let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
-        if lines.next().map(|(_, l)| l.trim()) != Some("relvu-dump v1") {
-            return Err(load_err_at(1, "missing `relvu-dump v1` header"));
+        match lines.next().map(|(_, l)| l.trim()) {
+            Some("relvu-dump v1") | Some("relvu-dump v2") => {}
+            _ => return Err(load_err_at(1, "missing `relvu-dump v1`/`v2` header")),
         }
         let mut schema: Option<relvu_relation::Schema> = None;
         let mut fd_lines: Vec<(usize, String)> = Vec::new();
@@ -217,20 +252,37 @@ impl Database {
                 "test2" => Policy::Test2,
                 p => return Err(load_err_at(ln, format!("unknown policy `{p}`"))),
             };
-            // Sections: [auto] x <names…> y <names…> [pred <a op v>…].
-            // `auto` only counts as the marker *before* the first section
-            // keyword, so a schema with an attribute literally named
-            // "auto" still parses.
+            // Sections: [auto] [from <parent>] x <names…> y <names…>
+            // [pred <a op v>…]. `auto` only counts as the marker *before*
+            // the first section keyword, so a schema with an attribute
+            // literally named "auto" still parses; likewise `from` only
+            // opens a section before `x`, keeping an attribute named
+            // "from" unambiguous inside the x/y lists.
             let mut x = relvu_relation::AttrSet::new();
             let mut y = relvu_relation::AttrSet::new();
             let mut pred_toks: Vec<&str> = Vec::new();
+            let mut parent: Option<&str> = None;
+            let mut saw_from = false;
             let mut auto = false;
             let mut section = "";
             for &w in &words[2..] {
                 match w {
                     "auto" if section.is_empty() => auto = true,
+                    "from" if section.is_empty() => {
+                        saw_from = true;
+                        section = "from";
+                    }
                     "x" | "y" | "pred" => section = w,
                     _ => match section {
+                        "from" => {
+                            if parent.replace(w).is_some() {
+                                return Err(load_err_at(
+                                    ln,
+                                    format!("more than one parent in `{l}`"),
+                                ));
+                            }
+                            section = "";
+                        }
                         "x" => {
                             x.insert(
                                 schema
@@ -249,6 +301,9 @@ impl Database {
                         _ => return Err(load_err_at(ln, format!("stray token `{w}` in `{l}`"))),
                     },
                 }
+            }
+            if saw_from && parent.is_none() {
+                return Err(load_err_at(ln, format!("`from` without a parent in `{l}`")));
             }
             // An `auto` view re-derives its complement from the loaded Σ,
             // matching the original creation call; a declared view pins
@@ -270,9 +325,19 @@ impl Database {
                         .map_err(|_| load_err_at(ln, format!("bad constant `{}`", chunk[2])))?;
                     pred = pred.and(attr, op, value);
                 }
-                db.create_selection_view(name, x, y, pred)?;
+                // Replaying the original registration call re-derives the
+                // composition; view lines come out of `dump` in
+                // registration order, so a `from` target always exists by
+                // the time its children load.
+                match parent {
+                    Some(p) => db.create_selection_view_over(name, p, x, y, pred)?,
+                    None => db.create_selection_view(name, x, y, pred)?,
+                }
             } else {
-                db.create_view(name, x, y, policy)?;
+                match parent {
+                    Some(p) => db.create_view_over(name, p, x, y, policy)?,
+                    None => db.create_view(name, x, y, policy)?,
+                }
             }
         }
         Ok(db)
@@ -323,6 +388,53 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_dag_views() {
+        let f = fixtures::supplier_part();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        let qty = f.schema.attr("Qty").unwrap();
+        db.create_view("orders", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        db.create_view_over("order_keys", "orders", f.x, None, Policy::Exact)
+            .unwrap();
+        db.create_selection_view_over(
+            "bulk_orders",
+            "order_keys",
+            f.x,
+            None,
+            Pred::cmp(qty, CmpOp::Ge, 5),
+        )
+        .unwrap();
+        let text = db.dump();
+        assert!(text.starts_with("relvu-dump v2\n"), "{text}");
+        assert!(text.contains("from orders"), "{text}");
+        let db2 = Database::load(&text).unwrap();
+        // Parent edges, predicates and instances survive the roundtrip…
+        assert_eq!(
+            db2.view_parent("bulk_orders").unwrap().as_deref(),
+            Some("order_keys")
+        );
+        assert_eq!(db2.view_children("orders").unwrap(), ["order_keys"]);
+        for v in ["orders", "order_keys", "bulk_orders"] {
+            assert_eq!(db2.view_instance(v).unwrap(), db.view_instance(v).unwrap());
+            assert_eq!(
+                db2.view_def(v).unwrap().pred(),
+                db.view_def(v).unwrap().pred()
+            );
+        }
+        // …and a second roundtrip is byte-identical.
+        assert_eq!(db2.dump(), text);
+    }
+
+    #[test]
+    fn flat_databases_keep_dumping_v1() {
+        let f = fixtures::supplier_part();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        db.create_view("orders", f.x, Some(f.y), Policy::Exact)
+            .unwrap();
+        assert!(db.dump().starts_with("relvu-dump v1\n"));
+    }
+
+    #[test]
     fn malformed_inputs_rejected() {
         assert!(matches!(
             Database::load("nope"),
@@ -339,6 +451,19 @@ mod tests {
         assert!(matches!(
             Database::load("relvu-dump v1\nschema A B\nwat 1\nend\n"),
             Err(EngineError::Load { .. })
+        ));
+        // `from` with no parent name, and a parent that doesn't exist.
+        assert!(matches!(
+            Database::load(
+                "relvu-dump v2\nschema A B\nfd A -> B\nview v exact from x A y B\nend\n"
+            ),
+            Err(EngineError::Load { .. })
+        ));
+        assert!(matches!(
+            Database::load(
+                "relvu-dump v2\nschema A B\nfd A -> B\nview v exact from ghost x A y B\nend\n"
+            ),
+            Err(EngineError::UnknownView { .. })
         ));
     }
 

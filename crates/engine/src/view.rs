@@ -20,9 +20,20 @@ pub struct ViewDef {
     x: AttrSet,
     y: AttrSet,
     policy: Policy,
-    /// Selection predicate for σ_P(π_X) views (§6(2)); `None` for plain
-    /// projections.
+    /// The *effective* selection predicate for σ_P(π_X) views (§6(2)):
+    /// for a view registered over another view, the conjunction of every
+    /// ancestor's predicate with this view's own. `None` for plain
+    /// projections. This is the predicate the translators check against.
     pub(crate) pred: Option<Pred>,
+    /// The predicate given at *this* view's registration, before
+    /// composing with the parent's — what dump/load serializes so the
+    /// composition can be re-derived. `None` for plain projections.
+    pub(crate) own_pred: Option<Pred>,
+    /// The view this one was registered over, or `None` when it reads
+    /// the base relation directly. `x`/`y`/`pred` above are already the
+    /// *collapsed* effective sets (π_X ∘ π_X′ = π_{X∩X′}, predicates
+    /// conjoined), so the translators never need to walk the chain.
+    pub(crate) parent: Option<String>,
     /// Prepared Test 2 state (goodness analysis), present iff the policy
     /// is [`Policy::Test2`].
     pub(crate) test2: Option<Test2>,
@@ -49,6 +60,8 @@ impl ViewDef {
             y,
             policy,
             pred: None,
+            own_pred: None,
+            parent: None,
             test2,
             auto_complement,
             fd_fingerprint,
@@ -60,9 +73,33 @@ impl ViewDef {
         self
     }
 
-    /// The selection predicate, if this is a σ_P(π_X) view.
+    pub(crate) fn with_own_pred(mut self, pred: Pred) -> Self {
+        self.own_pred = Some(pred);
+        self
+    }
+
+    pub(crate) fn with_parent(mut self, parent: String) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
+    /// The *effective* selection predicate, if this is a σ_P(π_X) view:
+    /// for a view over another view, every ancestor predicate conjoined
+    /// with this view's own.
     pub fn pred(&self) -> Option<&Pred> {
         self.pred.as_ref()
+    }
+
+    /// The predicate given at this view's own registration (before
+    /// composing with the parent's), if any.
+    pub fn own_pred(&self) -> Option<&Pred> {
+        self.own_pred.as_ref()
+    }
+
+    /// The view this one was registered over, or `None` when it reads
+    /// the base relation directly.
+    pub fn parent(&self) -> Option<&str> {
+        self.parent.as_deref()
     }
 
     /// The view's name.

@@ -1,0 +1,281 @@
+//! Random view-DAG specifications.
+//!
+//! PR 6's maintenance DAG lets a view read another view's instance. The
+//! differential oracle needs random *valid* DAG shapes — depth, fan-out,
+//! mixed projection/selection nodes, auto and declared complements — so
+//! this module generates registration scripts the engine is expected to
+//! accept, without depending on the engine crate itself (the engine's
+//! tests depend on this crate).
+//!
+//! The generator enforces the engine's composition rules by
+//! construction: a child's `X` is a nonempty subset of its parent's
+//! *effective* `X` that keeps every ancestor predicate attribute (so the
+//! conjoined predicate never escapes the collapsed projection), and any
+//! node under a selection ancestor — or carrying its own predicate —
+//! uses the exact policy.
+
+use rand::Rng;
+use relvu_core::minimal_complement;
+use relvu_deps::FdSet;
+use relvu_relation::{AttrSet, CmpOp, Pred, Schema};
+
+/// Insertion policy for a generated node — mirrors the engine's
+/// `Policy` without a dependency on the engine crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodePolicy {
+    /// The exact (information-theoretic) test.
+    Exact,
+    /// The paper's Test 1.
+    Test1,
+    /// The paper's Test 2.
+    Test2,
+}
+
+/// One view registration in a generated DAG script.
+#[derive(Clone, Debug)]
+pub struct DagNode {
+    /// The view name (`v0`, `v1`, …; generation order is a valid
+    /// registration order).
+    pub name: String,
+    /// The parent view, or `None` for a base-rooted view.
+    pub parent: Option<String>,
+    /// The registration's `X` (for a child, already within the parent's
+    /// effective `X`).
+    pub x: AttrSet,
+    /// The declared complement, or `None` to auto-derive (Corollary 2).
+    pub y: Option<AttrSet>,
+    /// The insertion policy (always [`NodePolicy::Exact`] when `pred`
+    /// is set or any ancestor carries a predicate).
+    pub policy: NodePolicy,
+    /// The node's *own* selection predicate, if any.
+    pub pred: Option<Pred>,
+}
+
+/// Shape knobs for [`random_dag`].
+#[derive(Clone, Debug)]
+pub struct DagConfig {
+    /// Levels below the roots (0 = flat views only).
+    pub max_depth: usize,
+    /// Maximum children per node (actual fan-out is drawn per node).
+    pub max_fanout: usize,
+    /// Probability a node declares its complement (vs auto-deriving).
+    pub declared_complement_prob: f64,
+    /// Probability a node carries its own selection predicate.
+    pub pred_prob: f64,
+    /// Predicate constants are drawn from `0..pred_domain`.
+    pub pred_domain: u64,
+}
+
+impl Default for DagConfig {
+    fn default() -> Self {
+        DagConfig {
+            max_depth: 3,
+            max_fanout: 3,
+            declared_complement_prob: 0.3,
+            pred_prob: 0.35,
+            pred_domain: 16,
+        }
+    }
+}
+
+/// Generate a random DAG registration script rooted at a view with the
+/// given `root_x` (callers typically pass a [`crate::schema_gen`]
+/// family's known-complementary `X`). Nodes come out in generation
+/// order, which is a valid registration (topological) order.
+pub fn random_dag<R: Rng>(
+    rng: &mut R,
+    schema: &Schema,
+    fds: &FdSet,
+    root_x: AttrSet,
+    cfg: &DagConfig,
+) -> Vec<DagNode> {
+    let mut nodes: Vec<DagNode> = Vec::new();
+    // Per generated node: (index into `nodes`, effective X, attrs the
+    // composed predicate mentions, depth, is there a predicate anywhere
+    // on the path).
+    let mut frontier: Vec<(usize, AttrSet, AttrSet, usize, bool)> = Vec::new();
+    let mut next_id = 0usize;
+    let mut fresh = move || {
+        let n = format!("v{next_id}");
+        next_id += 1;
+        n
+    };
+
+    // One guaranteed root over the caller's known-good X, plus the
+    // occasional extra root over a random nonempty attribute subset
+    // (auto complements make any X registrable).
+    let n_roots = 1 + rng.gen_range(0..2);
+    for r in 0..n_roots {
+        let x = if r == 0 {
+            root_x
+        } else {
+            random_nonempty_subset(rng, schema.universe(), AttrSet::new())
+        };
+        let (pred, policy) = draw_pred_and_policy(rng, x, cfg, false);
+        let y = draw_complement(rng, schema, fds, x, cfg);
+        let name = fresh();
+        let idx = nodes.len();
+        let pred_attrs = pred.as_ref().map(Pred::attrs).unwrap_or_default();
+        let has_pred = pred.is_some();
+        nodes.push(DagNode {
+            name,
+            parent: None,
+            x,
+            y,
+            policy,
+            pred,
+        });
+        frontier.push((idx, x, pred_attrs, 0, has_pred));
+    }
+
+    while let Some((pidx, px, ppred_attrs, depth, p_has_pred)) = frontier.pop() {
+        if depth >= cfg.max_depth {
+            continue;
+        }
+        let fanout = rng.gen_range(0..cfg.max_fanout + 1);
+        for _ in 0..fanout {
+            // The child's X must keep every composed-predicate attribute
+            // or the engine rejects the registration (σ_P does not
+            // commute past the collapsed π).
+            let x = random_nonempty_subset(rng, px, ppred_attrs);
+            let (own_pred, policy) = draw_pred_and_policy(rng, x, cfg, p_has_pred);
+            let y = draw_complement(rng, schema, fds, x, cfg);
+            let name = fresh();
+            let idx = nodes.len();
+            let pred_attrs = ppred_attrs | own_pred.as_ref().map(Pred::attrs).unwrap_or_default();
+            let has_pred = p_has_pred || own_pred.is_some();
+            let parent = nodes[pidx].name.clone();
+            nodes.push(DagNode {
+                name,
+                parent: Some(parent),
+                x,
+                y,
+                policy,
+                pred: own_pred,
+            });
+            frontier.push((idx, x, pred_attrs, depth + 1, has_pred));
+        }
+    }
+    nodes
+}
+
+/// A uniformly random nonempty subset of `from` that contains `must`.
+fn random_nonempty_subset<R: Rng>(rng: &mut R, from: AttrSet, must: AttrSet) -> AttrSet {
+    let mut out = must;
+    for a in from.iter() {
+        if out.contains(a) || rng.gen_bool(0.5) {
+            out.insert(a);
+        }
+    }
+    if out.is_empty() {
+        let attrs: Vec<_> = from.iter().collect();
+        out.insert(attrs[rng.gen_range(0..attrs.len())]);
+    }
+    out
+}
+
+/// Draw a node's own predicate (single `≤`/`≥` atom over its `X`) and a
+/// compatible policy: exact whenever a predicate is in play anywhere on
+/// the path, otherwise a random choice of the three tests.
+fn draw_pred_and_policy<R: Rng>(
+    rng: &mut R,
+    x: AttrSet,
+    cfg: &DagConfig,
+    ancestor_has_pred: bool,
+) -> (Option<Pred>, NodePolicy) {
+    let pred = rng.gen_bool(cfg.pred_prob).then(|| {
+        let attrs: Vec<_> = x.iter().collect();
+        let attr = attrs[rng.gen_range(0..attrs.len())];
+        let op = if rng.gen_bool(0.5) {
+            CmpOp::Le
+        } else {
+            CmpOp::Ge
+        };
+        let value = rng.gen_range(0..cfg.pred_domain);
+        Pred::cmp(attr, op, value)
+    });
+    let policy = if pred.is_some() || ancestor_has_pred {
+        NodePolicy::Exact
+    } else {
+        match rng.gen_range(0..3) {
+            0 => NodePolicy::Exact,
+            1 => NodePolicy::Test1,
+            _ => NodePolicy::Test2,
+        }
+    };
+    (pred, policy)
+}
+
+/// Auto-derive or explicitly declare the complement: a declared one is
+/// the minimal complement (Corollary 2), which Theorem 1 accepts by
+/// construction.
+fn draw_complement<R: Rng>(
+    rng: &mut R,
+    schema: &Schema,
+    fds: &FdSet,
+    x: AttrSet,
+    cfg: &DagConfig,
+) -> Option<AttrSet> {
+    rng.gen_bool(cfg.declared_complement_prob)
+        .then(|| minimal_complement(schema, fds, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_gen::edm_family;
+    use rand::SeedableRng;
+    use relvu_core::are_complementary;
+
+    #[test]
+    fn generated_dags_respect_the_composition_rules() {
+        let b = edm_family(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let nodes = random_dag(&mut rng, &b.schema, &b.fds, b.x, &DagConfig::default());
+            assert!(!nodes.is_empty());
+            // Resolve effective X and the composed predicate attrs along
+            // the way; generation order must be a valid topo order.
+            let mut eff: std::collections::HashMap<&str, (AttrSet, AttrSet, bool)> =
+                std::collections::HashMap::new();
+            for n in &nodes {
+                let (x, pred_attrs, has_pred) = match &n.parent {
+                    None => (
+                        n.x,
+                        n.pred.as_ref().map(Pred::attrs).unwrap_or_default(),
+                        n.pred.is_some(),
+                    ),
+                    Some(p) => {
+                        let (px, ppa, php) = *eff.get(p.as_str()).expect("parent generated first");
+                        assert!(n.x.is_subset(&px), "child X escapes parent X");
+                        let pa = ppa | n.pred.as_ref().map(Pred::attrs).unwrap_or_default();
+                        assert!(pa.is_subset(&n.x), "composed pred escapes child X");
+                        (n.x, pa, php || n.pred.is_some())
+                    }
+                };
+                if has_pred {
+                    assert_eq!(n.policy, NodePolicy::Exact);
+                }
+                assert!(!x.is_empty());
+                if let Some(y) = n.y {
+                    assert!(are_complementary(&b.schema, &b.fds, x, y));
+                }
+                eff.insert(n.name.as_str(), (x, pred_attrs, has_pred));
+            }
+        }
+    }
+
+    #[test]
+    fn depth_zero_generates_only_roots() {
+        let b = edm_family(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let cfg = DagConfig {
+            max_depth: 0,
+            ..DagConfig::default()
+        };
+        for _ in 0..20 {
+            let nodes = random_dag(&mut rng, &b.schema, &b.fds, b.x, &cfg);
+            assert!(nodes.iter().all(|n| n.parent.is_none()));
+        }
+    }
+}

@@ -9,12 +9,15 @@
 //!   `X`-projection of a legal database;
 //! * [`update_gen`] — insertion candidates biased toward translatable /
 //!   untranslatable mixes;
+//! * [`dag_gen`] — random view-over-view registration scripts for the
+//!   maintenance-DAG oracle;
 //! * [`fixtures`] — the classical Employee–Dept–Manager schema of §2 and a
 //!   supplier–part schema for examples.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dag_gen;
 pub mod fixtures;
 pub mod instance_gen;
 pub mod schema_gen;

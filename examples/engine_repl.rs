@@ -10,8 +10,10 @@
 //! --example engine_repl`):
 //!
 //! ```text
-//! show                 print the staff view
+//! show [view]          print a view (default `staff`)
 //! base                 print the base relation
+//! views                list registered views with their parent edges
+//! derive <name> <A>…   register π_{A…} over `staff` (a view over a view)
 //! insert <emp> <dept>  hire through the view
 //! delete <emp> <dept>  remove through the view
 //! move <emp> <d1> <d2> replace (emp,d1) by (emp,d2)
@@ -27,7 +29,7 @@ use std::io::{self, BufRead, Write};
 
 use relvu::durability::{DurabilityError, DurableDatabase, MemVfs, Vfs, WalOptions};
 use relvu::engine::{Database, EngineError, Policy};
-use relvu::relation::{RelationDisplay, Tuple};
+use relvu::relation::{AttrSet, RelationDisplay, Tuple};
 use relvu::workload::fixtures;
 
 fn fresh_engine(f: &fixtures::EdmFixture) -> Database {
@@ -51,7 +53,8 @@ fn main() {
     println!("relvu engine shell — view `staff` over Emp/Dept, complement Dept/Mgr");
     println!("durability: WAL + checkpoints on an in-memory store");
     println!(
-        "commands: show | base | insert E D | delete E D | move E D1 D2 | log \
+        "commands: show [view] | base | views | derive NAME ATTR.. | insert E D \
+         | delete E D | move E D1 D2 | log \
          | \\wal | \\checkpoint | \\crash | \\metrics | quit"
     );
 
@@ -68,13 +71,44 @@ fn main() {
         match words.as_slice() {
             [] => {}
             ["quit"] | ["exit"] => break,
-            ["show"] => {
-                let v = ddb.reader().view_instance("staff").expect("registered");
-                print!("{}", RelationDisplay::new(&v, &f.schema, Some(&f.dict)));
+            ["show"] | ["show", _] => {
+                let name = words.get(1).copied().unwrap_or("staff");
+                match ddb.reader().view_instance(name) {
+                    Ok(v) => print!("{}", RelationDisplay::new(&v, &f.schema, Some(&f.dict))),
+                    Err(e) => println!("error: {e}"),
+                }
             }
             ["base"] => {
                 let b = ddb.reader().base();
                 print!("{}", RelationDisplay::new(&b, &f.schema, Some(&f.dict)));
+            }
+            ["views"] => {
+                for name in ddb.reader().view_names() {
+                    match ddb.reader().view_parent(&name).expect("registered") {
+                        Some(parent) => println!("  {name}  (over {parent})"),
+                        None => println!("  {name}  (over the base)"),
+                    }
+                }
+            }
+            ["derive", name, attrs @ ..] if !attrs.is_empty() => {
+                let mut x = AttrSet::new();
+                let mut bad = None;
+                for a in attrs {
+                    match f.schema.attr(a) {
+                        Some(attr) => {
+                            x.insert(attr);
+                        }
+                        None => bad = Some(*a),
+                    }
+                }
+                if let Some(a) = bad {
+                    println!("unknown attribute: {a}");
+                } else {
+                    match ddb.create_view_over(name, "staff", x, None, Policy::Exact) {
+                        Ok(()) => println!("ok (durable): `{name}` derived over `staff`"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
             }
             ["insert", e, d] => {
                 report(ddb.apply(

@@ -77,14 +77,19 @@ fn fresh_db(s: &Script) -> Database {
     db
 }
 
-/// A durably acknowledged update in the baseline run.
+/// A durably acknowledged step in the baseline run.
 struct Ack {
     /// `MemVfs::write_ops()` when the ack returned — the last storage
-    /// operation this update needed.
+    /// operation this step needed.
     ops: u64,
     /// Engine state right after the ack.
     dump: String,
     seq: u64,
+    /// Was this step DDL? A DDL's durable point is its checkpoint
+    /// *rename*, a few storage ops before the ack returns (old-
+    /// checkpoint removal, WAL pruning) — so a crash in that window
+    /// legitimately recovers the DDL without its ack.
+    ddl: bool,
 }
 
 struct Trace {
@@ -119,6 +124,7 @@ fn run(s: &Script, vfs: &MemVfs) -> Trace {
                 ops: vfs.write_ops(),
                 dump: ddb.reader().dump(),
                 seq: ddb.reader().last_seq(),
+                ddl: false,
             }),
             // An engine rejection consumes no storage ops; skip it.
             Err(DurabilityError::Engine(_)) => continue,
@@ -324,4 +330,198 @@ fn torn_tail_is_truncated_and_the_prefix_survives() {
     assert_eq!(accepted, 5);
     let (again, _) = DurableDatabase::recover(image.crash_image(), opts()).unwrap();
     assert_eq!(again.reader().dump(), recovered.reader().dump());
+}
+
+// ── PR 6: DDL building a maintenance DAG mid-run ────────────────────────
+
+/// A workload step: a view update or a DDL operation growing/shrinking
+/// the maintenance DAG.
+enum DagStep {
+    Up(UpdateOp),
+    CreateOver {
+        name: &'static str,
+        parent: &'static str,
+    },
+    Drop(&'static str),
+}
+
+/// A deterministic workload that assembles a depth-3 chain
+/// (`staff → depts → kinds`) *mid-run*, drops and re-grows a leaf, and
+/// keeps updating through it all. DDL is durably acknowledged via its
+/// checkpoint, so it participates in the crash matrix exactly like an
+/// update.
+fn dag_script() -> (Script, Vec<DagStep>) {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xDA6);
+    let bench = schema_gen::edm_family(2);
+    let base = instance_gen::edm_instance(&mut rng, &bench.schema, 24, 5);
+    let v = instance_gen::view_of(&base, bench.x);
+    let shared = bench.x & bench.y;
+    let mix = BatchMix {
+        insert: 8,
+        delete: 1,
+        replace: 2,
+        reject: 1,
+    };
+    let updates: Vec<UpdateOp> =
+        update_gen::update_batch(&mut rng, bench.x, shared, &v, 44, mix, 1 << 40)
+            .into_iter()
+            .map(|u| match u {
+                ViewUpdate::Insert(t) => UpdateOp::Insert { t },
+                ViewUpdate::Delete(t) => UpdateOp::Delete { t },
+                ViewUpdate::Replace(t1, t2) => UpdateOp::Replace { t1, t2 },
+            })
+            .collect();
+    let mut steps = Vec::new();
+    let mut it = updates.into_iter();
+    let mut take = |steps: &mut Vec<DagStep>, n: usize| {
+        for op in it.by_ref().take(n) {
+            steps.push(DagStep::Up(op));
+        }
+    };
+    take(&mut steps, 10);
+    steps.push(DagStep::CreateOver {
+        name: "depts",
+        parent: "staff",
+    });
+    take(&mut steps, 10);
+    steps.push(DagStep::CreateOver {
+        name: "kinds",
+        parent: "depts",
+    });
+    take(&mut steps, 10);
+    steps.push(DagStep::Drop("kinds"));
+    steps.push(DagStep::CreateOver {
+        name: "kinds2",
+        parent: "depts",
+    });
+    take(&mut steps, 14);
+    (
+        Script {
+            bench,
+            base,
+            updates: Vec::new(),
+        },
+        steps,
+    )
+}
+
+/// Run the DAG script against `vfs`, recording an ack (op budget, dump,
+/// seq) after every durably acknowledged step — update *or* DDL.
+fn run_dag(s: &Script, steps: &[DagStep], vfs: &MemVfs) -> Trace {
+    let ddb = match DurableDatabase::create(vfs.clone(), fresh_db(s), opts()) {
+        Ok(d) => d,
+        Err(_) => {
+            return Trace {
+                ops_created: u64::MAX,
+                dump_created: String::new(),
+                acks: Vec::new(),
+            };
+        }
+    };
+    let d_attr = s.bench.schema.attr("D").expect("D");
+    let mut trace = Trace {
+        ops_created: vfs.write_ops(),
+        dump_created: ddb.reader().dump(),
+        acks: Vec::new(),
+    };
+    let ack = |trace: &mut Trace, ddl: bool| {
+        trace.acks.push(Ack {
+            ops: vfs.write_ops(),
+            dump: ddb.reader().dump(),
+            seq: ddb.reader().last_seq(),
+            ddl,
+        });
+    };
+    for step in steps {
+        let (outcome, ddl) = match step {
+            DagStep::Up(op) => (ddb.apply("staff", op.clone()).map(|_| ()), false),
+            DagStep::CreateOver { name, parent } => (
+                ddb.create_view_over(
+                    name,
+                    parent,
+                    AttrSet::singleton(d_attr),
+                    None,
+                    Policy::Exact,
+                ),
+                true,
+            ),
+            DagStep::Drop(name) => (ddb.drop_view(name), true),
+        };
+        match outcome {
+            Ok(()) => ack(&mut trace, ddl),
+            Err(DurabilityError::Engine(_)) => continue,
+            Err(_) => return trace,
+        }
+    }
+    trace
+}
+
+/// Crash at EVERY mutating storage operation of a workload that builds
+/// a depth-3 DAG mid-run: recovery must land exactly on the durable
+/// prefix — DDL included — and `check_invariants` must verify every
+/// node's materialization against a fresh projection of the recovered
+/// base.
+#[test]
+fn dag_ddl_recovery_matrix() {
+    let (s, steps) = dag_script();
+    let baseline_vfs = MemVfs::new();
+    let baseline = run_dag(&s, &steps, &baseline_vfs);
+    assert!(
+        baseline.acks.len() >= 40,
+        "workload too small: {} acked steps",
+        baseline.acks.len()
+    );
+    // The fully-applied workload really holds the DAG.
+    let full = Database::load(&baseline.acks.last().unwrap().dump).unwrap();
+    assert_eq!(
+        full.view_parent("kinds2").unwrap().as_deref(),
+        Some("depts")
+    );
+    assert_eq!(full.view_parent("depts").unwrap().as_deref(), Some("staff"));
+
+    let total_ops = baseline_vfs.write_ops();
+    for k in 0..=total_ops {
+        let vfs = MemVfs::with_plan(FaultPlan::crash_after(k));
+        run_dag(&s, &steps, &vfs);
+        let image = vfs.crash_image();
+        match DurableDatabase::recover(image, opts()) {
+            Ok((recovered, _report)) => {
+                let idx = baseline.acks.iter().take_while(|a| a.ops <= k).count();
+                let want_dump = if idx == 0 {
+                    baseline.dump_created.as_str()
+                } else {
+                    baseline.acks[idx - 1].dump.as_str()
+                };
+                let got = recovered.reader().dump();
+                // A DDL's durable point is its checkpoint *rename*; the
+                // ack's op-count is captured after post-rename cleanup
+                // (old-checkpoint removal, WAL pruning), so a crash in
+                // that window may recover a DDL that was durable but not
+                // yet acknowledged. That — and only that — one-ahead
+                // state is also acceptable, and only for DDL steps;
+                // updates must land exactly on the acked prefix.
+                let in_flight_ddl_ok = baseline
+                    .acks
+                    .get(idx)
+                    .is_some_and(|a| a.ddl && got == a.dump);
+                assert!(
+                    got == want_dump || in_flight_ddl_ok,
+                    "crash point {k}: recovered state is neither the durable \
+                     prefix nor an in-flight DDL one step ahead of it"
+                );
+                // Every recovered DAG node must equal a fresh projection
+                // (the invariant checker also validates parent edges).
+                recovered
+                    .check_invariants()
+                    .unwrap_or_else(|e| panic!("crash point {k}: invariants violated: {e}"));
+            }
+            Err(DurabilityError::NoCheckpoint) => {
+                assert!(
+                    k < baseline.ops_created,
+                    "crash point {k}: store lost its checkpoint after creation"
+                );
+            }
+            Err(e) => panic!("crash point {k}: recovery failed: {e}"),
+        }
+    }
 }

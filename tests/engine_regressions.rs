@@ -288,3 +288,160 @@ fn metrics_cover_batch_stage_timings() {
         assert!(m.obs.histogram("engine.lock.write_hold_ns").is_some());
     }
 }
+
+// ── PR 6: the Σ-replacement / drop-ordering hole with dependent views ───
+
+/// Build EDM with a three-level chain: staff (declared complement) →
+/// depts → dept_kinds.
+fn dag_db() -> Database {
+    let f = fixtures::edm();
+    let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+    db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+        .unwrap();
+    let d = f.schema.attr("Dept").unwrap();
+    db.create_view_over("depts", "staff", AttrSet::singleton(d), None, Policy::Exact)
+        .unwrap();
+    db.create_view_over(
+        "dept_kinds",
+        "depts",
+        AttrSet::singleton(d),
+        None,
+        Policy::Exact,
+    )
+    .unwrap();
+    db
+}
+
+/// Replacing Σ while child views exist must either cascade the mat
+/// rebuild through the DAG in topological order (all nodes still match
+/// a flat recomputation) or reject wholesale with a trace naming the
+/// dependent views — never half-apply. This is the success half.
+#[test]
+fn set_fds_cascades_rebuild_through_the_dag() {
+    let f = fixtures::edm();
+    let db = dag_db();
+    // Same Σ revalidates every node and forces the topological rebuild.
+    db.set_fds(f.fds.clone()).unwrap();
+    for name in ["staff", "depts", "dept_kinds"] {
+        let def = db.view_def(name).unwrap();
+        assert_eq!(
+            db.view_instance(name).unwrap(),
+            ops::project(&db.base(), def.x()).unwrap(),
+            "view `{name}` diverged after the set_fds cascade"
+        );
+    }
+    // Parent edges survive the rebuild, and updates still propagate.
+    assert_eq!(db.view_parent("depts").unwrap().as_deref(), Some("staff"));
+    let dict = f.dict;
+    db.insert_via("staff", Tuple::new([dict.sym("dan"), dict.sym("toys")]))
+        .unwrap();
+    let d = f.schema.attr("Dept").unwrap();
+    assert_eq!(
+        db.view_instance("dept_kinds").unwrap(),
+        ops::project(&db.base(), AttrSet::singleton(d)).unwrap()
+    );
+}
+
+/// The rejection half: a new Σ that invalidates a declared complement
+/// on a view with registered dependents must name the blast radius and
+/// leave the database untouched.
+#[test]
+fn set_fds_rejection_names_dependent_views() {
+    let db = dag_db();
+    let before = db.dump();
+    // Under an empty Σ the declared {Emp,Dept}/{Dept,Mgr} pair is no
+    // longer complementary (no FD makes the join lossless).
+    let err = db.set_fds(FdSet::default()).unwrap_err();
+    match err {
+        EngineError::SetFdsRejected {
+            view,
+            dependents,
+            source,
+        } => {
+            assert_eq!(view, "staff");
+            assert_eq!(dependents, ["depts", "dept_kinds"]);
+            assert_eq!(*source, EngineError::NotComplementary);
+        }
+        other => panic!("expected SetFdsRejected, got {other}"),
+    }
+    // Nothing changed: same Σ, same views, updates still work.
+    assert_eq!(db.dump(), before);
+    let f = fixtures::edm();
+    db.insert_via("staff", Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]))
+        .unwrap();
+}
+
+/// Dropping a view that other views read must be refused with the
+/// transitive dependents in topological order; leaves drop cleanly and
+/// free their parents.
+#[test]
+fn drop_view_refuses_while_dependents_exist() {
+    let db = dag_db();
+    let err = db.drop_view("staff").unwrap_err();
+    match err {
+        EngineError::HasDependents { name, dependents } => {
+            assert_eq!(name, "staff");
+            assert_eq!(dependents, ["depts", "dept_kinds"]);
+        }
+        other => panic!("expected HasDependents, got {other}"),
+    }
+    assert!(db.drop_view("depts").is_err(), "depts still has a child");
+    db.drop_view("dept_kinds").unwrap();
+    db.drop_view("depts").unwrap();
+    db.drop_view("staff").unwrap();
+    assert!(db.view_names().is_empty());
+    assert!(matches!(
+        db.drop_view("staff"),
+        Err(EngineError::UnknownView { .. })
+    ));
+}
+
+/// Composition rejections carry the paper's reasoning, not a generic
+/// error: an empty collapse, a predicate the collapse projects away,
+/// and a non-exact policy under an inherited predicate.
+#[test]
+fn composition_rejections_name_the_failing_rule() {
+    let f = fixtures::edm();
+    let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+    db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+        .unwrap();
+    let m = f.schema.attr("Mgr").unwrap();
+    let d = f.schema.attr("Dept").unwrap();
+    // X ∩ X′ = ∅: π_{Mgr} over π_{Emp,Dept} collapses to nothing.
+    assert!(matches!(
+        db.create_view_over("bad", "staff", AttrSet::singleton(m), None, Policy::Exact),
+        Err(EngineError::CompositionRejected { .. })
+    ));
+    // A selection root, then a child whose X drops the predicate attr:
+    // σ_P does not commute past the collapsed projection.
+    let e = f.schema.attr("Emp").unwrap();
+    db.create_selection_view(
+        "small_staff",
+        f.x,
+        Some(f.y),
+        Pred::cmp(e, CmpOp::Le, 1_000_000),
+    )
+    .unwrap();
+    assert!(matches!(
+        db.create_view_over(
+            "bad2",
+            "small_staff",
+            AttrSet::singleton(d),
+            None,
+            Policy::Exact
+        ),
+        Err(EngineError::CompositionRejected { .. })
+    ));
+    // A composed view under a predicate supports only the exact policy.
+    assert!(matches!(
+        db.create_view_over("bad3", "small_staff", f.x, None, Policy::Test1),
+        Err(EngineError::CompositionRejected { .. })
+    ));
+    // Unknown parents are their own error, not a composition failure.
+    assert!(matches!(
+        db.create_view_over("bad4", "ghost", f.x, None, Policy::Exact),
+        Err(EngineError::UnknownView { .. })
+    ));
+    // None of the rejections left a trace.
+    assert_eq!(db.view_names(), ["small_staff", "staff"]);
+}

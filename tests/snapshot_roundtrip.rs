@@ -11,6 +11,7 @@ use proptest::test_runner::TestCaseError;
 use rand::prelude::*;
 use relvu::prelude::*;
 use relvu_relation::{Attr, CmpOp, Pred};
+use relvu_workload::dag_gen::{self, DagConfig, NodePolicy};
 use relvu_workload::{instance_gen, schema_gen};
 
 /// Build a random but *valid* database from a seed: every view pair is
@@ -65,6 +66,47 @@ fn random_db(seed: u64) -> Database {
     db
 }
 
+/// As [`random_db`], then graft a random maintenance DAG (depth ≤ 4,
+/// `from` directives, v2 header) on top of it.
+fn random_dag_db(seed: u64) -> Database {
+    let db = random_db(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let schema = db.schema();
+    let fds = db.fds();
+    let attrs: Vec<Attr> = schema.attrs().collect();
+    let mut root_x = AttrSet::new();
+    while root_x.is_empty() {
+        for a in &attrs {
+            if rng.gen_bool(0.5) {
+                root_x.insert(*a);
+            }
+        }
+    }
+    let cfg = DagConfig {
+        max_depth: 3,
+        max_fanout: 2,
+        pred_domain: 4,
+        ..DagConfig::default()
+    };
+    for n in dag_gen::random_dag(&mut rng, &schema, &fds, root_x, &cfg) {
+        let name = format!("d{}", n.name);
+        let policy = match n.policy {
+            NodePolicy::Exact => Policy::Exact,
+            NodePolicy::Test1 => Policy::Test1,
+            NodePolicy::Test2 => Policy::Test2,
+        };
+        let parent = n.parent.as_ref().map(|p| format!("d{p}"));
+        let r = match (parent, n.pred) {
+            (None, None) => db.create_view(&name, n.x, n.y, policy),
+            (None, Some(p)) => db.create_selection_view(&name, n.x, n.y, p),
+            (Some(par), None) => db.create_view_over(&name, &par, n.x, n.y, policy),
+            (Some(par), Some(p)) => db.create_selection_view_over(&name, &par, n.x, n.y, p),
+        };
+        r.expect("generated DAG nodes register");
+    }
+    db
+}
+
 proptest! {
     /// The dump of a loaded dump is the dump: the text format is a
     /// fixpoint after one round trip.
@@ -87,5 +129,31 @@ proptest! {
         // counts: same base, same view definitions.
         prop_assert_eq!(db.base(), reloaded.base());
         prop_assert_eq!(db.view_names(), reloaded.view_names());
+    }
+
+    /// Same fixpoint with a maintenance DAG on top: `from` directives
+    /// and the v2 header survive `dump → load → dump` byte-identically,
+    /// and parent edges are preserved.
+    #[test]
+    fn dag_dump_load_dump_is_byte_identical(seed in 0u64..u64::MAX) {
+        let db = random_dag_db(seed);
+        let first = db.dump();
+        let reloaded = match Database::load(&first) {
+            Ok(db) => db,
+            Err(e) => {
+                return Err(TestCaseError::Fail(format!(
+                    "DAG dump does not load back (seed {seed}): {e}\n{first}"
+                )));
+            }
+        };
+        let second = reloaded.dump();
+        prop_assert_eq!(&first, &second, "DAG roundtrip drift for seed {}", seed);
+        for name in db.view_names() {
+            prop_assert_eq!(
+                db.view_parent(&name).expect("registered"),
+                reloaded.view_parent(&name).expect("registered"),
+                "parent edge drift for view `{}`", name
+            );
+        }
     }
 }
