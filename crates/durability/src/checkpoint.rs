@@ -68,13 +68,11 @@ fn body_crc(body: &str) -> u64 {
 /// [`DurabilityError::Vfs`] on any storage failure.
 pub fn write_checkpoint<V: Vfs>(vfs: &V, db: &Database) -> Result<u64, DurabilityError> {
     let _timer = relvu_obs::histogram!("durability.checkpoint_ns").timer();
-    let (body, seq) = {
-        // Dump and seq must be read atomically with respect to updates;
-        // Database::dump is internally consistent, and the caller
-        // (DurableDatabase) serializes checkpoints against appends.
-        let body = db.dump();
-        (body, db.last_seq())
-    };
+    // Pin one published epoch and serialize from it off-lock: the body
+    // and the covered sequence number come from the same snapshot, and
+    // a concurrent writer never stalls behind the serialization.
+    let snap = db.snapshot();
+    let (body, seq) = (snap.dump(), snap.seq());
     let header = format!("relvu-ckpt v1 seq {seq} crc {:016x}\n", body_crc(&body));
     let mut bytes = header.into_bytes();
     bytes.extend_from_slice(body.as_bytes());

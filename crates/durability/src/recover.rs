@@ -232,7 +232,7 @@ pub fn check_invariants(db: &Database) -> Result<(), DurabilityError> {
         let (instance, split) = db.mat_parts(&name)?;
         let fresh = ops::project(&base, def.x())
             .map_err(|e| violated(format!("view `{name}`: projecting π_X failed: {e}")))?;
-        if instance != fresh {
+        if *instance != fresh {
             return Err(violated(format!(
                 "view `{name}`: materialized instance diverged from π_X(R)"
             )));
@@ -242,8 +242,8 @@ pub fn check_invariants(db: &Database) -> Result<(), DurabilityError> {
                 violated(format!("view `{name}`: split present without a predicate"))
             })?;
             let x = def.x();
-            if matching != ops::select(&fresh, |t| pred.eval(&x, t))
-                || rest != ops::select(&fresh, |t| !pred.eval(&x, t))
+            if *matching != ops::select(&fresh, |t| pred.eval(&x, t))
+                || *rest != ops::select(&fresh, |t| !pred.eval(&x, t))
             {
                 return Err(violated(format!(
                     "view `{name}`: materialized σ_P/σ_¬P split diverged"

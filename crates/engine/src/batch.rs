@@ -43,6 +43,7 @@
 //! across thread counts.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use relvu_core::Translatability;
 use relvu_deps::closure;
@@ -276,21 +277,31 @@ impl Database {
         let cache_before = closure::cache::stats();
         let n = requests.len();
 
-        // Resolve each request's view once, and snapshot each distinct
+        // Resolve each request's view once, and pin each distinct
         // view's starting instance π_X(B₀) (plus the σ_P/σ_¬P split for
-        // selection views) from its materialization — no projection scan.
-        type Ctx = (ViewDef, Relation, Option<(Relation, Relation)>);
+        // selection views) from the published snapshot — every mutator
+        // publishes before releasing the write lock, so the last
+        // published epoch *is* B₀, and pinning it shares the relations
+        // instead of cloning them. The pinned `Arc`s stay frozen while
+        // the commit loop below mutates the materializations, which is
+        // exactly the isolation speculation needs.
+        type Ctx = (
+            ViewDef,
+            Arc<Relation>,
+            Option<(Arc<Relation>, Arc<Relation>)>,
+        );
         let mut view_ctx: HashMap<String, Ctx> = HashMap::new();
         for req in &requests {
             if !view_ctx.contains_key(&req.view) {
                 if let Some(def) = inner.views.get(&req.view) {
                     let def = def.clone();
-                    let mat = inner
-                        .mats
+                    let vs = inner
+                        .cur
+                        .insts
                         .get(&req.view)
-                        .expect("registered views have mats");
-                    let v = mat.instance().clone();
-                    let split = mat.split().cloned();
+                        .expect("published snapshot tracks registered views");
+                    let v = vs.inst.get();
+                    let split = vs.split.as_ref().map(|(m, r)| (m.get(), r.get()));
                     view_ctx.insert(req.view.clone(), (def, v, split));
                 }
             }
@@ -354,7 +365,14 @@ impl Database {
                                 // observing the captures afterwards is
                                 // sound.
                                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    check_update(schema, fds, def, v, split.as_ref(), &req.op)
+                                    check_update(
+                                        schema,
+                                        fds,
+                                        def,
+                                        v,
+                                        split.as_ref().map(|(m, r)| (m.as_ref(), r.as_ref())),
+                                        &req.op,
+                                    )
                                 })) {
                                     Ok(res) => *slot = Some(res),
                                     Err(payload) => {
@@ -425,6 +443,11 @@ impl Database {
         // With obs disabled the timer is a unit no-op without Drop.
         #[allow(clippy::drop_non_drop)]
         drop(commit_timer);
+
+        // One publish for the whole batch, after the last in-order
+        // commit: readers observe the batch atomically, and the publish
+        // cost is O(total |Δ|) regardless of request count.
+        self.publish(&mut inner);
 
         let cache_after = closure::cache::stats();
         let stats = BatchStats {

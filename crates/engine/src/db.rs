@@ -1,6 +1,7 @@
 //! The database: universal relation + Σ + registered views.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
@@ -16,6 +17,7 @@ use relvu_relation::{AttrSet, Pred, Relation, Schema, Tuple};
 use crate::dag::ViewDag;
 use crate::log::{LogEntry, UpdateOp};
 use crate::mat::ViewMat;
+use crate::mvcc::{EngineSnapshot, LazyRel, LogState, SnapCell, SnapState, ViewSnap};
 use crate::view::ViewDef;
 use crate::{EngineError, Policy, Result};
 
@@ -59,13 +61,34 @@ pub(crate) struct Inner {
     /// export) walks.
     pub(crate) dag: ViewDag,
     pub(crate) stats: HashMap<String, ViewStats>,
-    pub(crate) log: Vec<LogEntry>,
+    pub(crate) log: LogState,
     pub(crate) seq: u64,
+    /// Publish counter: bumped once per snapshot publish.
+    pub(crate) epoch: u64,
+    /// The writer's working copy of the most recently published
+    /// snapshot — incremental publishes extend its delta chains.
+    pub(crate) cur: Arc<SnapState>,
+    /// Committed-but-unpublished reader-visible deltas. `apply_op`
+    /// drains it every commit; the batch paths accumulate one entry per
+    /// commit and drain at batch end, so readers never observe a state
+    /// a transactional rollback could retract.
+    pub(crate) pending: Vec<PendingDelta>,
+}
+
+/// One commit's reader-visible delta, queued for the next publish.
+pub(crate) struct PendingDelta {
+    pub(crate) base_added: Vec<Tuple>,
+    pub(crate) base_removed: Vec<Tuple>,
+    /// Views whose instance changed, with their instance-level deltas.
+    pub(crate) views: Vec<(String, Vec<Tuple>, Vec<Tuple>)>,
 }
 
 /// A thread-safe updatable-view database over a single universal relation.
 pub struct Database {
     pub(crate) inner: RwLock<Inner>,
+    /// The publish cell queries pin snapshots from, lock-free with
+    /// respect to the engine write lock.
+    pub(crate) cell: SnapCell,
 }
 
 /// Run the translatability check for `op` against view `def` over the
@@ -79,7 +102,7 @@ pub(crate) fn check_update(
     fds: &FdSet,
     def: &ViewDef,
     v: &Relation,
-    split: Option<&(Relation, Relation)>,
+    split: Option<(&Relation, &Relation)>,
     op: &UpdateOp,
 ) -> Result<Translatability> {
     let _timer = relvu_obs::histogram!("engine.check_ns").timer();
@@ -90,7 +113,7 @@ pub(crate) fn check_update(
         let sel = SelectionView::new(def.x(), def.y(), pred.clone())?;
         let computed;
         let (w, w_bar) = match split {
-            Some((w, w_bar)) => (w, w_bar),
+            Some(pair) => pair,
             None => {
                 computed = (sel.instance(v), sel.anti_instance(v));
                 (&computed.0, &computed.1)
@@ -171,7 +194,21 @@ impl Database {
         if base.attrs() != schema.universe() || !satisfies_fds(&base, &fds) {
             return Err(EngineError::IllegalBase);
         }
+        let cur = Arc::new(SnapState {
+            epoch: 0,
+            seq: 0,
+            schema: Arc::new(schema.clone()),
+            fds: Arc::new(fds.clone()),
+            views: Arc::new(HashMap::new()),
+            order: Arc::new(Vec::new()),
+            children: Arc::new(HashMap::new()),
+            stats: Arc::new(HashMap::new()),
+            log: LogState::default(),
+            base: Arc::new(LazyRel::ready(Arc::new(base.clone()))),
+            insts: HashMap::new(),
+        });
         Ok(Database {
+            cell: SnapCell::new(Arc::clone(&cur)),
             inner: RwLock::new(Inner {
                 schema,
                 fds,
@@ -180,10 +217,118 @@ impl Database {
                 mats: HashMap::new(),
                 dag: ViewDag::default(),
                 stats: HashMap::new(),
-                log: Vec::new(),
+                log: LogState::default(),
                 seq: 0,
+                epoch: 0,
+                cur,
+                pending: Vec::new(),
             }),
         })
+    }
+
+    /// Pin the current published snapshot: a single consistent epoch
+    /// holding the base, every view instance, the log and Σ — the fix
+    /// for the torn multi-call read (`base()` then `view_instance()`
+    /// straddling a commit). Never takes the engine lock.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            state: self.cell.load(),
+        }
+    }
+
+    /// Publish the accumulated [`PendingDelta`]s (and any stats/seq
+    /// movement) as the next epoch. O(|Δ|): unchanged relations are
+    /// shared structurally with the previous snapshot, changed ones get
+    /// an O(1) delta-chain extension.
+    pub(crate) fn publish(&self, inner: &mut Inner) {
+        let _t = relvu_obs::histogram!("engine.snap.publish_ns").timer();
+        let prev = Arc::clone(&inner.cur);
+        let pending = std::mem::take(&mut inner.pending);
+        let mut base = Arc::clone(&prev.base);
+        let mut insts = prev.insts.clone();
+        for pd in pending {
+            base = base.advance(pd.base_added, pd.base_removed);
+            for (name, added, removed) in pd.views {
+                let Some(vs) = insts.get_mut(&name) else {
+                    continue;
+                };
+                if let Some((m, r)) = vs.split.as_ref() {
+                    // The split parts advance by the pred-partitioned
+                    // instance delta: the predicate is a pure function
+                    // of the tuple, so membership moves are decided
+                    // here exactly as ViewMat::fold_instance decided
+                    // them writer-side.
+                    let def = prev.views.get(&name).expect("split views are registered");
+                    let pred = def.pred().expect("split implies pred");
+                    let x = def.x();
+                    let (m_add, r_add): (Vec<Tuple>, Vec<Tuple>) =
+                        added.iter().cloned().partition(|t| pred.eval(&x, t));
+                    let (m_rem, r_rem): (Vec<Tuple>, Vec<Tuple>) =
+                        removed.iter().cloned().partition(|t| pred.eval(&x, t));
+                    vs.split = Some((m.advance(m_add, m_rem), r.advance(r_add, r_rem)));
+                }
+                vs.inst = vs.inst.advance(added, removed);
+            }
+        }
+        inner.epoch += 1;
+        let next = Arc::new(SnapState {
+            epoch: inner.epoch,
+            seq: inner.seq,
+            schema: Arc::clone(&prev.schema),
+            fds: Arc::clone(&prev.fds),
+            views: Arc::clone(&prev.views),
+            order: Arc::clone(&prev.order),
+            children: Arc::clone(&prev.children),
+            stats: Arc::new(inner.stats.clone()),
+            log: inner.log.clone(),
+            base,
+            insts,
+        });
+        inner.cur = Arc::clone(&next);
+        self.cell.store(next);
+        relvu_obs::counter!("engine.snap.epoch").inc();
+    }
+
+    /// Publish a from-scratch snapshot of the writer state — the path
+    /// for wholesale changes (DDL, Σ replacement, batch rollback) where
+    /// there is no delta to chain. Discards any pending deltas: the
+    /// caller's rebuilt materializations are the truth.
+    pub(crate) fn publish_rebuild(&self, inner: &mut Inner) {
+        let _t = relvu_obs::histogram!("engine.snap.publish_ns").timer();
+        inner.pending.clear();
+        inner.epoch += 1;
+        let mut insts = HashMap::with_capacity(inner.mats.len());
+        for (name, mat) in &inner.mats {
+            let split = mat.split().map(|p| {
+                (
+                    Arc::new(LazyRel::ready(Arc::new(p.0.clone()))),
+                    Arc::new(LazyRel::ready(Arc::new(p.1.clone()))),
+                )
+            });
+            insts.insert(
+                name.clone(),
+                ViewSnap {
+                    inst: Arc::new(LazyRel::ready(Arc::new(mat.instance().clone()))),
+                    split,
+                },
+            );
+        }
+        let next = Arc::new(SnapState {
+            epoch: inner.epoch,
+            seq: inner.seq,
+            schema: Arc::new(inner.schema.clone()),
+            fds: Arc::new(inner.fds.clone()),
+            views: Arc::new(inner.views.clone()),
+            order: Arc::new(inner.dag.order().to_vec()),
+            children: Arc::new(inner.dag.children_map().clone()),
+            stats: Arc::new(inner.stats.clone()),
+            log: inner.log.clone(),
+            base: Arc::new(LazyRel::ready(Arc::new(inner.base.clone()))),
+            insts,
+        });
+        inner.cur = Arc::clone(&next);
+        self.cell.store(next);
+        relvu_obs::counter!("engine.snap.epoch").inc();
     }
 
     /// Register a view `X` with a declared complement (or, when `None`, a
@@ -201,7 +346,9 @@ impl Database {
         policy: Policy,
     ) -> Result<()> {
         let mut inner = self.inner.write();
-        Self::create_view_locked(&mut inner, name, None, x, y, policy, None)
+        Self::create_view_locked(&mut inner, name, None, x, y, policy, None)?;
+        self.publish_rebuild(&mut inner);
+        Ok(())
     }
 
     /// Register a view over another view's instance: `π_x(parent)`.
@@ -229,7 +376,9 @@ impl Database {
         policy: Policy,
     ) -> Result<()> {
         let mut inner = self.inner.write();
-        Self::create_view_locked(&mut inner, name, Some(parent), x, y, policy, None)
+        Self::create_view_locked(&mut inner, name, Some(parent), x, y, policy, None)?;
+        self.publish_rebuild(&mut inner);
+        Ok(())
     }
 
     /// Register a selection view over another view's instance:
@@ -261,7 +410,9 @@ impl Database {
             y,
             Policy::Exact,
             Some(pred),
-        )
+        )?;
+        self.publish_rebuild(&mut inner);
+        Ok(())
     }
 
     /// Drop a registered view. Only leaves of the dependency DAG can be
@@ -292,6 +443,7 @@ impl Database {
         }
         inner.stats.remove(name);
         inner.dag.remove(name, def.parent());
+        self.publish_rebuild(&mut inner);
         Ok(())
     }
 
@@ -513,12 +665,13 @@ impl Database {
             closure::cache::evict_fingerprint(old_fp);
         }
         Self::rebuild_mats(&mut inner);
+        self.publish_rebuild(&mut inner);
         Ok(())
     }
 
-    /// The current dependency set Σ.
+    /// The current dependency set Σ, from the published snapshot.
     pub fn fds(&self) -> FdSet {
-        self.inner.read().fds.clone()
+        self.snapshot().fds()
     }
 
     /// Register a selection view `σ_pred(π_x(R))` (§6(2)) whose constant
@@ -545,18 +698,14 @@ impl Database {
         // predicate — a concurrent writer in the window could commit an
         // update through the unrestricted view, bypassing σ_P.)
         let mut inner = self.inner.write();
-        Self::create_view_locked(&mut inner, name, None, x, y, Policy::Exact, Some(pred))
+        Self::create_view_locked(&mut inner, name, None, x, y, Policy::Exact, Some(pred))?;
+        self.publish_rebuild(&mut inner);
+        Ok(())
     }
 
-    /// Per-view accepted/rejected counters.
+    /// Per-view accepted/rejected counters, from the published snapshot.
     pub fn stats(&self, name: &str) -> Result<ViewStats> {
-        let inner = self.inner.read();
-        if !inner.views.contains_key(name) {
-            return Err(EngineError::UnknownView {
-                name: name.to_string(),
-            });
-        }
-        Ok(inner.stats.get(name).cloned().unwrap_or_default())
+        self.snapshot().stats(name)
     }
 
     /// Apply a batch of updates atomically: either every update applies
@@ -577,7 +726,7 @@ impl Database {
         let snapshot = (updates.len() > 1).then(|| {
             (
                 inner.base.clone(),
-                inner.log.len(),
+                inner.log.clone(),
                 inner.seq,
                 inner.stats.clone(),
             )
@@ -587,9 +736,15 @@ impl Database {
             match self.apply_inner(&mut inner, &view, op) {
                 Ok(r) => reports.push(r),
                 Err(e) => {
-                    if let Some((base, len, seq, stats)) = snapshot {
+                    // Nothing was published mid-batch, so readers never
+                    // saw the rolled-back prefix; discard its pending
+                    // deltas and restore the writer state (the log
+                    // restore is an O(1) pointer swap — the persistent
+                    // log shares its sealed chunks).
+                    inner.pending.clear();
+                    if let Some((base, log, seq, stats)) = snapshot {
                         inner.base = base;
-                        inner.log.truncate(len);
+                        inner.log = log;
                         inner.seq = seq;
                         inner.stats = stats;
                         Self::rebuild_mats(&mut inner);
@@ -612,6 +767,10 @@ impl Database {
                                 .or_insert(0) += 1;
                         }
                     }
+                    // Publish once so the failing update's rejection
+                    // stats become visible (the data state equals the
+                    // still-published pre-batch epoch).
+                    self.publish(&mut inner);
                     return Err(EngineError::BatchFailed {
                         index,
                         source: Box::new(e),
@@ -619,30 +778,23 @@ impl Database {
                 }
             }
         }
+        // One publish for the whole transaction: atomic visibility.
+        self.publish(&mut inner);
         Ok(reports)
     }
 
-    /// The names of the registered views, sorted.
+    /// The names of the registered views, sorted, from the published
+    /// snapshot.
     pub fn view_names(&self) -> Vec<String> {
-        let inner = self.inner.read();
-        let mut names: Vec<String> = inner.views.keys().cloned().collect();
-        names.sort();
-        names
+        self.snapshot().view_names()
     }
 
-    /// A registered view's definition.
+    /// A registered view's definition, from the published snapshot.
     ///
     /// # Errors
     /// [`EngineError::UnknownView`] if absent.
     pub fn view_def(&self, name: &str) -> Result<ViewDef> {
-        let inner = self.inner.read();
-        inner
-            .views
-            .get(name)
-            .cloned()
-            .ok_or_else(|| EngineError::UnknownView {
-                name: name.to_string(),
-            })
+        self.snapshot().view_def(name)
     }
 
     /// The view `name` was registered over, or `None` when it reads the
@@ -651,14 +803,7 @@ impl Database {
     /// # Errors
     /// [`EngineError::UnknownView`] if absent.
     pub fn view_parent(&self, name: &str) -> Result<Option<String>> {
-        let inner = self.inner.read();
-        inner
-            .views
-            .get(name)
-            .map(|d| d.parent().map(str::to_string))
-            .ok_or_else(|| EngineError::UnknownView {
-                name: name.to_string(),
-            })
+        self.snapshot().view_parent(name)
     }
 
     /// The views registered directly over `name`, in registration order.
@@ -666,33 +811,18 @@ impl Database {
     /// # Errors
     /// [`EngineError::UnknownView`] if absent.
     pub fn view_children(&self, name: &str) -> Result<Vec<String>> {
-        let inner = self.inner.read();
-        if !inner.views.contains_key(name) {
-            return Err(EngineError::UnknownView {
-                name: name.to_string(),
-            });
-        }
-        Ok(inner.dag.children(name).to_vec())
+        self.snapshot().view_children(name)
     }
 
-    /// The current instance of a view: `π_X(R)`.
+    /// The current instance of a view: `π_X(R)`, answered from the
+    /// published snapshot without taking the engine lock. The returned
+    /// relation is structurally shared — repeated reads of a quiet view
+    /// return the same allocation, never a per-read copy.
     ///
     /// # Errors
     /// [`EngineError::UnknownView`] if absent.
-    pub fn view_instance(&self, name: &str) -> Result<Relation> {
-        let inner = self.inner.read();
-        let mat = inner
-            .mats
-            .get(name)
-            .ok_or_else(|| EngineError::UnknownView {
-                name: name.to_string(),
-            })?;
-        // Answered from the materialization: O(|V|) for the clone,
-        // never O(|base|) for a re-projection.
-        Ok(match mat.split() {
-            Some((matching, _)) => matching.clone(),
-            None => mat.instance().clone(),
-        })
+    pub fn view_instance(&self, name: &str) -> Result<Arc<Relation>> {
+        self.snapshot().view_instance(name)
     }
 
     /// The materialized instance and (for selection views) the
@@ -702,76 +832,41 @@ impl Database {
     /// # Errors
     /// [`EngineError::UnknownView`] if absent.
     #[doc(hidden)]
-    pub fn mat_parts(&self, name: &str) -> Result<(Relation, Option<(Relation, Relation)>)> {
-        let inner = self.inner.read();
-        let mat = inner
-            .mats
-            .get(name)
-            .ok_or_else(|| EngineError::UnknownView {
-                name: name.to_string(),
-            })?;
-        Ok((mat.instance().clone(), mat.split().cloned()))
+    pub fn mat_parts(&self, name: &str) -> Result<crate::mvcc::MatParts> {
+        self.snapshot().mat_parts(name)
     }
 
-    /// Snapshot of the base relation.
-    pub fn base(&self) -> Relation {
-        self.inner.read().base.clone()
-    }
-
-    /// Export the persistent parts (schema, Σ, base, view definitions)
-    /// for serialization; view definitions come out in topological
-    /// (registration) order, so loading them back in file order always
-    /// finds each view's parent already registered.
-    pub(crate) fn export_parts(&self) -> (Schema, FdSet, Relation, Vec<ViewDef>) {
-        let inner = self.inner.read();
-        let views: Vec<ViewDef> = inner
-            .dag
-            .order()
-            .iter()
-            .map(|n| inner.views[n].clone())
-            .collect();
-        (
-            inner.schema.clone(),
-            inner.fds.clone(),
-            inner.base.clone(),
-            views,
-        )
+    /// The base relation, answered from the published snapshot without
+    /// taking the engine lock; structurally shared with the snapshot.
+    pub fn base(&self) -> Arc<Relation> {
+        self.snapshot().base()
     }
 
     /// Snapshot of the whole audit log.
     ///
     /// Thin wrapper over [`Database::log_range`]; callers that tail the
     /// log (WAL shippers, the REPL) should use `log_range` directly so
-    /// they never copy unbounded history under the read lock.
+    /// they never copy unbounded history.
     pub fn log(&self) -> Vec<LogEntry> {
         self.log_range(0, usize::MAX)
     }
 
     /// The entries with sequence number `>= from_seq`, at most `limit` of
-    /// them, in sequence order.
-    ///
-    /// The in-memory log is contiguous in `seq` (batch rollback only ever
-    /// truncates its tail), so this is an `O(limit)` slice clone — not a
-    /// scan — and holds the read lock only for the copy.
+    /// them, in sequence order, from the published snapshot — an
+    /// `O(limit)` copy out of the persistent chunked log, lock-free.
     pub fn log_range(&self, from_seq: u64, limit: usize) -> Vec<LogEntry> {
-        let inner = self.inner.read();
-        let Some(first) = inner.log.first().map(|e| e.seq) else {
-            return Vec::new();
-        };
-        let start = from_seq.saturating_sub(first).min(inner.log.len() as u64) as usize;
-        let end = start.saturating_add(limit).min(inner.log.len());
-        inner.log[start..end].to_vec()
+        self.snapshot().log_range(from_seq, limit)
     }
 
     /// The sequence number of the most recently applied update (0 for a
     /// fresh database).
     pub fn last_seq(&self) -> u64 {
-        self.inner.read().seq
+        self.snapshot().seq()
     }
 
     /// The database schema.
     pub fn schema(&self) -> Schema {
-        self.inner.read().schema.clone()
+        self.snapshot().schema()
     }
 
     /// Fast-forward the update sequence counter to `seq` without applying
@@ -796,6 +891,7 @@ impl Database {
             });
         }
         inner.seq = seq;
+        self.publish(&mut inner);
         Ok(())
     }
 
@@ -840,7 +936,11 @@ impl Database {
         // Declared after the guard, so it drops (and records) first —
         // i.e. it measures time spent holding the write lock.
         let _hold = relvu_obs::histogram!("engine.lock.write_hold_ns").timer();
-        self.apply_inner(&mut inner, name, op)
+        let out = self.apply_inner(&mut inner, name, op);
+        // Publish on rejection too: the stats moved, and readers of the
+        // snapshot must see the same counters the writer does.
+        self.publish(&mut inner);
+        out
     }
 
     pub(crate) fn apply_inner(
@@ -865,7 +965,7 @@ impl Database {
                 &inner.fds,
                 &def,
                 mat.instance(),
-                mat.split(),
+                mat.split().map(|p| (&p.0, &p.1)),
                 &op,
             )?
         };
@@ -932,9 +1032,14 @@ impl Database {
             // delta is empty does zero fold work and emits an empty
             // delta, so an entire untouched subtree is skipped.
             let Inner {
-                views, mats, dag, ..
+                views,
+                mats,
+                dag,
+                pending,
+                ..
             } = &mut *inner;
             let mut inst_deltas: HashMap<&str, (Vec<Tuple>, Vec<Tuple>)> = HashMap::new();
+            let mut touched: Vec<(String, Vec<Tuple>, Vec<Tuple>)> = Vec::new();
             for node in dag.order() {
                 let mat = mats
                     .get_mut(node.as_str())
@@ -954,9 +1059,21 @@ impl Database {
                 } else {
                     relvu_obs::counter!("engine.dag.nodes_folded").inc();
                     let out = mat.fold_instance(in_add, in_rem);
+                    if !out.0.is_empty() || !out.1.is_empty() {
+                        // Queue this view's instance-level delta for the
+                        // next snapshot publish; views with an empty out
+                        // delta stay out of the queue so their published
+                        // instances remain structurally shared.
+                        touched.push((node.clone(), out.0.clone(), out.1.clone()));
+                    }
                     inst_deltas.insert(node.as_str(), out);
                 }
             }
+            pending.push(PendingDelta {
+                base_added: added.clone(),
+                base_removed: removed.clone(),
+                views: touched,
+            });
         }
         // With obs disabled the timer is a unit no-op without Drop.
         #[allow(clippy::drop_non_drop)]
@@ -1005,6 +1122,16 @@ impl Database {
             base_rows_before: rows_before,
             base_rows_after: rows_after,
         })
+    }
+
+    /// The parts `dump` serializes, read from one pinned snapshot:
+    /// schema, Σ, base, and the view definitions in topological
+    /// (registration) order, so loading them back in file order always
+    /// finds each view's parent already registered.
+    pub(crate) fn export_parts(
+        snap: &EngineSnapshot,
+    ) -> (Schema, FdSet, Arc<Relation>, Vec<ViewDef>) {
+        (snap.schema(), snap.fds(), snap.base(), snap.ordered_defs())
     }
 
     /// A read-only handle over this database: every query, none of the

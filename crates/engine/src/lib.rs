@@ -30,6 +30,7 @@ mod error;
 mod log;
 mod mat;
 mod metrics;
+mod mvcc;
 mod policy;
 mod reader;
 mod snapshot;
@@ -40,6 +41,7 @@ pub use db::{Database, UpdateReport, ViewStats};
 pub use error::EngineError;
 pub use log::{LogEntry, UpdateOp};
 pub use metrics::EngineMetrics;
+pub use mvcc::{EngineSnapshot, MatParts};
 pub use policy::Policy;
 pub use reader::EngineReader;
 pub use view::ViewDef;

@@ -79,18 +79,16 @@ impl Database {
     /// Snapshot every metric the engine keeps: the process-wide
     /// [`relvu_obs`] registry plus this database's per-view stats.
     ///
-    /// Cheap enough to call between updates; takes the read lock only
-    /// long enough to clone the per-view counters.
+    /// Cheap enough to call between updates; the per-view counters come
+    /// from the published snapshot, so no engine lock is taken at all.
     #[must_use]
     pub fn metrics(&self) -> EngineMetrics {
-        let views = {
-            let inner = self.inner.read();
-            inner
-                .stats
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect()
-        };
+        let snap = self.snapshot();
+        let views = snap
+            .all_stats()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         EngineMetrics {
             obs: relvu_obs::snapshot(),
             views,

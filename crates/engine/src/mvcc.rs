@@ -1,0 +1,627 @@
+//! Epoch-pinned MVCC snapshots: the lock-free read path.
+//!
+//! Every mutator of [`crate::Database`] still runs under the single
+//! write lock — but at commit it *publishes* an immutable, epoch-stamped
+//! [`EngineSnapshot`] through a [`SnapCell`], and every query answers
+//! from the most recently published snapshot without ever touching the
+//! engine lock. A pinned snapshot is internally consistent by
+//! construction: its base, every view instance, the log tail, Σ and the
+//! sequence number all come from the same commit.
+//!
+//! Three pieces make publishing O(|Δ|) instead of O(|base|):
+//!
+//! * [`LazyRel`] — a persistent relation represented as an immutable
+//!   root plus a cons list of per-commit `(added, removed)` deltas. The
+//!   writer extends the chain in O(1); the first reader that actually
+//!   needs the rows materializes root+chain once per epoch (shared via
+//!   `OnceLock` with every other reader of that epoch), and the writer
+//!   re-roots the next version on that materialization so chains never
+//!   grow past [`MAX_CHAIN`]. A *quiet* relation (no pending deltas) is
+//!   shared structurally: repeated reads return the same `Arc`.
+//!   Crucially, materialization replays the exact delta sequence the
+//!   writer applied in-place, so a snapshot's row *order* — not just its
+//!   set content — matches the engine's, keeping serialized dumps
+//!   byte-identical to the locked path they replace.
+//! * [`LogState`] — the audit log as sealed immutable chunks plus a
+//!   cons-list tail, so the snapshot's log view is an O(1) pointer copy
+//!   and transactional rollback is an O(1) pointer restore.
+//! * [`SnapCell`] — the hand-rolled `arc-swap` analog. The workspace
+//!   forbids `unsafe`, so instead of a raw atomic pointer the cell keeps
+//!   a small fixed set of cache-line-padded shards, each a
+//!   `RwLock<Arc<EngineSnapshot>>`. A reader hashes its thread id to one
+//!   shard and holds that shard's read lock only for the nanoseconds an
+//!   `Arc` clone takes; the writer swaps the pointer in every shard.
+//!   Readers on different shards never contend with each other, no
+//!   reader ever waits on an engine commit, and because a thread always
+//!   lands on the same shard its observed epochs are monotone.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+use relvu_deps::FdSet;
+use relvu_relation::{Relation, Schema, Tuple};
+
+use crate::db::ViewStats;
+use crate::log::LogEntry;
+use crate::view::ViewDef;
+use crate::{EngineError, Result};
+
+/// Maximum pending-delta chain length before the *writer* flattens a
+/// [`LazyRel`] eagerly. Bounds both snapshot memory and worst-case
+/// reader materialization at O(|rel| + MAX_CHAIN · |Δ|); amortized
+/// writer cost is O(|rel| / MAX_CHAIN) per commit.
+const MAX_CHAIN: u32 = 512;
+
+/// Entries per sealed log chunk.
+const LOG_CHUNK: usize = 256;
+
+/// Shards in a [`SnapCell`].
+const SHARDS: usize = 8;
+
+// ---------------------------------------------------------------------
+// LazyRel: persistent relation = immutable root + pending delta chain
+// ---------------------------------------------------------------------
+
+/// One commit's contribution to a [`LazyRel`], newest-first.
+struct DeltaNode {
+    added: Vec<Tuple>,
+    removed: Vec<Tuple>,
+    prev: Option<Arc<DeltaNode>>,
+}
+
+/// A persistent, structurally shared relation version.
+pub(crate) struct LazyRel {
+    root: Arc<Relation>,
+    pending: Option<Arc<DeltaNode>>,
+    depth: u32,
+    /// Root+chain, materialized at most once per version and shared by
+    /// every reader pinning it.
+    cache: OnceLock<Arc<Relation>>,
+}
+
+impl LazyRel {
+    /// A version with no pending deltas: reads share `root` directly.
+    pub(crate) fn ready(root: Arc<Relation>) -> Self {
+        LazyRel {
+            root,
+            pending: None,
+            depth: 0,
+            cache: OnceLock::new(),
+        }
+    }
+
+    /// The rows of this version. O(1) when quiet or already
+    /// materialized; one O(|rel| + |chain|) replay otherwise, shared
+    /// with every other reader of the same version.
+    pub(crate) fn get(&self) -> Arc<Relation> {
+        match &self.pending {
+            None => Arc::clone(&self.root),
+            Some(_) => Arc::clone(self.cache.get_or_init(|| Arc::new(self.materialize()))),
+        }
+    }
+
+    /// Replay the pending chain over a clone of the root — the same
+    /// removals-then-insertions, in the same commit order, the writer
+    /// applied in place, so row order is reproduced exactly.
+    fn materialize(&self) -> Relation {
+        let mut nodes: Vec<&DeltaNode> = Vec::with_capacity(self.depth as usize);
+        let mut cur = self.pending.as_deref();
+        while let Some(n) = cur {
+            nodes.push(n);
+            cur = n.prev.as_deref();
+        }
+        let mut rel = (*self.root).clone();
+        for n in nodes.iter().rev() {
+            for t in &n.removed {
+                rel.remove(t);
+            }
+            for t in &n.added {
+                rel.insert(t.clone())
+                    .expect("replay of committed rows keeps arity");
+            }
+        }
+        rel
+    }
+
+    /// Writer-side: the next version after one commit's
+    /// `(added, removed)`. An empty delta shares `self` unchanged —
+    /// that is what makes repeated reads of a quiet view pointer-equal.
+    /// When some reader already materialized this version, the next one
+    /// re-roots on that materialization instead of growing the chain.
+    pub(crate) fn advance(
+        self: &Arc<Self>,
+        added: Vec<Tuple>,
+        removed: Vec<Tuple>,
+    ) -> Arc<LazyRel> {
+        if added.is_empty() && removed.is_empty() {
+            return Arc::clone(self);
+        }
+        let (root, prev, depth) = match self.cache.get() {
+            Some(mat) => (Arc::clone(mat), None, 0),
+            None => (Arc::clone(&self.root), self.pending.clone(), self.depth),
+        };
+        let next = LazyRel {
+            root,
+            pending: Some(Arc::new(DeltaNode {
+                added,
+                removed,
+                prev,
+            })),
+            depth: depth + 1,
+            cache: OnceLock::new(),
+        };
+        if next.depth >= MAX_CHAIN {
+            Arc::new(LazyRel::ready(Arc::new(next.materialize())))
+        } else {
+            Arc::new(next)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LogState: sealed chunks + cons-list tail
+// ---------------------------------------------------------------------
+
+struct LogNode {
+    entry: LogEntry,
+    prev: Option<Arc<LogNode>>,
+}
+
+/// The audit log as a persistent structure: cloning is O(1) in the
+/// number of entries (two `Arc` copies), so every published snapshot —
+/// and every transactional-batch rollback point — carries the whole log
+/// for free.
+#[derive(Clone)]
+pub(crate) struct LogState {
+    /// Sealed immutable chunks of exactly [`LOG_CHUNK`] entries each.
+    chunks: Arc<Vec<Arc<Vec<LogEntry>>>>,
+    /// Unsealed entries, newest-first.
+    tail: Option<Arc<LogNode>>,
+    tail_len: usize,
+    /// Sequence number of the oldest entry (meaningless when empty).
+    first_seq: u64,
+    len: usize,
+}
+
+impl Default for LogState {
+    fn default() -> Self {
+        LogState {
+            chunks: Arc::new(Vec::new()),
+            tail: None,
+            tail_len: 0,
+            first_seq: 0,
+            len: 0,
+        }
+    }
+}
+
+impl LogState {
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn push(&mut self, entry: LogEntry) {
+        if self.len == 0 {
+            self.first_seq = entry.seq;
+        }
+        self.tail = Some(Arc::new(LogNode {
+            entry,
+            prev: self.tail.take(),
+        }));
+        self.tail_len += 1;
+        self.len += 1;
+        if self.tail_len == LOG_CHUNK {
+            let mut sealed = Vec::with_capacity(LOG_CHUNK);
+            let mut cur = self.tail.as_deref();
+            while let Some(n) = cur {
+                sealed.push(n.entry.clone());
+                cur = n.prev.as_deref();
+            }
+            sealed.reverse();
+            let mut chunks = (*self.chunks).clone();
+            chunks.push(Arc::new(sealed));
+            self.chunks = Arc::new(chunks);
+            self.tail = None;
+            self.tail_len = 0;
+        }
+    }
+
+    /// Entries with `seq >= from_seq`, at most `limit`, in sequence
+    /// order — same contract as the `Vec`-backed log it replaced: the
+    /// log is contiguous in `seq`, so this is arithmetic plus an
+    /// O(limit) copy, never a scan.
+    pub(crate) fn range(&self, from_seq: u64, limit: usize) -> Vec<LogEntry> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        let start = from_seq.saturating_sub(self.first_seq).min(self.len as u64) as usize;
+        let end = start.saturating_add(limit).min(self.len);
+        if start >= end {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(end - start);
+        let sealed = self.len - self.tail_len;
+        let mut i = start;
+        while i < end.min(sealed) {
+            let chunk = &self.chunks[i / LOG_CHUNK];
+            let off = i % LOG_CHUNK;
+            let take = (end.min(sealed) - i).min(LOG_CHUNK - off);
+            out.extend_from_slice(&chunk[off..off + take]);
+            i += take;
+        }
+        if end > sealed {
+            let mut tail: Vec<&LogEntry> = Vec::with_capacity(self.tail_len);
+            let mut cur = self.tail.as_deref();
+            while let Some(n) = cur {
+                tail.push(&n.entry);
+                cur = n.prev.as_deref();
+            }
+            tail.reverse();
+            for e in &tail[start.max(sealed) - sealed..end - sealed] {
+                out.push((*e).clone());
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// The snapshot itself
+// ---------------------------------------------------------------------
+
+/// A view's full materialized instance plus, for selection views, the
+/// `(σ_P, σ_¬P)` split — every part a structurally shared snapshot
+/// allocation.
+pub type MatParts = (Arc<Relation>, Option<(Arc<Relation>, Arc<Relation>)>);
+
+/// One registered view's published state.
+#[derive(Clone)]
+pub(crate) struct ViewSnap {
+    /// The full materialized instance `π_X(R)`.
+    pub(crate) inst: Arc<LazyRel>,
+    /// The `(σ_P, σ_¬P)` split for selection views.
+    pub(crate) split: Option<(Arc<LazyRel>, Arc<LazyRel>)>,
+}
+
+/// The immutable state one publish makes visible.
+pub(crate) struct SnapState {
+    pub(crate) epoch: u64,
+    pub(crate) seq: u64,
+    pub(crate) schema: Arc<Schema>,
+    pub(crate) fds: Arc<FdSet>,
+    pub(crate) views: Arc<HashMap<String, ViewDef>>,
+    /// Registration (= topological) order of the views.
+    pub(crate) order: Arc<Vec<String>>,
+    /// Parent → direct children, in registration order.
+    pub(crate) children: Arc<HashMap<String, Vec<String>>>,
+    pub(crate) stats: Arc<HashMap<String, ViewStats>>,
+    pub(crate) log: LogState,
+    pub(crate) base: Arc<LazyRel>,
+    pub(crate) insts: HashMap<String, ViewSnap>,
+}
+
+/// A pinned, immutable view of the whole engine at one commit.
+///
+/// Obtained from [`crate::Database::snapshot`] (or
+/// [`crate::EngineReader::snapshot`]). Every accessor answers from the
+/// same published epoch: the base, each view instance, the log, Σ and
+/// the sequence number are mutually consistent no matter how many
+/// commits land after the pin. Holding a snapshot never blocks writers;
+/// it only keeps that epoch's memory alive.
+#[derive(Clone)]
+pub struct EngineSnapshot {
+    pub(crate) state: Arc<SnapState>,
+}
+
+impl EngineSnapshot {
+    /// The publish counter of this snapshot. Strictly increasing across
+    /// publishes; unlike [`EngineSnapshot::seq`] it also advances on
+    /// DDL, Σ replacement and rejected updates.
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch
+    }
+
+    /// The last applied update's sequence number as of this snapshot.
+    pub fn seq(&self) -> u64 {
+        self.state.seq
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> Schema {
+        (*self.state.schema).clone()
+    }
+
+    /// The dependency set Σ as of this snapshot.
+    pub fn fds(&self) -> FdSet {
+        (*self.state.fds).clone()
+    }
+
+    /// The base relation as of this snapshot, structurally shared —
+    /// repeated calls on the same snapshot return the same allocation.
+    pub fn base(&self) -> Arc<Relation> {
+        self.state.base.get()
+    }
+
+    /// The instance of view `name` as of this snapshot (for selection
+    /// views, the visible `σ_P` part), structurally shared.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if `name` was not registered as of
+    /// this snapshot.
+    pub fn view_instance(&self, name: &str) -> Result<Arc<Relation>> {
+        let vs = self
+            .state
+            .insts
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownView {
+                name: name.to_string(),
+            })?;
+        Ok(match &vs.split {
+            Some((matching, _)) => matching.get(),
+            None => vs.inst.get(),
+        })
+    }
+
+    /// The full instance and optional `(σ_P, σ_¬P)` split — the
+    /// snapshot analog of `Database::mat_parts`.
+    #[doc(hidden)]
+    pub fn mat_parts(&self, name: &str) -> Result<MatParts> {
+        let vs = self
+            .state
+            .insts
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownView {
+                name: name.to_string(),
+            })?;
+        Ok((
+            vs.inst.get(),
+            vs.split.as_ref().map(|(m, r)| (m.get(), r.get())),
+        ))
+    }
+
+    /// The registered view names as of this snapshot, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.state.views.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// A view's definition as of this snapshot.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if absent.
+    pub fn view_def(&self, name: &str) -> Result<ViewDef> {
+        self.state
+            .views
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownView {
+                name: name.to_string(),
+            })
+    }
+
+    /// A view's parent in the dependency DAG as of this snapshot.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if absent.
+    pub fn view_parent(&self, name: &str) -> Result<Option<String>> {
+        self.state
+            .views
+            .get(name)
+            .map(|d| d.parent().map(str::to_string))
+            .ok_or_else(|| EngineError::UnknownView {
+                name: name.to_string(),
+            })
+    }
+
+    /// The views registered directly over `name` as of this snapshot.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if absent.
+    pub fn view_children(&self, name: &str) -> Result<Vec<String>> {
+        if !self.state.views.contains_key(name) {
+            return Err(EngineError::UnknownView {
+                name: name.to_string(),
+            });
+        }
+        Ok(self.state.children.get(name).cloned().unwrap_or_default())
+    }
+
+    /// Per-view accepted/rejected counters as of this snapshot.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if absent.
+    pub fn stats(&self, name: &str) -> Result<ViewStats> {
+        if !self.state.views.contains_key(name) {
+            return Err(EngineError::UnknownView {
+                name: name.to_string(),
+            });
+        }
+        Ok(self.state.stats.get(name).cloned().unwrap_or_default())
+    }
+
+    /// Every per-view counter as of this snapshot.
+    pub(crate) fn all_stats(&self) -> &HashMap<String, ViewStats> {
+        &self.state.stats
+    }
+
+    /// The whole audit log as of this snapshot.
+    pub fn log(&self) -> Vec<LogEntry> {
+        self.log_range(0, usize::MAX)
+    }
+
+    /// Log entries with `seq >= from_seq`, at most `limit`, as of this
+    /// snapshot.
+    pub fn log_range(&self, from_seq: u64, limit: usize) -> Vec<LogEntry> {
+        self.state.log.range(from_seq, limit)
+    }
+
+    /// The view definitions in topological (registration) order — what
+    /// serialization walks.
+    pub(crate) fn ordered_defs(&self) -> Vec<ViewDef> {
+        self.state
+            .order
+            .iter()
+            .map(|n| self.state.views[n].clone())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// SnapCell: the publish point
+// ---------------------------------------------------------------------
+
+/// One cache line per shard so readers hashing to different shards
+/// never false-share.
+#[repr(align(64))]
+struct Shard(RwLock<Arc<SnapState>>);
+
+/// The safe `arc-swap` stand-in the snapshots are published through.
+pub(crate) struct SnapCell {
+    shards: [Shard; SHARDS],
+}
+
+/// This thread's home shard, computed once from its thread id.
+fn shard_index() -> usize {
+    std::thread_local! {
+        static SHARD: std::cell::OnceCell<usize> = const { std::cell::OnceCell::new() };
+    }
+    SHARD.with(|c| {
+        *c.get_or_init(|| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            (h.finish() as usize) % SHARDS
+        })
+    })
+}
+
+impl SnapCell {
+    pub(crate) fn new(initial: Arc<SnapState>) -> Self {
+        SnapCell {
+            shards: std::array::from_fn(|_| Shard(RwLock::new(Arc::clone(&initial)))),
+        }
+    }
+
+    /// Pin the current snapshot: one shard read-lock held for the
+    /// duration of an `Arc` clone. Never blocks on engine commits —
+    /// the writer only grabs each shard for a pointer swap.
+    pub(crate) fn load(&self) -> Arc<SnapState> {
+        relvu_obs::counter!("engine.snap.pins").inc();
+        Arc::clone(&self.shards[shard_index()].0.read())
+    }
+
+    /// Publish `next` to every shard. Called with the engine write lock
+    /// held, so publishes are totally ordered; a reader that hits its
+    /// shard mid-store sees either the old or the new pointer, both of
+    /// which are complete snapshots, and — because a thread always uses
+    /// the same shard — its observed epochs are monotone.
+    pub(crate) fn store(&self, next: Arc<SnapState>) {
+        for s in &self.shards {
+            *s.0.write() = Arc::clone(&next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relvu_relation::tup;
+
+    fn rel(rows: &[Tuple]) -> Relation {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        Relation::from_rows(schema.universe(), rows.iter().cloned()).unwrap()
+    }
+
+    #[test]
+    fn lazy_rel_shares_when_quiet_and_replays_deltas() {
+        let root = Arc::new(rel(&[tup![1, 2], tup![3, 4]]));
+        let v0 = Arc::new(LazyRel::ready(Arc::clone(&root)));
+        assert!(Arc::ptr_eq(&v0.get(), &root), "quiet read is zero-copy");
+        // Empty delta: the version itself is shared.
+        let same = v0.advance(Vec::new(), Vec::new());
+        assert!(Arc::ptr_eq(&same, &v0));
+        // Real delta: lazy until read, then correct.
+        let v1 = v0.advance(vec![tup![5, 6]], vec![tup![1, 2]]);
+        let m = v1.get();
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&tup![5, 6]) && m.contains(&tup![3, 4]));
+        // Two reads of the same version share the materialization.
+        assert!(Arc::ptr_eq(&v1.get(), &m));
+        // The next advance re-roots on the materialization.
+        let v2 = v1.advance(vec![tup![7, 8]], vec![]);
+        assert_eq!(v2.get().len(), 3);
+        // v0 is untouched by any of this.
+        assert_eq!(v0.get().len(), 2);
+        assert!(v0.get().contains(&tup![1, 2]));
+    }
+
+    #[test]
+    fn lazy_rel_chain_is_capped() {
+        let root = Arc::new(rel(&[]));
+        let mut v = Arc::new(LazyRel::ready(root));
+        for i in 0..(MAX_CHAIN as u64 * 2 + 7) {
+            v = v.advance(vec![tup![i, i]], vec![]);
+            assert!(v.depth < MAX_CHAIN, "chain stays below the cap");
+        }
+        assert_eq!(v.get().len(), MAX_CHAIN as usize * 2 + 7);
+    }
+
+    #[test]
+    fn log_state_ranges_match_vec_semantics() {
+        use crate::log::UpdateOp;
+        use relvu_core::Translation;
+        let entry = |seq: u64| LogEntry {
+            seq,
+            view: "v".into(),
+            op: UpdateOp::Insert { t: tup![seq] },
+            translation: Translation::Identity,
+            rows_before: 0,
+            rows_after: 0,
+        };
+        let mut log = LogState::default();
+        assert!(log.range(0, usize::MAX).is_empty());
+        // Cross several chunk seals, starting at a recovery-style offset.
+        let first = 40u64;
+        let n = (LOG_CHUNK * 3 + 17) as u64;
+        for seq in first..first + n {
+            log.push(entry(seq));
+        }
+        let reference: Vec<LogEntry> = (first..first + n).map(entry).collect();
+        let slice = |from_seq: u64, limit: usize| {
+            let Some(f) = reference.first().map(|e| e.seq) else {
+                return Vec::new();
+            };
+            let start = from_seq.saturating_sub(f).min(reference.len() as u64) as usize;
+            let end = start.saturating_add(limit).min(reference.len());
+            reference[start..end].to_vec()
+        };
+        for (from, limit) in [
+            (0, usize::MAX),
+            (1, usize::MAX),
+            (first, 1),
+            (first + 10, LOG_CHUNK),
+            (first + LOG_CHUNK as u64 - 1, 3),
+            (first + n - 5, 100),
+            (first + n, 1),
+            (first + n + 10, 7),
+            (first + 3, 0),
+        ] {
+            assert_eq!(
+                log.range(from, limit),
+                slice(from, limit),
+                "({from},{limit})"
+            );
+        }
+        assert_eq!(log.len(), n as usize);
+        // Snapshot clones are independent of later pushes.
+        let pinned = log.clone();
+        log.push(entry(first + n));
+        assert_eq!(pinned.len(), n as usize);
+        assert_eq!(log.len(), n as usize + 1);
+        assert_eq!(pinned.range(0, usize::MAX), reference);
+    }
+}

@@ -9,12 +9,15 @@
 //! (`apply_op`, `apply_batch*`, `set_fds`, `create_*_view`, `resume_at`)
 //! simply do not exist here, making the WAL bypass a compile error.
 
+use std::sync::Arc;
+
 use relvu_deps::FdSet;
 use relvu_relation::{Relation, Schema};
 
 use crate::db::{Database, ViewStats};
 use crate::log::LogEntry;
 use crate::metrics::EngineMetrics;
+use crate::mvcc::EngineSnapshot;
 use crate::view::ViewDef;
 use crate::Result;
 
@@ -32,16 +35,24 @@ impl<'a> EngineReader<'a> {
         EngineReader { db }
     }
 
+    /// Pin the most recently published epoch — see
+    /// [`Database::snapshot`]. All reads off the returned handle are
+    /// mutually consistent, which is what multi-call invariants (e.g.
+    /// `view == π_X(base)`) need.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        self.db.snapshot()
+    }
+
     /// The current instance of a view — see [`Database::view_instance`].
     ///
     /// # Errors
     /// As [`Database::view_instance`].
-    pub fn view_instance(&self, name: &str) -> Result<Relation> {
+    pub fn view_instance(&self, name: &str) -> Result<Arc<Relation>> {
         self.db.view_instance(name)
     }
 
     /// Snapshot of the base relation — see [`Database::base`].
-    pub fn base(&self) -> Relation {
+    pub fn base(&self) -> Arc<Relation> {
         self.db.base()
     }
 

@@ -49,7 +49,7 @@
 
 use relvu_relation::{CmpOp, Pred, Relation, Tuple, Value};
 
-use crate::{Database, EngineError, Policy, Result};
+use crate::{Database, EngineError, EngineSnapshot, Policy, Result};
 
 fn cmp_token(op: CmpOp) -> &'static str {
     match op {
@@ -93,9 +93,22 @@ impl Database {
     /// Serialize the schema, Σ, base instance and view definitions.
     ///
     /// The audit log and statistics are *not* persisted (they are
-    /// session-scoped).
+    /// session-scoped). Delegates to [`EngineSnapshot::dump`] on a
+    /// freshly pinned epoch — serialization reads no engine lock, so a
+    /// checkpoint never stalls writers.
     pub fn dump(&self) -> String {
-        let (schema, fds, base, views) = self.export_parts();
+        self.snapshot().dump()
+    }
+}
+
+impl EngineSnapshot {
+    /// Serialize this pinned epoch's schema, Σ, base instance and view
+    /// definitions — same format and byte-for-byte output as
+    /// [`Database::dump`], but from an explicitly held snapshot, so a
+    /// caller can serialize and read the matching [`EngineSnapshot::seq`]
+    /// without a window for a commit in between.
+    pub fn dump(&self) -> String {
+        let (schema, fds, base, views) = Database::export_parts(self);
         // Only a parented view needs the v2 `from` section; flat
         // databases keep emitting v1 so their dumps stay byte-stable
         // across versions.
@@ -114,7 +127,7 @@ impl Database {
         for fd in &fds {
             out.push_str(&format!("fd {}\n", fd.show(&schema)));
         }
-        for row in &base {
+        for row in base.iter() {
             out.push_str("row");
             for v in row.values() {
                 match v {
@@ -163,7 +176,9 @@ impl Database {
         out.push_str("end\n");
         out
     }
+}
 
+impl Database {
     /// Reconstruct a database from [`Database::dump`] output.
     ///
     /// # Errors

@@ -18,6 +18,7 @@
 //! delete <emp> <dept>  remove through the view
 //! move <emp> <d1> <d2> replace (emp,d1) by (emp,d2)
 //! log                  show the audit log
+//! \snapshot            pin an epoch and print its consistent row counts
 //! \wal                 WAL status: next seq, segments, bytes
 //! \checkpoint          write a checkpoint (prunes covered WAL segments)
 //! \crash               simulate a crash + recovery from durable storage
@@ -55,7 +56,7 @@ fn main() {
     println!(
         "commands: show [view] | base | views | derive NAME ATTR.. | insert E D \
          | delete E D | move E D1 D2 | log \
-         | \\wal | \\checkpoint | \\crash | \\metrics | quit"
+         | \\snapshot | \\wal | \\checkpoint | \\crash | \\metrics | quit"
     );
 
     let stdin = io::stdin();
@@ -194,6 +195,21 @@ fn main() {
                         vfs = image;
                     }
                     Err(e) => println!("recovery failed: {e}"),
+                }
+            }
+            ["\\snapshot"] | ["snapshot"] => {
+                // One pinned epoch: every line below is mutually
+                // consistent no matter what commits land meanwhile.
+                let snap = ddb.reader().snapshot();
+                println!(
+                    "  epoch {}, seq {}, base {} rows",
+                    snap.epoch(),
+                    snap.seq(),
+                    snap.base().len()
+                );
+                for name in snap.view_names() {
+                    let rows = snap.view_instance(&name).expect("listed view").len();
+                    println!("  {name}  {rows} rows");
                 }
             }
             ["\\metrics"] | ["metrics"] => {

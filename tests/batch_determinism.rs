@@ -69,7 +69,7 @@ fn run_once(f: &Fixture, threads: usize) -> (Vec<LogEntry>, Relation, Vec<bool>)
         },
     );
     let accept_pattern = report.outcomes.iter().map(Result::is_ok).collect();
-    (db.log(), db.base(), accept_pattern)
+    (db.log(), (*db.base()).clone(), accept_pattern)
 }
 
 #[test]

@@ -36,7 +36,7 @@ fn assert_dag_matches_fresh(db: &Database, at: &str) -> Result<(), TestCaseError
         let fresh = ops::project(&base, def.x()).expect("x within universe");
         let (instance, split) = db.mat_parts(&name).expect("registered");
         prop_assert_eq!(
-            &instance,
+            &*instance,
             &fresh,
             "view `{}`: materialized instance diverged from π_X(R) {}",
             name,
@@ -46,14 +46,14 @@ fn assert_dag_matches_fresh(db: &Database, at: &str) -> Result<(), TestCaseError
             (Some(pred), Some((matching, rest))) => {
                 let x = def.x();
                 prop_assert_eq!(
-                    &matching,
+                    &*matching,
                     &ops::select(&fresh, |t| pred.eval(&x, t)),
                     "view `{}`: materialized σ_P diverged {}",
                     name,
                     at
                 );
                 prop_assert_eq!(
-                    &rest,
+                    &*rest,
                     &ops::select(&fresh, |t| !pred.eval(&x, t)),
                     "view `{}`: materialized σ_¬P diverged {}",
                     name,

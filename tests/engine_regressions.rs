@@ -325,7 +325,7 @@ fn set_fds_cascades_rebuild_through_the_dag() {
     for name in ["staff", "depts", "dept_kinds"] {
         let def = db.view_def(name).unwrap();
         assert_eq!(
-            db.view_instance(name).unwrap(),
+            *db.view_instance(name).unwrap(),
             ops::project(&db.base(), def.x()).unwrap(),
             "view `{name}` diverged after the set_fds cascade"
         );
@@ -337,7 +337,7 @@ fn set_fds_cascades_rebuild_through_the_dag() {
         .unwrap();
     let d = f.schema.attr("Dept").unwrap();
     assert_eq!(
-        db.view_instance("dept_kinds").unwrap(),
+        *db.view_instance("dept_kinds").unwrap(),
         ops::project(&db.base(), AttrSet::singleton(d)).unwrap()
     );
 }
@@ -444,4 +444,95 @@ fn composition_rejections_name_the_failing_rule() {
     ));
     // None of the rejections left a trace.
     assert_eq!(db.view_names(), ["small_staff", "staff"]);
+}
+
+// ── Bug 4 (PR 7): torn multi-call reads across the write path ───────────
+
+/// `db.base()` then `db.view_instance(v)` used to take the read lock
+/// twice — a commit landing between the calls made the pair incoherent
+/// (the view reflected an update the base copy did not). A pinned
+/// [`relvu::engine::EngineSnapshot`] answers both from one epoch: the
+/// invariant `view == π_X(base)` must hold for every snapshot, however
+/// hard a concurrent writer hammers, and the seqs a single reader
+/// observes must be monotone.
+#[test]
+fn pinned_snapshot_reads_are_never_torn() {
+    let f = fixtures::edm();
+    let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+    db.create_view("staff", f.x, Some(f.y), Policy::Exact)
+        .unwrap();
+    let dan = Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let db = &db;
+        let dan = &dan;
+        let writer = s.spawn(move || {
+            // Toggle a row through the view as fast as commits allow.
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                db.insert_via("staff", dan.clone()).unwrap();
+                db.delete_via("staff", dan.clone()).unwrap();
+            }
+        });
+        let mut last_seq = 0;
+        for _ in 0..500 {
+            let snap = db.snapshot();
+            assert!(
+                snap.seq() >= last_seq,
+                "seq went backwards: {} after {last_seq}",
+                snap.seq()
+            );
+            last_seq = snap.seq();
+            // Both sides come from the same epoch, so the projection
+            // invariant holds exactly — no tolerance window needed.
+            let base = snap.base();
+            let staff = snap.view_instance("staff").unwrap();
+            assert_eq!(
+                *staff,
+                ops::project(&base, f.x).unwrap(),
+                "snapshot torn at seq {}",
+                snap.seq()
+            );
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().unwrap();
+    });
+}
+
+// ── Bug 5 (PR 7): deep clones on every read of a quiet view ─────────────
+
+/// Reads used to clone the materialization under the read lock — every
+/// `view_instance` of an untouched view paid O(|view|). Published
+/// snapshots share structurally: repeated reads of a quiet view return
+/// the *same allocation*, even across commits that leave the view's
+/// instance unchanged (here: hiring into an existing department never
+/// changes `depts = π_Dept`).
+#[test]
+fn quiet_view_reads_are_pointer_equal() {
+    let f = fixtures::edm();
+    let db = dag_db();
+    // Same snapshot, same view → the same Arc, twice.
+    let snap = db.snapshot();
+    let a = snap.view_instance("depts").unwrap();
+    let b = snap.view_instance("depts").unwrap();
+    assert!(
+        std::sync::Arc::ptr_eq(&a, &b),
+        "one snapshot, two allocations"
+    );
+    assert!(std::sync::Arc::ptr_eq(&snap.base(), &snap.base()));
+    // A commit that leaves `depts` untouched (toys already exists) must
+    // not reallocate it: the new epoch shares the old instance.
+    db.insert_via("staff", Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]))
+        .unwrap();
+    let c = db.view_instance("depts").unwrap();
+    assert_eq!(*a, *c, "depts content changed unexpectedly");
+    assert!(
+        std::sync::Arc::ptr_eq(&a, &c),
+        "quiet view was recopied across an unrelated commit"
+    );
+    // The views the commit did touch still read correctly.
+    assert_eq!(
+        *db.view_instance("staff").unwrap(),
+        ops::project(&db.base(), f.x).unwrap()
+    );
 }

@@ -30,7 +30,7 @@ fn selection_view_full_lifecycle() {
     db.replace_via("s1_orders", tup![1, 102, 7], tup![1, 102, 9])
         .unwrap();
     db.delete_via("s1_orders", tup![1, 102, 9]).unwrap();
-    assert_eq!(db.base(), f.base, "net effect of the round trip is nil");
+    assert_eq!(*db.base(), f.base, "net effect of the round trip is nil");
     // The anti-component was never touched (supplier 2 rows intact).
     let full = ops::project(&db.base(), f.x).unwrap();
     assert!(full.contains(&tup![2, 100, 9]));
@@ -47,7 +47,7 @@ fn selection_view_full_lifecycle() {
         Err(EngineError::BatchFailed { index: 1, ref source })
             if matches!(**source, EngineError::Rejected { .. })
     ));
-    assert_eq!(db.base(), f.base);
+    assert_eq!(*db.base(), f.base);
 }
 
 #[test]
