@@ -102,6 +102,7 @@ fn main() {
         let opts = WalOptions {
             sync,
             segment_bytes: 1 << 20,
+            ..WalOptions::default()
         };
         let t = median(
             (0..RUNS)
@@ -128,6 +129,7 @@ fn main() {
     let opts = WalOptions {
         sync: SyncPolicy::Always,
         segment_bytes: 1 << 20,
+        ..WalOptions::default()
     };
     let t = median(
         (0..RUNS)
@@ -158,6 +160,7 @@ fn main() {
         WalOptions {
             sync: SyncPolicy::Always,
             segment_bytes: 1 << 18,
+            ..WalOptions::default()
         },
     )
     .expect("fresh store");

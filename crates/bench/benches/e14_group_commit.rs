@@ -170,6 +170,7 @@ fn main() {
     let opts = WalOptions {
         sync: SyncPolicy::Always,
         segment_bytes: 1 << 20,
+        ..WalOptions::default()
     };
 
     println!("MemVfs, {SYNC_DELAY:?} simulated fsync:");

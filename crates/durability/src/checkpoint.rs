@@ -1,20 +1,42 @@
-//! Atomic checkpoints: a full database snapshot with a self-describing
-//! header, written via the classic temp-file / fsync / rename dance.
+//! Atomic checkpoints — full snapshots and incremental deltas — written
+//! via the classic temp-file / fsync / rename dance.
 //!
-//! A checkpoint file `ckpt-<seq>.db` holds:
+//! A **full** checkpoint `ckpt-<seq>.db` holds:
 //!
 //! ```text
 //! relvu-ckpt v1 seq <N> crc <16-hex-digit fnv64>
-//! <relvu-dump v1 snapshot, verbatim>
+//! <relvu-dump snapshot, verbatim>
 //! ```
 //!
-//! where `N` is the engine sequence number the snapshot reflects (every
-//! update with `seq <= N` is included) and the checksum is FNV-1a 64
-//! over the snapshot body. Writing goes temp → sync → rename, so a
-//! crash at any point leaves either the old checkpoint set or the old
-//! set plus one complete new file — never a half-written `ckpt-*.db`.
+//! An **incremental** checkpoint `ckpt-delta-<seq>.db` holds only the
+//! per-commit base deltas since its parent checkpoint:
+//!
+//! ```text
+//! relvu-ckpt-delta v1 seq <T> parent <S> parentcrc <fnv64> crc <fnv64>
+//! commit <seq>
+//! del <v> <v> ...
+//! add <v> <v> ...
+//! ...
+//! end
+//! ```
+//!
+//! where the parent is the checkpoint (full or delta) at sequence `S`
+//! whose body hashed to `parentcrc` — each delta pins its exact parent,
+//! so a chain is only loaded when every link validates; any broken link
+//! makes recovery fall back to the next older restore point. Replaying
+//! a chain applies each commit's removals then insertions in recorded
+//! order, reproducing the live engine's base **byte-for-byte** (the dump
+//! format emits rows in relation iteration order, and `Relation::remove`
+//! is a swap-remove, so net set-deltas would not round-trip).
+//!
+//! Writing always goes temp → sync → rename, so a crash at any point
+//! leaves either the old checkpoint set or the old set plus one complete
+//! new file — never a half-written `ckpt-*.db`.
 
-use relvu_engine::Database;
+use std::collections::HashMap;
+
+use relvu_engine::{CommitDelta, Database, EngineSnapshot};
+use relvu_relation::{Tuple, Value};
 
 use crate::error::DurabilityError;
 use crate::record::{fnv1a, FNV_OFFSET};
@@ -22,32 +44,71 @@ use crate::vfs::Vfs;
 use crate::wal::list_segments;
 
 const TMP_NAME: &str = "ckpt.tmp";
-/// How many finished checkpoints to retain (the newest ones). Keeping
-/// one spare lets recovery fall back if the latest turns out corrupt.
-const RETAIN: usize = 2;
+/// Default number of checkpoint chains to retain — see
+/// [`crate::WalOptions::retain_checkpoints`].
+pub const DEFAULT_RETAIN: usize = 2;
+/// Chain-walk bound: a valid chain's parent seqs strictly decrease, so
+/// any walk longer than this is a corrupt store, not a real chain.
+const MAX_CHAIN_WALK: usize = 10_000;
 
 /// `ckpt-<seq>.db`, zero-padded to 20 digits.
 pub fn checkpoint_name(seq: u64) -> String {
     format!("ckpt-{seq:020}.db")
 }
 
-/// Parse a checkpoint file name back into its sequence number.
+/// Parse a full-checkpoint file name back into its sequence number.
 pub fn parse_checkpoint_name(name: &str) -> Option<u64> {
-    let digits = name.strip_prefix("ckpt-")?.strip_suffix(".db")?;
+    parse_padded(name, "ckpt-")
+}
+
+/// `ckpt-delta-<seq>.db`, zero-padded to 20 digits.
+pub fn delta_checkpoint_name(seq: u64) -> String {
+    format!("ckpt-delta-{seq:020}.db")
+}
+
+/// Parse an incremental-checkpoint file name back into its sequence
+/// number.
+pub fn parse_delta_checkpoint_name(name: &str) -> Option<u64> {
+    parse_padded(name, "ckpt-delta-")
+}
+
+fn parse_padded(name: &str, prefix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?.strip_suffix(".db")?;
     if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
         return None;
     }
     digits.parse().ok()
 }
 
-/// The sorted (ascending seq) checkpoint files present in a store.
-pub(crate) fn list_checkpoints<V: Vfs>(vfs: &V) -> Result<Vec<(String, u64)>, DurabilityError> {
-    let mut ckpts: Vec<(String, u64)> = vfs
+/// Whether a checkpoint file is a full snapshot or an incremental delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptKind {
+    /// A complete `relvu-dump` snapshot.
+    Full,
+    /// Per-commit base deltas chained onto a parent checkpoint.
+    Delta,
+}
+
+/// The checkpoint files present in a store, sorted ascending by
+/// sequence number with a full checkpoint ordered *after* a delta at the
+/// same seq (a DDL checkpoint can share a seq with an older delta — DDL
+/// does not bump the engine counter — and the full one is newer state).
+/// Iterating in reverse therefore visits restore points newest-first.
+pub(crate) fn list_checkpoints<V: Vfs>(
+    vfs: &V,
+) -> Result<Vec<(String, u64, CkptKind)>, DurabilityError> {
+    let mut ckpts: Vec<(String, u64, CkptKind)> = vfs
         .list()?
         .into_iter()
-        .filter_map(|n| parse_checkpoint_name(&n).map(|s| (n, s)))
+        .filter_map(|n| {
+            if let Some(s) = parse_delta_checkpoint_name(&n) {
+                Some((n, s, CkptKind::Delta))
+            } else {
+                parse_checkpoint_name(&n).map(|s| (n, s, CkptKind::Full))
+            }
+        })
         .collect();
-    ckpts.sort_by_key(|(_, s)| *s);
+    ckpts.sort_by_key(|(_, s, k)| (*s, matches!(k, CkptKind::Full)));
     Ok(ckpts)
 }
 
@@ -55,63 +116,433 @@ fn body_crc(body: &str) -> u64 {
     fnv1a(FNV_OFFSET, body.as_bytes())
 }
 
-/// Serialize `db` and write it as a checkpoint at its current sequence
-/// number. Returns the sequence number the checkpoint covers.
-///
-/// After the rename commits the new file, old checkpoints beyond the
-/// retention count and WAL segments wholly below the *oldest retained*
-/// checkpoint are removed — failures there are real errors (the store
-/// must not accumulate garbage silently), but the checkpoint itself is
-/// already durable once the rename returns.
+/// A parsed checkpoint header.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CkptHeader {
+    pub(crate) seq: u64,
+    pub(crate) crc: u64,
+    /// `(seq, crc)` of the parent checkpoint — `None` for a full one.
+    pub(crate) parent: Option<(u64, u64)>,
+}
+
+/// Parse a checkpoint file's header line and return it with the body.
+fn parse_header<'a>(name: &str, text: &'a str) -> Result<(CkptHeader, &'a str), DurabilityError> {
+    let corrupt = |detail: String| DurabilityError::CorruptCheckpoint {
+        name: name.to_string(),
+        detail,
+    };
+    let (header, body) = text
+        .split_once('\n')
+        .ok_or_else(|| corrupt("missing header line".to_string()))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    let parse_seq = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|_| corrupt(format!("bad seq field `{s}`")))
+    };
+    let parse_crc =
+        |s: &str| u64::from_str_radix(s, 16).map_err(|_| corrupt(format!("bad crc field `{s}`")));
+    let parsed = match fields.as_slice() {
+        ["relvu-ckpt", "v1", "seq", seq, "crc", crc] => CkptHeader {
+            seq: parse_seq(seq)?,
+            crc: parse_crc(crc)?,
+            parent: None,
+        },
+        ["relvu-ckpt-delta", "v1", "seq", seq, "parent", parent, "parentcrc", pcrc, "crc", crc] => {
+            CkptHeader {
+                seq: parse_seq(seq)?,
+                crc: parse_crc(crc)?,
+                parent: Some((parse_seq(parent)?, parse_crc(pcrc)?)),
+            }
+        }
+        _ => return Err(corrupt(format!("unrecognized header `{header}`"))),
+    };
+    Ok((parsed, body))
+}
+
+/// Read `name`, validate its header against the file name and its body
+/// against the header checksum, and return header + body.
+fn read_validated<V: Vfs>(vfs: &V, name: &str) -> Result<(CkptHeader, String), DurabilityError> {
+    let corrupt = |detail: String| DurabilityError::CorruptCheckpoint {
+        name: name.to_string(),
+        detail,
+    };
+    let bytes = vfs.read(name)?;
+    let text = String::from_utf8(bytes).map_err(|_| corrupt("not valid UTF-8".to_string()))?;
+    let (header, body) = parse_header(name, &text)?;
+    let named = match header.parent {
+        None => parse_checkpoint_name(name),
+        Some(_) => parse_delta_checkpoint_name(name),
+    };
+    if named != Some(header.seq) {
+        return Err(corrupt(format!(
+            "header seq {} does not match the file name",
+            header.seq
+        )));
+    }
+    let actual = body_crc(body);
+    if actual != header.crc {
+        return Err(corrupt(format!(
+            "checksum mismatch: header says {:016x}, body hashes to {actual:016x}",
+            header.crc
+        )));
+    }
+    Ok((header, body.to_string()))
+}
+
+/// Commit the bytes in `TMP_NAME` fashion: temp → sync → rename.
+fn commit_file<V: Vfs>(vfs: &V, name: &str, bytes: &[u8]) -> Result<(), DurabilityError> {
+    vfs.create(TMP_NAME, bytes)?;
+    vfs.sync(TMP_NAME)?;
+    vfs.rename(TMP_NAME, name)?;
+    Ok(())
+}
+
+/// Serialize `db` and write it as a full checkpoint with the default
+/// retention. Returns the sequence number the checkpoint covers.
 ///
 /// # Errors
 /// [`DurabilityError::Vfs`] on any storage failure.
 pub fn write_checkpoint<V: Vfs>(vfs: &V, db: &Database) -> Result<u64, DurabilityError> {
-    let _timer = relvu_obs::histogram!("durability.checkpoint_ns").timer();
-    // Pin one published epoch and serialize from it off-lock: the body
-    // and the covered sequence number come from the same snapshot, and
-    // a concurrent writer never stalls behind the serialization.
-    let snap = db.snapshot();
-    let (body, seq) = (snap.dump(), snap.seq());
-    let header = format!("relvu-ckpt v1 seq {seq} crc {:016x}\n", body_crc(&body));
-    let mut bytes = header.into_bytes();
-    bytes.extend_from_slice(body.as_bytes());
-    vfs.create(TMP_NAME, &bytes)?;
-    vfs.sync(TMP_NAME)?;
-    vfs.rename(TMP_NAME, &checkpoint_name(seq))?;
-    relvu_obs::counter!("durability.checkpoints").inc();
-    prune(vfs)?;
-    Ok(seq)
+    write_full_checkpoint(vfs, &db.snapshot(), DEFAULT_RETAIN).map(|(seq, _)| seq)
 }
 
-/// Remove checkpoints beyond the retention window and WAL segments
-/// wholly below the **oldest retained** checkpoint.
+/// Write a full checkpoint from a pinned snapshot, then prune to
+/// `retain` chains. Returns `(seq, body crc)` — the crc is what a child
+/// delta must name as `parentcrc`.
 ///
-/// The bound must be the oldest retained checkpoint, not the one just
-/// written: retaining a spare checkpoint is only useful if recovery can
-/// actually fall back to it, and that requires every record between the
-/// spare and the newest checkpoint to still be replayable. Pruning up
-/// to the newest seq would leave the spare without a replay tail —
-/// recovery from it would hit a `SeqGap` and the store would be
-/// unrecoverable despite the spare.
-fn prune<V: Vfs>(vfs: &V) -> Result<(), DurabilityError> {
-    let ckpts = list_checkpoints(vfs)?;
-    if ckpts.len() > RETAIN {
-        for (name, _) in &ckpts[..ckpts.len() - RETAIN] {
-            vfs.remove(name)?;
+/// The snapshot is pinned by the caller so the off-commit-path
+/// background checkpointer serializes exactly the epoch it decided on,
+/// without ever holding the engine lock.
+///
+/// # Errors
+/// [`DurabilityError::Vfs`] on any storage failure.
+pub fn write_full_checkpoint<V: Vfs>(
+    vfs: &V,
+    snap: &EngineSnapshot,
+    retain: usize,
+) -> Result<(u64, u64), DurabilityError> {
+    let _timer = relvu_obs::histogram!("durability.checkpoint_ns").timer();
+    let (body, seq) = (snap.dump(), snap.seq());
+    let crc = body_crc(&body);
+    let header = format!("relvu-ckpt v1 seq {seq} crc {crc:016x}\n");
+    let mut bytes = header.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    commit_file(vfs, &checkpoint_name(seq), &bytes)?;
+    relvu_obs::counter!("durability.checkpoints").inc();
+    prune(vfs, retain)?;
+    Ok((seq, crc))
+}
+
+fn push_tuple_line(out: &mut String, tag: &str, t: &Tuple) {
+    out.push_str(tag);
+    for v in t.values() {
+        match v {
+            Value::Const(c) => {
+                out.push(' ');
+                out.push_str(&c.to_string());
+            }
+            Value::Null(_) => unreachable!("legal bases are concrete"),
         }
     }
-    // `ckpts` is never empty here: the caller just committed one.
-    let oldest_retained = ckpts[ckpts.len().saturating_sub(RETAIN)].1;
+    out.push('\n');
+}
+
+/// Write an incremental checkpoint at `seq` holding `commits` (the
+/// per-commit base deltas in `(parent.0, seq]`), chained onto the
+/// checkpoint identified by `parent = (seq, crc)`. Returns the new
+/// file's body crc (the `parentcrc` for the *next* delta in the chain).
+///
+/// # Errors
+/// [`DurabilityError::Vfs`] on any storage failure.
+pub fn write_delta_checkpoint<V: Vfs>(
+    vfs: &V,
+    seq: u64,
+    commits: &[CommitDelta],
+    parent: (u64, u64),
+    retain: usize,
+) -> Result<u64, DurabilityError> {
+    let _timer = relvu_obs::histogram!("durability.checkpoint_ns").timer();
+    let mut body = String::new();
+    for c in commits {
+        body.push_str(&format!("commit {}\n", c.seq));
+        for t in &c.removed {
+            push_tuple_line(&mut body, "del", t);
+        }
+        for t in &c.added {
+            push_tuple_line(&mut body, "add", t);
+        }
+    }
+    body.push_str("end\n");
+    let crc = body_crc(&body);
+    let header = format!(
+        "relvu-ckpt-delta v1 seq {seq} parent {} parentcrc {:016x} crc {crc:016x}\n",
+        parent.0, parent.1
+    );
+    let mut bytes = header.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    commit_file(vfs, &delta_checkpoint_name(seq), &bytes)?;
+    relvu_obs::counter!("durability.checkpoints").inc();
+    relvu_obs::histogram!("durability.ckpt.delta_bytes").record(bytes.len() as u64);
+    prune(vfs, retain)?;
+    Ok(crc)
+}
+
+/// Parse a delta checkpoint's body back into its per-commit deltas.
+fn parse_delta_body(name: &str, body: &str) -> Result<Vec<CommitDelta>, DurabilityError> {
+    let corrupt = |detail: String| DurabilityError::CorruptCheckpoint {
+        name: name.to_string(),
+        detail,
+    };
+    let mut commits: Vec<CommitDelta> = Vec::new();
+    let mut ended = false;
+    for line in body.lines() {
+        if ended {
+            return Err(corrupt("content after `end`".to_string()));
+        }
+        let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match tag {
+            "commit" => {
+                let seq: u64 = rest
+                    .parse()
+                    .map_err(|_| corrupt(format!("bad commit line `{line}`")))?;
+                commits.push(CommitDelta {
+                    seq,
+                    removed: Vec::new(),
+                    added: Vec::new(),
+                });
+            }
+            "del" | "add" => {
+                let vals: Result<Vec<Value>, _> = rest
+                    .split_whitespace()
+                    .map(|w| w.parse::<u64>().map(Value::Const))
+                    .collect();
+                let vals = vals.map_err(|_| corrupt(format!("bad tuple line `{line}`")))?;
+                let t = Tuple::new(vals);
+                let cur = commits
+                    .last_mut()
+                    .ok_or_else(|| corrupt(format!("`{tag}` before any commit")))?;
+                if tag == "del" {
+                    cur.removed.push(t);
+                } else {
+                    cur.added.push(t);
+                }
+            }
+            "end" => ended = true,
+            _ => return Err(corrupt(format!("unrecognized line `{line}`"))),
+        }
+    }
+    if !ended {
+        return Err(corrupt("missing `end` marker".to_string()));
+    }
+    Ok(commits)
+}
+
+/// A fully validated and loaded checkpoint chain.
+pub(crate) struct LoadedChain {
+    /// The full checkpoint at the chain's root.
+    pub(crate) base: String,
+    /// Every file loaded, base first.
+    pub(crate) chain: Vec<String>,
+    /// The sequence number of the chain tip (= the restore point).
+    pub(crate) seq: u64,
+    /// The tip file's body crc — the `parentcrc` a further delta must
+    /// name.
+    pub(crate) crc: u64,
+    /// How many deltas the chain carries past its base.
+    pub(crate) deltas: usize,
+    /// The reconstructed database, resumed at `seq`.
+    pub(crate) db: Database,
+}
+
+/// Validate and load the checkpoint chain ending at `name`: walk parent
+/// links back to a full checkpoint (every link must name an existing
+/// file whose body crc matches), load the base, then replay each delta
+/// oldest-first.
+///
+/// # Errors
+/// [`DurabilityError::CorruptCheckpoint`] if any link is missing,
+/// mismatched, or fails validation — the caller falls back to the next
+/// older restore point; [`DurabilityError::Vfs`] on I/O failure.
+pub(crate) fn load_chain<V: Vfs>(vfs: &V, name: &str) -> Result<LoadedChain, DurabilityError> {
+    // Walk tip → root, validating each file as we go.
+    let mut links: Vec<(String, CkptHeader, String)> = Vec::new();
+    let (mut header, mut body) = read_validated(vfs, name)?;
+    let mut file = name.to_string();
+    loop {
+        if links.len() >= MAX_CHAIN_WALK {
+            return Err(DurabilityError::CorruptCheckpoint {
+                name: file,
+                detail: format!("chain exceeds {MAX_CHAIN_WALK} links"),
+            });
+        }
+        links.push((file.clone(), header, body));
+        let Some((pseq, pcrc)) = header.parent else {
+            break; // reached the full checkpoint at the root
+        };
+        if pseq > header.seq {
+            return Err(DurabilityError::CorruptCheckpoint {
+                name: file,
+                detail: format!("parent seq {pseq} is ahead of the delta ({})", header.seq),
+            });
+        }
+        // The parent may be a full or a delta checkpoint at `pseq`; the
+        // crc pins which one this delta was actually built on.
+        let mut found = None;
+        for candidate in [checkpoint_name(pseq), delta_checkpoint_name(pseq)] {
+            match read_validated(vfs, &candidate) {
+                Ok((h, b)) if h.crc == pcrc => {
+                    found = Some((candidate, h, b));
+                    break;
+                }
+                // A missing or mismatched candidate just isn't the
+                // parent; a corrupt one cannot be it either (its crc is
+                // unverifiable). Vfs I/O errors other than not-found
+                // are real.
+                Ok(_) | Err(DurabilityError::CorruptCheckpoint { .. }) => {}
+                Err(DurabilityError::Vfs(crate::error::VfsError::NotFound { .. })) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let Some((pname, ph, pb)) = found else {
+            return Err(DurabilityError::CorruptCheckpoint {
+                name: file,
+                detail: format!("broken chain: no checkpoint at seq {pseq} with crc {pcrc:016x}"),
+            });
+        };
+        file = pname;
+        header = ph;
+        body = pb;
+    }
+    // Load base, replay deltas oldest-first.
+    links.reverse();
+    let (base_name, base_header, base_body) = &links[0];
+    let db = Database::load(base_body).map_err(|e| DurabilityError::CorruptCheckpoint {
+        name: base_name.clone(),
+        detail: format!("snapshot does not load: {e}"),
+    })?;
+    db.resume_at(base_header.seq)?;
+    for (delta_name, delta_header, delta_body) in &links[1..] {
+        let commits = parse_delta_body(delta_name, delta_body)?;
+        db.apply_checkpoint_deltas(&commits, delta_header.seq)
+            .map_err(|e| DurabilityError::CorruptCheckpoint {
+                name: delta_name.clone(),
+                detail: format!("delta does not apply: {e}"),
+            })?;
+    }
+    let tip = links.last().expect("chain is nonempty");
+    relvu_obs::histogram!("durability.ckpt.chain_len").record((links.len() - 1) as u64);
+    Ok(LoadedChain {
+        base: links[0].0.clone(),
+        chain: links.iter().map(|(n, _, _)| n.clone()).collect(),
+        seq: tip.1.seq,
+        crc: tip.1.crc,
+        deltas: links.len() - 1,
+        db,
+    })
+}
+
+/// Remove checkpoint chains beyond the retention window, orphaned
+/// deltas, and WAL segments wholly below the **oldest retained chain's
+/// root**.
+///
+/// Retention counts *chains*, not files: a full checkpoint and the
+/// deltas chained onto it live and die together, because a delta is
+/// useless without every ancestor down to its base. The WAL bound is
+/// the oldest retained **root** (not tip): recovery falling back past a
+/// torn delta restarts replay from an ancestor's seq, so every record
+/// above the oldest retained root must stay replayable.
+///
+/// Files whose headers do not parse are left in place (never delete
+/// what we cannot identify) but contribute their name-seq to the WAL
+/// bound. If the store holds no full checkpoint at all, pruning is
+/// skipped entirely rather than deleting every fallback.
+pub(crate) fn prune<V: Vfs>(vfs: &V, retain: usize) -> Result<(), DurabilityError> {
+    let retain = retain.max(1);
+    let ckpts = list_checkpoints(vfs)?;
+    // Read every header once; map (seq, crc) → chain root seq.
+    struct Info {
+        name: String,
+        seq: u64,
+        header: Option<CkptHeader>,
+    }
+    let mut infos = Vec::with_capacity(ckpts.len());
+    for (name, seq, _) in &ckpts {
+        let header = match vfs.read(name) {
+            Ok(bytes) => String::from_utf8(bytes)
+                .ok()
+                .and_then(|text| parse_header(name, &text).ok().map(|(h, _)| h)),
+            Err(crate::error::VfsError::NotFound { .. }) => None,
+            Err(e) => return Err(e.into()),
+        };
+        infos.push(Info {
+            name: name.clone(),
+            seq: *seq,
+            header,
+        });
+    }
+    if !infos
+        .iter()
+        .any(|i| matches!(i.header, Some(CkptHeader { parent: None, .. })))
+    {
+        return Ok(()); // no full checkpoint: nothing is safely prunable
+    }
+    // Resolve each file to its chain root. `infos` is ascending by seq
+    // (deltas before a same-seq full), so a delta's parent — strictly
+    // older — is already resolved when we reach it.
+    let mut root_of: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut roots: Vec<u64> = Vec::new();
+    let mut member_root: Vec<Option<u64>> = Vec::with_capacity(infos.len());
+    for info in &infos {
+        let assigned = match info.header {
+            Some(h @ CkptHeader { parent: None, .. }) => {
+                roots.push(h.seq);
+                root_of.insert((h.seq, h.crc), h.seq);
+                Some(h.seq)
+            }
+            Some(h) => {
+                let root = h.parent.and_then(|p| root_of.get(&p).copied());
+                if let Some(r) = root {
+                    root_of.insert((h.seq, h.crc), r);
+                }
+                root // None → orphan (parent missing/unresolved)
+            }
+            None => None, // unreadable header: kept, but not a chain
+        };
+        member_root.push(assigned);
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    let retained: &[u64] = &roots[roots.len().saturating_sub(retain)..];
+    let oldest_root = retained[0];
+    for (info, root) in infos.iter().zip(&member_root) {
+        let keep = match (root, &info.header) {
+            (Some(r), _) => retained.contains(r),
+            // Unreadable header: keep (never delete the unidentified).
+            (None, None) => true,
+            // Readable but orphaned (parent pruned by an earlier crash
+            // mid-prune, or its crc no longer matches): unusable, drop.
+            (None, Some(_)) => false,
+        };
+        if !keep {
+            vfs.remove(&info.name)?;
+        }
+    }
     // A segment is removable iff every record in it has seq <= the
-    // oldest retained checkpoint's seq, i.e. some later segment starts
-    // at or below that seq + 1 (segment names carry their first record's
-    // seq, so the next segment's first seq bounds this one's last).
+    // bound, i.e. the next segment starts at or below bound + 1
+    // (segment names carry their first record's seq). Unreadable files
+    // conservatively drag the bound down to their name-seq.
+    let bound = infos
+        .iter()
+        .filter(|i| i.header.is_none())
+        .map(|i| i.seq)
+        .chain(std::iter::once(oldest_root))
+        .min()
+        .expect("at least oldest_root");
     let segments = list_segments(vfs)?;
     for window in segments.windows(2) {
         let (ref name, _) = window[0];
         let (_, next_first) = window[1];
-        if next_first <= oldest_retained + 1 {
+        if next_first <= bound + 1 {
             vfs.remove(name)?;
         }
     }
@@ -128,7 +559,7 @@ pub struct LoadedCheckpoint {
     pub db: Database,
 }
 
-/// Validate and load the checkpoint in `name`.
+/// Validate and load the single **full** checkpoint in `name`.
 ///
 /// # Errors
 /// [`DurabilityError::CorruptCheckpoint`] if the header, checksum, or
@@ -138,39 +569,15 @@ pub fn load_checkpoint<V: Vfs>(vfs: &V, name: &str) -> Result<LoadedCheckpoint, 
         name: name.to_string(),
         detail,
     };
-    let bytes = vfs.read(name)?;
-    let text = String::from_utf8(bytes).map_err(|_| corrupt("not valid UTF-8".to_string()))?;
-    let (header, body) = text
-        .split_once('\n')
-        .ok_or_else(|| corrupt("missing header line".to_string()))?;
-    let fields: Vec<&str> = header.split_whitespace().collect();
-    let (seq, crc) = match fields.as_slice() {
-        ["relvu-ckpt", "v1", "seq", seq, "crc", crc] => {
-            let seq: u64 = seq
-                .parse()
-                .map_err(|_| corrupt(format!("bad seq field `{seq}`")))?;
-            let crc = u64::from_str_radix(crc, 16)
-                .map_err(|_| corrupt(format!("bad crc field `{crc}`")))?;
-            (seq, crc)
-        }
-        _ => return Err(corrupt(format!("unrecognized header `{header}`"))),
-    };
-    if parse_checkpoint_name(name) != Some(seq) {
-        return Err(corrupt(format!(
-            "header seq {seq} does not match the file name"
-        )));
+    let (header, body) = read_validated(vfs, name)?;
+    if header.parent.is_some() {
+        return Err(corrupt("not a full checkpoint".to_string()));
     }
-    let actual = body_crc(body);
-    if actual != crc {
-        return Err(corrupt(format!(
-            "checksum mismatch: header says {crc:016x}, body hashes to {actual:016x}"
-        )));
-    }
-    let db = Database::load(body).map_err(|e| corrupt(format!("snapshot does not load: {e}")))?;
-    db.resume_at(seq)?;
+    let db = Database::load(&body).map_err(|e| corrupt(format!("snapshot does not load: {e}")))?;
+    db.resume_at(header.seq)?;
     Ok(LoadedCheckpoint {
         name: name.to_string(),
-        seq,
+        seq: header.seq,
         db,
     })
 }
@@ -180,19 +587,20 @@ mod tests {
     use super::*;
     use crate::vfs::MemVfs;
     use relvu_engine::Policy;
+    use relvu_relation::Tuple;
     use relvu_workload::fixtures;
 
-    fn seeded_db() -> Database {
+    fn seeded_db() -> (fixtures::EdmFixture, Database) {
         let f = fixtures::edm();
-        let db = Database::new(f.schema, f.fds, f.base).unwrap();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
         db.create_view("xy", f.x, Some(f.y), Policy::Exact).unwrap();
-        db
+        (f, db)
     }
 
     #[test]
     fn checkpoint_roundtrip_preserves_dump_and_seq() {
         let vfs = MemVfs::new();
-        let db = seeded_db();
+        let (_, db) = seeded_db();
         let seq = write_checkpoint(&vfs, &db).unwrap();
         assert_eq!(seq, db.last_seq());
         let loaded = load_checkpoint(&vfs, &checkpoint_name(seq)).unwrap();
@@ -204,7 +612,7 @@ mod tests {
     #[test]
     fn flipped_body_bit_is_detected() {
         let vfs = MemVfs::new();
-        let db = seeded_db();
+        let (_, db) = seeded_db();
         let seq = write_checkpoint(&vfs, &db).unwrap();
         let name = checkpoint_name(seq);
         let len = vfs.read(&name).unwrap().len();
@@ -219,9 +627,9 @@ mod tests {
     }
 
     #[test]
-    fn retention_keeps_only_newest_two() {
+    fn retention_keeps_only_newest_chains() {
         let vfs = MemVfs::new();
-        let db = seeded_db();
+        let (_, db) = seeded_db();
         for _ in 0..4 {
             // Same seq each time would collide; nudge seq forward to get
             // distinct checkpoint files.
@@ -230,10 +638,119 @@ mod tests {
             write_checkpoint(&vfs, &db).unwrap();
         }
         let ckpts = list_checkpoints(&vfs).unwrap();
-        assert_eq!(ckpts.len(), RETAIN);
-        let seqs: Vec<u64> = ckpts.iter().map(|(_, s)| *s).collect();
+        assert_eq!(ckpts.len(), DEFAULT_RETAIN);
+        let seqs: Vec<u64> = ckpts.iter().map(|(_, s, _)| *s).collect();
         assert_eq!(seqs, vec![db.last_seq() - 1, db.last_seq()]);
         // The temp file never lingers.
         assert!(!vfs.list().unwrap().contains(&TMP_NAME.to_string()));
+    }
+
+    /// Build a chain: full at the current seq, then one delta per
+    /// subsequent accepted update. Returns the tip (seq, crc).
+    fn grow_chain(
+        vfs: &MemVfs,
+        f: &fixtures::EdmFixture,
+        db: &Database,
+        names: &[&str],
+        retain: usize,
+    ) -> (u64, u64) {
+        let (seq, crc) = write_full_checkpoint(vfs, &db.snapshot(), retain).unwrap();
+        let mut tip = (seq, crc);
+        for n in names {
+            let t = Tuple::new([f.dict.sym(n), f.dict.sym("toys")]);
+            db.insert_via("xy", t).unwrap();
+            let now = db.last_seq();
+            let commits = db.base_delta_range(tip.0, now).unwrap();
+            let crc = write_delta_checkpoint(vfs, now, &commits, tip, retain).unwrap();
+            tip = (now, crc);
+        }
+        tip
+    }
+
+    #[test]
+    fn delta_chain_roundtrips_byte_identical() {
+        let vfs = MemVfs::new();
+        let (f, db) = seeded_db();
+        let (tip_seq, _) = grow_chain(&vfs, &f, &db, &["dan", "eve", "fay"], 4);
+        // Mix in a removal so swap-remove ordering is exercised.
+        let t = Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]);
+        db.delete_via("xy", t).unwrap();
+        let now = db.last_seq();
+        let commits = db.base_delta_range(tip_seq, now).unwrap();
+        let tip = (
+            tip_seq,
+            read_validated(&vfs, &delta_checkpoint_name(tip_seq))
+                .unwrap()
+                .0
+                .crc,
+        );
+        write_delta_checkpoint(&vfs, now, &commits, tip, 4).unwrap();
+        let loaded = load_chain(&vfs, &delta_checkpoint_name(now)).unwrap();
+        assert_eq!(loaded.seq, now);
+        assert_eq!(loaded.deltas, 4);
+        assert_eq!(
+            loaded.db.dump(),
+            db.dump(),
+            "chain must round-trip byte-identical"
+        );
+    }
+
+    #[test]
+    fn broken_chain_link_is_detected() {
+        let vfs = MemVfs::new();
+        let (f, db) = seeded_db();
+        let (tip_seq, _) = grow_chain(&vfs, &f, &db, &["dan", "eve"], 4);
+        // Corrupt the middle delta: the tip's parent crc no longer
+        // verifies, so loading the tip must fail (and recovery falls
+        // back), not silently skip the link.
+        let mid = delta_checkpoint_name(tip_seq - 1);
+        let len = vfs.read(&mid).unwrap().len();
+        vfs.flip_bits(&mid, len - 2, 0x08);
+        match load_chain(&vfs, &delta_checkpoint_name(tip_seq)) {
+            Err(DurabilityError::CorruptCheckpoint { detail, .. }) => {
+                assert!(detail.contains("broken chain"), "got: {detail}");
+            }
+            other => panic!("expected broken chain, got {:?}", other.map(|c| c.seq)),
+        }
+    }
+
+    #[test]
+    fn prune_never_orphans_a_retained_chain() {
+        // Regression for the chain-orphaning case: with retain = 1 the
+        // newest *chain* includes a full checkpoint that is NOT the
+        // newest file by seq — naive newest-N-files pruning would
+        // delete the base out from under its deltas.
+        let vfs = MemVfs::new();
+        let (f, db) = seeded_db();
+        grow_chain(&vfs, &f, &db, &["dan", "eve"], 1);
+        let names: Vec<String> = list_checkpoints(&vfs)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _, _)| n)
+            .collect();
+        assert!(
+            names.iter().any(|n| parse_checkpoint_name(n).is_some()),
+            "the chain's base full checkpoint must survive pruning: {names:?}"
+        );
+        assert_eq!(names.len(), 3, "base + two deltas all retained");
+        // The whole chain still loads.
+        let tip = names.last().unwrap();
+        assert_eq!(load_chain(&vfs, tip).unwrap().db.dump(), db.dump());
+    }
+
+    #[test]
+    fn orphaned_deltas_are_pruned_once_unreachable() {
+        let vfs = MemVfs::new();
+        let (f, db) = seeded_db();
+        grow_chain(&vfs, &f, &db, &["dan"], 8);
+        // A fresh full checkpoint starts a new chain; with retain = 1
+        // the old chain (full + delta) goes away entirely.
+        let next = db.last_seq() + 1;
+        db.resume_at(next).unwrap();
+        write_full_checkpoint(&vfs, &db.snapshot(), 1).unwrap();
+        let ckpts = list_checkpoints(&vfs).unwrap();
+        assert_eq!(ckpts.len(), 1);
+        assert_eq!(ckpts[0].2, CkptKind::Full);
+        assert_eq!(ckpts[0].1, next);
     }
 }

@@ -30,6 +30,24 @@
 //! The wrapped engine is reachable only through the read-only
 //! [`EngineReader`] ([`DurableDatabase::reader`]): mutating the engine
 //! without writing the WAL is a compile error, not a lost update.
+//!
+//! Checkpoints come in three flavours. [`DurableDatabase::checkpoint`]
+//! quiesces commits and writes a full snapshot. DDL always writes a
+//! full snapshot (schema changes are not WAL records, so they must be
+//! in a checkpoint before they are acknowledged).
+//! [`DurableDatabase::checkpoint_incremental`] writes only what changed
+//! since the last checkpoint — a *delta* chained onto it — and never
+//! takes the stage lock: it pins an MVCC snapshot, makes the WAL
+//! durably cover it, and serializes off-lock, so commits keep flowing
+//! while it writes. [`DurableDatabase::start_background_checkpointer`]
+//! runs that incremental path on a thread, triggered by WAL growth or
+//! checkpoint age, bounding replay work at the next restart without
+//! stalling the commit path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -39,10 +57,10 @@ use relvu_engine::{
 };
 use relvu_relation::{AttrSet, Pred};
 
-use crate::checkpoint::{self, write_checkpoint};
+use crate::checkpoint;
 use crate::error::DurabilityError;
 use crate::group::GroupCommit;
-use crate::recover::{check_invariants, recover_from, RecoveryReport};
+use crate::recover::{check_invariants, recover_with, RecoveryReport};
 use crate::vfs::Vfs;
 use crate::wal::{self, SyncPolicy, Wal, WalOptions};
 
@@ -64,13 +82,50 @@ pub struct WalStatus {
     pub sync: SyncPolicy,
 }
 
-/// A [`Database`] whose accepted updates survive crashes.
-///
-/// Safe to share across threads (`&self` methods throughout): concurrent
-/// [`DurableDatabase::apply`] calls commit through the group-commit
-/// pipeline, amortizing one fsync over every update staged while the
-/// previous fsync was in flight.
-pub struct DurableDatabase<V: Vfs + Clone> {
+/// Triggers for the background checkpointer
+/// ([`DurableDatabase::start_background_checkpointer`]). A checkpoint is
+/// written when **either** threshold is crossed; a zero disables that
+/// trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BgCheckpoint {
+    /// Checkpoint once this many new WAL bytes accumulated since the
+    /// last checkpoint (bounds replay *work* at restart).
+    pub wal_bytes: u64,
+    /// Checkpoint once the last checkpoint is this old (bounds replay
+    /// work on slow-trickle workloads).
+    pub age_ms: u64,
+    /// How often the thread re-evaluates the triggers.
+    pub poll_ms: u64,
+}
+
+impl Default for BgCheckpoint {
+    fn default() -> Self {
+        BgCheckpoint {
+            wal_bytes: 1 << 20,
+            age_ms: 30_000,
+            poll_ms: 100,
+        }
+    }
+}
+
+/// The running checkpoint chain: what the next incremental checkpoint
+/// builds on, and the state its triggers compare against.
+struct CkptChain {
+    /// Tip of the durable chain: `(seq, body crc, deltas past the full
+    /// root)`. The crc is the `parentcrc` the next delta must name.
+    tip: (u64, u64, usize),
+    /// When the tip was written (or loaded, after recovery).
+    last_write: Instant,
+    /// `Wal::bytes_appended` when the tip was written — WAL growth since
+    /// is the background trigger's byte counter.
+    wal_bytes_at: u64,
+}
+
+/// State shared between the foreground handle and the background
+/// checkpointer thread. Lock order: `stage` → `ckpt` → `wal` (the
+/// group-commit queue locks `wal` internally and never takes the
+/// others).
+struct Shared<V: Vfs + Clone> {
     db: Database,
     /// Serializes engine mutation + staging (protocol step 1→2). Held
     /// only for the in-memory part of a commit — never across an fsync —
@@ -79,7 +134,159 @@ pub struct DurableDatabase<V: Vfs + Clone> {
     stage: Mutex<()>,
     group: GroupCommit,
     wal: Mutex<Wal<V>>,
+    ckpt: Mutex<CkptChain>,
+    /// True while the background thread is inside a checkpoint write;
+    /// lets foreground paths count `durability.ckpt.bg_stalls` when they
+    /// block on the `ckpt` lock behind it.
+    bg_active: AtomicBool,
     vfs: V,
+    opts: WalOptions,
+}
+
+/// Stop flag + thread handle for the background checkpointer.
+struct BgHandle {
+    stop: Arc<(StdMutex<bool>, Condvar)>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A [`Database`] whose accepted updates survive crashes.
+///
+/// Safe to share across threads (`&self` methods throughout): concurrent
+/// [`DurableDatabase::apply`] calls commit through the group-commit
+/// pipeline, amortizing one fsync over every update staged while the
+/// previous fsync was in flight.
+pub struct DurableDatabase<V: Vfs + Clone> {
+    shared: Arc<Shared<V>>,
+    bg: Option<BgHandle>,
+}
+
+impl<V: Vfs + Clone> Shared<V> {
+    /// Lock the checkpoint chain, counting a stall when the background
+    /// checkpointer holds it (the `parking_lot` shim has no `try_lock`,
+    /// so the flag is the observable).
+    fn lock_chain(&self) -> parking_lot::MutexGuard<'_, CkptChain> {
+        if self.bg_active.load(Ordering::Relaxed) {
+            relvu_obs::counter!("durability.ckpt.bg_stalls").inc();
+        }
+        self.ckpt.lock()
+    }
+
+    /// Drain the commit queue and hand back the WAL guard (callers hold
+    /// the stage lock, so nothing new can stage meanwhile).
+    fn quiesce_wal(&self) -> Result<parking_lot::MutexGuard<'_, Wal<V>>, DurabilityError> {
+        if self.group.is_poisoned() {
+            return Err(DurabilityError::Poisoned);
+        }
+        self.group.drain(&self.wal)?;
+        let wal = self.wal.lock();
+        if wal.is_poisoned() {
+            return Err(DurabilityError::Poisoned);
+        }
+        Ok(wal)
+    }
+
+    /// Write a full checkpoint of the current (quiesced) state and reset
+    /// the chain to it. Callers hold the stage lock; `chain` and `wal`
+    /// are the quiesced guards.
+    fn full_checkpoint(
+        &self,
+        chain: &mut CkptChain,
+        wal: &mut Wal<V>,
+    ) -> Result<u64, DurabilityError> {
+        let (seq, crc) = checkpoint::write_full_checkpoint(
+            &self.vfs,
+            &self.db.snapshot(),
+            self.opts.retain_checkpoints,
+        )?;
+        chain.tip = (seq, crc, 0);
+        chain.last_write = Instant::now();
+        chain.wal_bytes_at = wal.bytes_appended();
+        self.db.prune_dirty_below(seq);
+        Ok(seq)
+    }
+
+    /// The incremental checkpoint path — shared by
+    /// [`DurableDatabase::checkpoint_incremental`] and the background
+    /// thread. Never takes the stage lock: commits keep flowing while
+    /// the checkpoint serializes from a pinned snapshot.
+    ///
+    /// A storage failure here poisons the handle: the chain tip on disk
+    /// may no longer be what the next delta would have to build on, and
+    /// the failed prune may have left the store needing operator
+    /// attention — recovery from the durable image is the safe exit.
+    fn incremental_checkpoint(&self) -> Result<u64, DurabilityError> {
+        if self.group.is_poisoned() {
+            return Err(DurabilityError::Poisoned);
+        }
+        let mut chain = self.lock_chain();
+        // Pin the epoch to serialize, then make the WAL durably cover
+        // it: every commit visible in the snapshot is staged (engine
+        // commit and staging share the stage lock), so draining the
+        // queue and paying the sync debt puts each of them on disk. The
+        // loop closes the sliver where a commit published but has not
+        // finished staging yet.
+        let snap = self.db.snapshot();
+        let target = snap.seq();
+        loop {
+            self.group.drain(&self.wal)?;
+            let mut wal = self.wal.lock();
+            if wal.is_poisoned() {
+                return Err(DurabilityError::Poisoned);
+            }
+            if let Err(e) = wal.sync() {
+                self.group.poison();
+                return Err(e);
+            }
+            if wal.next_seq() > target {
+                chain.wal_bytes_at = wal.bytes_appended();
+                break;
+            }
+            drop(wal);
+            std::thread::yield_now();
+        }
+        if target == chain.tip.0 {
+            // Nothing new to cover; refresh the age trigger only.
+            chain.last_write = Instant::now();
+            return Ok(target);
+        }
+        let (tip_seq, tip_crc, tip_deltas) = chain.tip;
+        // Chain a delta while the engine still holds the per-commit
+        // deltas since the tip and the chain is not too long; otherwise
+        // (or when the dirty ring was pruned/evicted) write a full
+        // snapshot and start a fresh chain.
+        let commits = if self.opts.max_delta_chain > 0 && tip_deltas < self.opts.max_delta_chain {
+            self.db.base_delta_range(tip_seq, target)
+        } else {
+            None
+        };
+        let wrote = match commits {
+            Some(commits) => checkpoint::write_delta_checkpoint(
+                &self.vfs,
+                target,
+                &commits,
+                (tip_seq, tip_crc),
+                self.opts.retain_checkpoints,
+            )
+            .map(|crc| (target, crc, tip_deltas + 1)),
+            None => {
+                checkpoint::write_full_checkpoint(&self.vfs, &snap, self.opts.retain_checkpoints)
+                    .map(|(seq, crc)| (seq, crc, 0))
+            }
+        };
+        match wrote {
+            Ok(tip) => {
+                chain.tip = tip;
+                chain.last_write = Instant::now();
+                self.db.prune_dirty_below(tip.0);
+                Ok(tip.0)
+            }
+            Err(e) => {
+                self.wal.lock().poison();
+                self.group.poison();
+                Err(e)
+            }
+        }
+    }
 }
 
 impl<V: Vfs + Clone> DurableDatabase<V> {
@@ -97,14 +304,25 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         if has_ckpt || has_wal {
             return Err(DurabilityError::AlreadyInitialized);
         }
-        write_checkpoint(&vfs, &db)?;
+        let (seq, crc) =
+            checkpoint::write_full_checkpoint(&vfs, &db.snapshot(), opts.retain_checkpoints)?;
         let wal = Wal::new(vfs.clone(), opts, db.last_seq() + 1, None);
         Ok(DurableDatabase {
-            db,
-            stage: Mutex::new(()),
-            group: GroupCommit::new(),
-            wal: Mutex::new(wal),
-            vfs,
+            shared: Arc::new(Shared {
+                db,
+                stage: Mutex::new(()),
+                group: GroupCommit::new(),
+                wal: Mutex::new(wal),
+                ckpt: Mutex::new(CkptChain {
+                    tip: (seq, crc, 0),
+                    last_write: Instant::now(),
+                    wal_bytes_at: 0,
+                }),
+                bg_active: AtomicBool::new(false),
+                vfs,
+                opts,
+            }),
+            bg: None,
         })
     }
 
@@ -127,7 +345,7 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// inconsistent.
     pub fn recover(vfs: V, opts: WalOptions) -> Result<(Self, RecoveryReport), DurabilityError> {
         let opts = opts.normalized();
-        let recovered = recover_from(&vfs, opts.sync)?;
+        let recovered = recover_with(&vfs, &opts)?;
         let wal = Wal::new(
             vfs.clone(),
             opts,
@@ -136,11 +354,21 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         );
         Ok((
             DurableDatabase {
-                db: recovered.db,
-                stage: Mutex::new(()),
-                group: GroupCommit::new(),
-                wal: Mutex::new(wal),
-                vfs,
+                shared: Arc::new(Shared {
+                    db: recovered.db,
+                    stage: Mutex::new(()),
+                    group: GroupCommit::new(),
+                    wal: Mutex::new(wal),
+                    ckpt: Mutex::new(CkptChain {
+                        tip: recovered.chain_tip,
+                        last_write: Instant::now(),
+                        wal_bytes_at: 0,
+                    }),
+                    bg_active: AtomicBool::new(false),
+                    vfs,
+                    opts,
+                }),
+                bg: None,
             },
             recovered.report,
         ))
@@ -159,20 +387,20 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// durability failures — any of which poisons the handle, since the
     /// update is in memory but not (provably) in the log.
     pub fn apply(&self, view: &str, op: UpdateOp) -> Result<UpdateReport, DurabilityError> {
+        let s = &*self.shared;
         let (report, slot) = {
-            let _stage = self.stage.lock();
-            if self.group.is_poisoned() {
+            let _stage = s.stage.lock();
+            if s.group.is_poisoned() {
                 return Err(DurabilityError::Poisoned);
             }
-            let report = self.db.apply_op(view, op)?;
-            let entry = self
-                .db
-                .log_range(report.seq, 1)
-                .pop()
-                .expect("the update just applied is in the log");
-            (report, self.group.enqueue(vec![entry]))
+            let report = s.db.apply_op(view, op)?;
+            let entry =
+                s.db.log_range(report.seq, 1)
+                    .pop()
+                    .expect("the update just applied is in the log");
+            (report, s.group.enqueue(vec![entry]))
         };
-        self.group.wait(slot, &self.wal)?;
+        s.group.wait(slot, &s.wal)?;
         Ok(report)
     }
 
@@ -196,26 +424,27 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         requests: Vec<BatchRequest>,
         options: &BatchOptions,
     ) -> Result<BatchReport, DurabilityError> {
+        let s = &*self.shared;
         let (report, slot) = {
-            let _stage = self.stage.lock();
-            if self.group.is_poisoned() {
+            let _stage = s.stage.lock();
+            if s.group.is_poisoned() {
                 return Err(DurabilityError::Poisoned);
             }
-            let before_seq = self.db.last_seq();
-            let report = self.db.apply_batch_parallel(requests, options);
-            let entries = self.db.log_range(before_seq + 1, usize::MAX);
+            let before_seq = s.db.last_seq();
+            let report = s.db.apply_batch_parallel(requests, options);
+            let entries = s.db.log_range(before_seq + 1, usize::MAX);
             if entries.is_empty() {
                 return Ok(report);
             }
-            (report, self.group.enqueue(entries))
+            (report, s.group.enqueue(entries))
         };
-        self.group.wait(slot, &self.wal)?;
+        s.group.wait(slot, &s.wal)?;
         Ok(report)
     }
 
-    /// Write a checkpoint at the current state and prune WAL segments
-    /// and old checkpoints it covers. Returns the checkpointed sequence
-    /// number.
+    /// Write a full checkpoint at the current state and prune WAL
+    /// segments and old checkpoint chains it makes redundant. Returns
+    /// the checkpointed sequence number.
     ///
     /// # Errors
     /// [`DurabilityError::Poisoned`] if the handle is poisoned;
@@ -224,50 +453,82 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         // The stage lock freezes the engine+queue; draining then flushes
         // every staged group, so the snapshot never claims records the
         // WAL does not durably hold.
-        let _stage = self.stage.lock();
-        let mut wal = self.quiesce()?;
+        let s = &*self.shared;
+        let _stage = s.stage.lock();
+        let mut chain = s.lock_chain();
+        let mut wal = s.quiesce_wal()?;
         // Pay any outstanding sync debt so the checkpoint never claims
         // more than the WAL can prove.
         if let Err(e) = wal.sync() {
-            self.group.poison();
+            s.group.poison();
             return Err(e);
         }
-        write_checkpoint(&self.vfs, &self.db)
+        s.full_checkpoint(&mut chain, &mut wal)
     }
 
-    /// Checkpoint after a DDL change, with the stage and WAL locks held.
-    /// A failure here poisons the handle: the DDL is live in memory but
-    /// in no durable checkpoint, so further acknowledged updates would
-    /// append WAL records referencing schema recovery cannot rebuild.
-    fn ddl_checkpoint(&self, wal: &mut Wal<V>) -> Result<(), DurabilityError> {
+    /// Write an **incremental** checkpoint: a delta file holding only
+    /// the base-row changes since the last checkpoint, chained onto it
+    /// (or a full snapshot when the chain hit
+    /// [`WalOptions::max_delta_chain`], or the engine no longer holds
+    /// the per-commit deltas). Unlike [`Self::checkpoint`] this never
+    /// takes the stage lock: commits keep flowing while the delta
+    /// serializes from a pinned snapshot. Returns the sequence number
+    /// the chain tip now covers.
+    ///
+    /// # Errors
+    /// [`DurabilityError::Poisoned`] if the handle is poisoned;
+    /// [`DurabilityError::Vfs`] on storage failure — which poisons the
+    /// handle: a torn delta file above the old tip must never be
+    /// extended by a later, healthy-looking delta.
+    pub fn checkpoint_incremental(&self) -> Result<u64, DurabilityError> {
+        self.shared.incremental_checkpoint()
+    }
+
+    /// Checkpoint after a DDL change, with the stage, chain, and WAL
+    /// locks held. A failure here poisons the handle: the DDL is live in
+    /// memory but in no durable checkpoint, so further acknowledged
+    /// updates would append WAL records referencing schema recovery
+    /// cannot rebuild. DDL always writes a *full* checkpoint — schema
+    /// is not in delta bodies, so the chain restarts at the new schema.
+    fn ddl_checkpoint(
+        &self,
+        chain: &mut CkptChain,
+        wal: &mut Wal<V>,
+    ) -> Result<(), DurabilityError> {
+        let s = &*self.shared;
         // Pay any outstanding sync debt first (wal.sync poisons itself
         // on failure).
         if let Err(e) = wal.sync() {
-            self.group.poison();
+            s.group.poison();
             return Err(e);
         }
-        match write_checkpoint(&self.vfs, &self.db) {
+        match s.full_checkpoint(chain, wal) {
             Ok(_) => Ok(()),
             Err(e) => {
                 wal.poison();
-                self.group.poison();
+                s.group.poison();
                 Err(e)
             }
         }
     }
 
-    /// Take the stage lock, drain the commit queue, and hand back the
-    /// WAL guard — the entry sequence for every DDL wrapper.
-    fn quiesce(&self) -> Result<parking_lot::MutexGuard<'_, Wal<V>>, DurabilityError> {
-        if self.group.is_poisoned() {
-            return Err(DurabilityError::Poisoned);
-        }
-        self.group.drain(&self.wal)?;
-        let wal = self.wal.lock();
-        if wal.is_poisoned() {
-            return Err(DurabilityError::Poisoned);
-        }
-        Ok(wal)
+    /// Take the chain lock, drain the commit queue, and hand back both
+    /// guards — the entry sequence for every DDL wrapper (callers hold
+    /// the stage lock already).
+    #[allow(clippy::type_complexity)]
+    fn quiesce(
+        &self,
+    ) -> Result<
+        (
+            parking_lot::MutexGuard<'_, CkptChain>,
+            parking_lot::MutexGuard<'_, Wal<V>>,
+        ),
+        DurabilityError,
+    > {
+        let s = &*self.shared;
+        let chain = s.lock_chain();
+        let wal = s.quiesce_wal()?;
+        Ok((chain, wal))
     }
 
     /// Register a projective view durably (DDL checkpoint included).
@@ -282,10 +543,10 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         y: Option<AttrSet>,
         policy: Policy,
     ) -> Result<(), DurabilityError> {
-        let _stage = self.stage.lock();
-        let mut wal = self.quiesce()?;
-        self.db.create_view(name, x, y, policy)?;
-        self.ddl_checkpoint(&mut wal)
+        let _stage = self.shared.stage.lock();
+        let (mut chain, mut wal) = self.quiesce()?;
+        self.shared.db.create_view(name, x, y, policy)?;
+        self.ddl_checkpoint(&mut chain, &mut wal)
     }
 
     /// Register a selection view durably (DDL checkpoint included).
@@ -300,10 +561,10 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         y: Option<AttrSet>,
         pred: Pred,
     ) -> Result<(), DurabilityError> {
-        let _stage = self.stage.lock();
-        let mut wal = self.quiesce()?;
-        self.db.create_selection_view(name, x, y, pred)?;
-        self.ddl_checkpoint(&mut wal)
+        let _stage = self.shared.stage.lock();
+        let (mut chain, mut wal) = self.quiesce()?;
+        self.shared.db.create_selection_view(name, x, y, pred)?;
+        self.ddl_checkpoint(&mut chain, &mut wal)
     }
 
     /// Register a projective view over another view durably (DDL
@@ -320,10 +581,12 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         y: Option<AttrSet>,
         policy: Policy,
     ) -> Result<(), DurabilityError> {
-        let _stage = self.stage.lock();
-        let mut wal = self.quiesce()?;
-        self.db.create_view_over(name, parent, x, y, policy)?;
-        self.ddl_checkpoint(&mut wal)
+        let _stage = self.shared.stage.lock();
+        let (mut chain, mut wal) = self.quiesce()?;
+        self.shared
+            .db
+            .create_view_over(name, parent, x, y, policy)?;
+        self.ddl_checkpoint(&mut chain, &mut wal)
     }
 
     /// Register a selection view over another view durably (DDL
@@ -342,11 +605,12 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
         y: Option<AttrSet>,
         pred: Pred,
     ) -> Result<(), DurabilityError> {
-        let _stage = self.stage.lock();
-        let mut wal = self.quiesce()?;
-        self.db
+        let _stage = self.shared.stage.lock();
+        let (mut chain, mut wal) = self.quiesce()?;
+        self.shared
+            .db
             .create_selection_view_over(name, parent, x, y, pred)?;
-        self.ddl_checkpoint(&mut wal)
+        self.ddl_checkpoint(&mut chain, &mut wal)
     }
 
     /// Drop a dependent-free view durably (DDL checkpoint included).
@@ -355,10 +619,10 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// As [`Database::drop_view`], plus durability failures (which
     /// poison the handle — see [`DurabilityError::Poisoned`]).
     pub fn drop_view(&self, name: &str) -> Result<(), DurabilityError> {
-        let _stage = self.stage.lock();
-        let mut wal = self.quiesce()?;
-        self.db.drop_view(name)?;
-        self.ddl_checkpoint(&mut wal)
+        let _stage = self.shared.stage.lock();
+        let (mut chain, mut wal) = self.quiesce()?;
+        self.shared.db.drop_view(name)?;
+        self.ddl_checkpoint(&mut chain, &mut wal)
     }
 
     /// Replace Σ durably (DDL checkpoint included).
@@ -367,10 +631,10 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// As [`Database::set_fds`], plus durability failures (which poison
     /// the handle — see [`DurabilityError::Poisoned`]).
     pub fn set_fds(&self, fds: FdSet) -> Result<(), DurabilityError> {
-        let _stage = self.stage.lock();
-        let mut wal = self.quiesce()?;
-        self.db.set_fds(fds)?;
-        self.ddl_checkpoint(&mut wal)
+        let _stage = self.shared.stage.lock();
+        let (mut chain, mut wal) = self.quiesce()?;
+        self.shared.db.set_fds(fds)?;
+        self.ddl_checkpoint(&mut chain, &mut wal)
     }
 
     /// Explicit durability barrier: flush every staged group, then fsync
@@ -379,13 +643,103 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// # Errors
     /// [`DurabilityError::Poisoned`] / [`DurabilityError::Vfs`].
     pub fn sync(&self) -> Result<(), DurabilityError> {
-        let _stage = self.stage.lock();
-        let mut wal = self.quiesce()?;
+        let s = &*self.shared;
+        let _stage = s.stage.lock();
+        let mut wal = s.quiesce_wal()?;
         if let Err(e) = wal.sync() {
-            self.group.poison();
+            s.group.poison();
             return Err(e);
         }
         Ok(())
+    }
+
+    /// Start the background checkpointer: a thread that watches WAL
+    /// growth and checkpoint age and writes incremental checkpoints off
+    /// the commit path (see [`Self::checkpoint_incremental`]). Restart
+    /// replay work stays bounded without any commit ever paying for a
+    /// full snapshot.
+    ///
+    /// Idempotent: a second call while a checkpointer runs is a no-op.
+    /// The thread exits on [`Self::stop_background_checkpointer`], on
+    /// drop, or after poisoning the handle on a storage failure
+    /// (counted as `durability.ckpt.bg_failures`).
+    pub fn start_background_checkpointer(&mut self, cfg: BgCheckpoint)
+    where
+        V: Send + Sync + 'static,
+    {
+        if self.bg.is_some() {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        let stop = Arc::new((StdMutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            let (flag, cvar) = &*stop2;
+            loop {
+                {
+                    let stopped = flag.lock().expect("stop flag lock");
+                    let (stopped, _) = cvar
+                        .wait_timeout(stopped, Duration::from_millis(cfg.poll_ms.max(1)))
+                        .expect("stop flag lock");
+                    if *stopped {
+                        return;
+                    }
+                }
+                let due = {
+                    let chain = shared.ckpt.lock();
+                    let age_due = cfg.age_ms > 0
+                        && chain.last_write.elapsed() >= Duration::from_millis(cfg.age_ms);
+                    let bytes_due = cfg.wal_bytes > 0
+                        && shared
+                            .wal
+                            .lock()
+                            .bytes_appended()
+                            .saturating_sub(chain.wal_bytes_at)
+                            >= cfg.wal_bytes;
+                    age_due || bytes_due
+                };
+                if !due {
+                    continue;
+                }
+                shared.bg_active.store(true, Ordering::Relaxed);
+                let res = shared.incremental_checkpoint();
+                shared.bg_active.store(false, Ordering::Relaxed);
+                if let Err(e) = res {
+                    // incremental_checkpoint poisoned the handle; this
+                    // thread has nothing further to do.
+                    relvu_obs::counter!("durability.ckpt.bg_failures").inc();
+                    eprintln!("[checkpointer] stopping after failure: {e}");
+                    return;
+                }
+            }
+        });
+        self.bg = Some(BgHandle {
+            stop,
+            join: Some(join),
+        });
+    }
+
+    /// Stop and join the background checkpointer, if one is running. A
+    /// checkpoint write in flight completes first — stopping never tears
+    /// a delta. Called automatically on drop.
+    pub fn stop_background_checkpointer(&mut self) {
+        if let Some(mut bg) = self.bg.take() {
+            {
+                let (flag, cvar) = &*bg.stop;
+                *flag.lock().expect("stop flag lock") = true;
+                cvar.notify_all();
+            }
+            if let Some(join) = bg.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+
+    /// True while a background checkpointer thread is attached.
+    pub fn background_checkpointer_running(&self) -> bool {
+        self.bg
+            .as_ref()
+            .is_some_and(|bg| bg.join.as_ref().is_some_and(|j| !j.is_finished()))
     }
 
     /// Re-run the paper's invariants on the current in-memory state.
@@ -393,19 +747,26 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// # Errors
     /// [`DurabilityError::InvariantViolation`] naming the failure.
     pub fn check_invariants(&self) -> Result<(), DurabilityError> {
-        check_invariants(&self.db)
+        check_invariants(&self.shared.db)
     }
 
     /// The WAL writer's current state.
     pub fn wal_status(&self) -> WalStatus {
-        let wal = self.wal.lock();
+        let wal = self.shared.wal.lock();
         WalStatus {
             next_seq: wal.next_seq(),
             records_appended: wal.records_appended(),
             current_segment: wal.current_segment().map(|(n, l)| (n.to_string(), l)),
-            poisoned: wal.is_poisoned() || self.group.is_poisoned(),
+            poisoned: wal.is_poisoned() || self.shared.group.is_poisoned(),
             sync: wal.options().sync,
         }
+    }
+
+    /// The durable checkpoint chain's tip: `(covered seq, deltas past
+    /// the full root)` — diagnostics for the REPL and tests.
+    pub fn checkpoint_chain(&self) -> (u64, usize) {
+        let chain = self.shared.ckpt.lock();
+        (chain.tip.0, chain.tip.2)
     }
 
     /// A **read-only** handle over the wrapped engine, for queries,
@@ -420,12 +781,18 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// so that mistake no longer compiles. Use [`Self::apply`],
     /// [`Self::apply_batch`], and the DDL wrappers for anything durable.
     pub fn reader(&self) -> EngineReader<'_> {
-        self.db.reader()
+        self.shared.db.reader()
     }
 
     /// The storage backend (for tests and tooling).
     pub fn vfs(&self) -> &V {
-        &self.vfs
+        &self.shared.vfs
+    }
+}
+
+impl<V: Vfs + Clone> Drop for DurableDatabase<V> {
+    fn drop(&mut self) {
+        self.stop_background_checkpointer();
     }
 }
 
@@ -563,6 +930,221 @@ mod tests {
             "rejections must not hit storage"
         );
         assert_eq!(ddb.wal_status().next_seq, 1);
+    }
+
+    #[test]
+    fn incremental_checkpoints_chain_and_recover_byte_identically() {
+        let (f, ddb, vfs) = seeded();
+        let t = |e: &str, d: &str| Tuple::new([f.dict.sym(e), f.dict.sym(d)]);
+        ddb.apply(
+            "xy",
+            UpdateOp::Insert {
+                t: t("dan", "toys"),
+            },
+        )
+        .unwrap();
+        let seq1 = ddb.checkpoint_incremental().unwrap();
+        ddb.apply(
+            "xy",
+            UpdateOp::Delete {
+                t: t("ada", "toys"),
+            },
+        )
+        .unwrap();
+        ddb.apply(
+            "xy",
+            UpdateOp::Insert {
+                t: t("eve", "books"),
+            },
+        )
+        .unwrap();
+        let seq2 = ddb.checkpoint_incremental().unwrap();
+        assert_eq!((seq1, seq2), (1, 3));
+        assert_eq!(ddb.checkpoint_chain(), (3, 2), "two deltas chained");
+        // Both writes were deltas, not full snapshots.
+        let files = vfs.list().unwrap();
+        assert!(files.contains(&crate::checkpoint::delta_checkpoint_name(1)));
+        assert!(files.contains(&crate::checkpoint::delta_checkpoint_name(3)));
+        // A crash now recovers through the chain with nothing to replay.
+        let (rec, report) =
+            DurableDatabase::recover(vfs.crash_image(), WalOptions::default()).unwrap();
+        assert_eq!(report.checkpoint_seq, 3);
+        assert_eq!(report.checkpoint_chain.len(), 3, "full root + 2 deltas");
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(rec.reader().dump(), ddb.reader().dump());
+    }
+
+    #[test]
+    fn incremental_checkpoint_with_nothing_new_writes_nothing() {
+        let (_, ddb, vfs) = seeded();
+        let files_before = vfs.list().unwrap();
+        let seq = ddb.checkpoint_incremental().unwrap();
+        assert_eq!(seq, 0);
+        assert_eq!(vfs.list().unwrap(), files_before);
+    }
+
+    #[test]
+    fn chain_cap_forces_a_full_checkpoint() {
+        let f = fixtures::edm();
+        let db = Database::new(f.schema.clone(), f.fds.clone(), f.base.clone()).unwrap();
+        db.create_view("xy", f.x, Some(f.y), Policy::Exact).unwrap();
+        let vfs = MemVfs::new();
+        let opts = WalOptions {
+            max_delta_chain: 1,
+            ..WalOptions::default()
+        };
+        let ddb = DurableDatabase::create(vfs.clone(), db, opts).unwrap();
+        let t = |e: &str, d: &str| Tuple::new([f.dict.sym(e), f.dict.sym(d)]);
+        ddb.apply(
+            "xy",
+            UpdateOp::Insert {
+                t: t("dan", "toys"),
+            },
+        )
+        .unwrap();
+        ddb.checkpoint_incremental().unwrap();
+        assert_eq!(ddb.checkpoint_chain(), (1, 1));
+        ddb.apply(
+            "xy",
+            UpdateOp::Insert {
+                t: t("eve", "books"),
+            },
+        )
+        .unwrap();
+        ddb.checkpoint_incremental().unwrap();
+        // The cap rolled the chain over into a fresh full snapshot.
+        assert_eq!(ddb.checkpoint_chain(), (2, 0));
+        assert!(vfs
+            .list()
+            .unwrap()
+            .contains(&crate::checkpoint::checkpoint_name(2)));
+    }
+
+    #[test]
+    fn ddl_resets_the_delta_chain_to_a_full_root() {
+        let (f, ddb, vfs) = seeded();
+        ddb.apply(
+            "xy",
+            UpdateOp::Insert {
+                t: Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]),
+            },
+        )
+        .unwrap();
+        ddb.checkpoint_incremental().unwrap();
+        assert_eq!(ddb.checkpoint_chain(), (1, 1));
+        // DDL is not representable in a delta body: the chain must
+        // restart at a full snapshot carrying the new schema.
+        ddb.create_view("xy2", f.x, Some(f.y), Policy::Test1)
+            .unwrap();
+        assert_eq!(ddb.checkpoint_chain(), (1, 0));
+        let (rec, _) = DurableDatabase::recover(vfs.crash_image(), WalOptions::default()).unwrap();
+        assert_eq!(rec.reader().dump(), ddb.reader().dump());
+    }
+
+    #[test]
+    fn failed_incremental_checkpoint_poisons_the_handle() {
+        let (f, ddb, vfs) = seeded();
+        let t = Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]);
+        ddb.apply("xy", UpdateOp::Insert { t }).unwrap();
+        // The WAL sync inside the incremental path is a no-op under
+        // SyncPolicy::Always (no debt), so the crash lands on the delta
+        // file's first write.
+        vfs.set_plan(FaultPlan::crash_after(vfs.write_ops()));
+        assert!(matches!(
+            ddb.checkpoint_incremental(),
+            Err(DurabilityError::Vfs(VfsError::Crashed))
+        ));
+        assert!(ddb.wal_status().poisoned);
+        assert!(matches!(
+            ddb.apply(
+                "xy",
+                UpdateOp::Insert {
+                    t: Tuple::new([f.dict.sym("eve"), f.dict.sym("books")]),
+                },
+            ),
+            Err(DurabilityError::Poisoned)
+        ));
+        // The crash image is still recoverable: the torn temp file is
+        // ignored, the acknowledged update replays from the WAL.
+        let (rec, report) =
+            DurableDatabase::recover(vfs.crash_image(), WalOptions::default()).unwrap();
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(rec.reader().dump(), ddb.reader().dump());
+    }
+
+    #[test]
+    fn background_checkpointer_advances_the_chain_and_stops_cleanly() {
+        let (f, mut ddb, vfs) = seeded();
+        ddb.start_background_checkpointer(BgCheckpoint {
+            wal_bytes: 1, // any WAL growth triggers
+            age_ms: 0,
+            poll_ms: 1,
+        });
+        assert!(ddb.background_checkpointer_running());
+        let t = |e: &str, d: &str| Tuple::new([f.dict.sym(e), f.dict.sym(d)]);
+        ddb.apply(
+            "xy",
+            UpdateOp::Insert {
+                t: t("dan", "toys"),
+            },
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while ddb.checkpoint_chain().0 < 1 {
+            assert!(Instant::now() < deadline, "checkpointer never fired");
+            std::thread::yield_now();
+        }
+        // Commits keep flowing while (and after) the checkpointer runs.
+        ddb.apply(
+            "xy",
+            UpdateOp::Insert {
+                t: t("eve", "books"),
+            },
+        )
+        .unwrap();
+        ddb.stop_background_checkpointer();
+        assert!(!ddb.background_checkpointer_running());
+        assert!(!ddb.wal_status().poisoned);
+        let (rec, _) = DurableDatabase::recover(vfs.crash_image(), WalOptions::default()).unwrap();
+        assert_eq!(rec.reader().dump(), ddb.reader().dump());
+    }
+
+    #[test]
+    fn background_checkpointer_poisons_on_write_failure() {
+        let (f, mut ddb, vfs) = seeded();
+        ddb.apply(
+            "xy",
+            UpdateOp::Insert {
+                t: Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]),
+            },
+        )
+        .unwrap();
+        // Every storage op from here on fails.
+        vfs.set_plan(FaultPlan::crash_after(vfs.write_ops()));
+        ddb.start_background_checkpointer(BgCheckpoint {
+            wal_bytes: 1,
+            age_ms: 0,
+            poll_ms: 1,
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !ddb.wal_status().poisoned {
+            assert!(Instant::now() < deadline, "checkpointer never failed");
+            std::thread::yield_now();
+        }
+        assert!(matches!(
+            ddb.apply(
+                "xy",
+                UpdateOp::Insert {
+                    t: Tuple::new([f.dict.sym("eve"), f.dict.sym("books")]),
+                },
+            ),
+            Err(DurabilityError::Poisoned)
+        ));
+        // The acknowledged prefix still recovers from the crash image.
+        let (rec, report) =
+            DurableDatabase::recover(vfs.crash_image(), WalOptions::default()).unwrap();
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(rec.reader().last_seq(), 1);
     }
 
     #[test]

@@ -17,9 +17,17 @@
 //!   [`SyncPolicy`];
 //! * checkpoints ([`write_checkpoint`], [`load_checkpoint`]) — full
 //!   `relvu-dump v1` snapshots committed by the temp/fsync/rename
-//!   protocol; two checkpoints are retained and WAL segments are pruned
-//!   only below the *older* one, so the spare always keeps a complete
-//!   replay tail for fallback;
+//!   protocol, plus **incremental** checkpoints
+//!   ([`write_delta_checkpoint`]): delta files holding only the
+//!   per-commit base changes since the previous checkpoint, chained by
+//!   `(parent seq, parent crc)` back to a full root. Retention is
+//!   counted in *chains* ([`WalOptions::retain_checkpoints`]) and WAL
+//!   segments are pruned only below the oldest retained chain's root,
+//!   so every retained fallback keeps a complete replay tail. A
+//!   background checkpointer
+//!   ([`DurableDatabase::start_background_checkpointer`]) writes
+//!   deltas off the commit path from a pinned MVCC snapshot, triggered
+//!   by WAL growth or checkpoint age;
 //! * group commit (the `group` module, driven by
 //!   [`DurableDatabase::apply`] / [`DurableDatabase::apply_batch`]) —
 //!   concurrent committers stage validated updates into a commit queue;
@@ -28,9 +36,14 @@
 //!   concurrency while an ack still means exactly what the policy
 //!   promises;
 //! * recovery ([`DurableDatabase::recover`]) — latest valid checkpoint
-//!   plus WAL replay *through the live translators* (each replayed
-//!   record must reproduce the translation recorded at commit time),
-//!   torn tails truncated, mid-log corruption refused with an offset,
+//!   *chain* (a broken delta link falls back to the next older restore
+//!   point) plus WAL replay *through the live translators* (each
+//!   replayed record must reproduce the translation recorded at commit
+//!   time). Replay is parallel when [`WalOptions::replay_threads`]
+//!   allows: the tail is partitioned into footprint-disjoint groups,
+//!   verified concurrently, and committed in sequence order, so the
+//!   recovered state is byte-identical to sequential replay. Torn
+//!   tails truncated, mid-log corruption refused with an offset,
 //!   and the paper's invariants re-checked on the result
 //!   ([`check_invariants`]). A complete final record that fails its
 //!   checksum is *not* treated as torn under [`SyncPolicy::Always`]
@@ -80,9 +93,11 @@ mod vfs;
 mod wal;
 
 pub use checkpoint::{
-    checkpoint_name, load_checkpoint, parse_checkpoint_name, write_checkpoint, LoadedCheckpoint,
+    checkpoint_name, delta_checkpoint_name, load_checkpoint, parse_checkpoint_name,
+    parse_delta_checkpoint_name, write_checkpoint, write_delta_checkpoint, write_full_checkpoint,
+    CkptKind, LoadedCheckpoint, DEFAULT_RETAIN,
 };
-pub use durable::{DurableDatabase, WalStatus};
+pub use durable::{BgCheckpoint, DurableDatabase, WalStatus};
 pub use error::{DurabilityError, VfsError};
 pub use record::{decode_frame, decode_payload, encode, FrameOutcome, FRAME_HEADER};
 pub use recover::{check_invariants, RecoveryReport};

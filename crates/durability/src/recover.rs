@@ -1,34 +1,53 @@
-//! Crash recovery: latest valid checkpoint + WAL replay + invariants.
+//! Crash recovery: latest valid checkpoint chain + parallel WAL replay
+//! + invariants.
 //!
 //! Recovery is the inverse of the commit protocol. It loads the newest
-//! checkpoint that validates (falling back to an older retained one if
-//! the newest is corrupt), truncates a torn tail left by an in-flight
-//! append, replays every WAL record past the checkpoint through the
-//! *live* translators — verifying each replayed update reproduces the
-//! translation recorded at commit time — and finally re-checks the
-//! paper's invariants on the reconstructed state.
+//! checkpoint *chain* that validates end-to-end — a full snapshot plus
+//! any incremental deltas built on it; a broken link falls the search
+//! back to the next older restore point — truncates a torn tail left by
+//! an in-flight append, replays every WAL record past the chain tip
+//! through the *live* translators (partitioned into footprint-disjoint
+//! groups and verified concurrently when more than one replay thread is
+//! configured, committing in sequence order so the recovered base-row
+//! order is byte-identical to sequential replay), and finally re-checks
+//! the paper's invariants on the reconstructed state.
+
+use std::time::{Duration, Instant};
 
 use relvu_core::are_complementary;
 use relvu_deps::check::satisfies_fds;
-use relvu_engine::Database;
+use relvu_engine::{BatchOptions, BatchRequest, Database};
 use relvu_relation::ops;
 
-use crate::checkpoint::{self, LoadedCheckpoint};
+use crate::checkpoint::{self, LoadedChain};
 use crate::error::DurabilityError;
 use crate::vfs::Vfs;
-use crate::wal::{self, SyncPolicy, TornKind, TornTail};
+use crate::wal::{self, ScannedRecord, SyncPolicy, TornKind, TornTail, WalOptions};
 
 /// What recovery did, for diagnostics and tests.
 #[derive(Debug, Clone)]
 pub struct RecoveryReport {
-    /// The checkpoint file recovery started from.
+    /// The restore-point file replay started from (the chain tip —
+    /// equal to the full checkpoint when no deltas were chained).
     pub checkpoint: String,
-    /// The sequence number that checkpoint reflects.
+    /// The sequence number that restore point reflects.
     pub checkpoint_seq: u64,
+    /// Every checkpoint file the restore point loaded, base first: the
+    /// full snapshot followed by each chained incremental delta.
+    pub checkpoint_chain: Vec<String>,
     /// Newer checkpoints that were skipped as invalid: `(file, reason)`.
     pub skipped_checkpoints: Vec<(String, String)>,
     /// WAL records replayed on top of the checkpoint.
     pub records_replayed: u64,
+    /// Footprint-disjoint groups the replayed tail partitioned into
+    /// (equals `records_replayed` on the sequential path).
+    pub replay_groups: u64,
+    /// Threads the replay ran with (1 = the sequential path).
+    pub replay_threads: usize,
+    /// Wall time of the whole recovery (chain load + replay + checks).
+    pub wall: Duration,
+    /// Wall time of the WAL replay alone.
+    pub replay_wall: Duration,
     /// The torn tail that was truncated away, if one was found.
     pub torn_truncated: Option<TornTail>,
     /// The recovered database's final sequence number.
@@ -57,29 +76,55 @@ pub(crate) struct Recovered {
     pub report: RecoveryReport,
     /// Where an appender resumes: last WAL segment and its valid length.
     pub wal_resume: Option<(String, u64)>,
+    /// The restore point's chain tip `(seq, crc, chained deltas)` —
+    /// the next incremental checkpoint builds on this.
+    pub chain_tip: (u64, u64, usize),
 }
 
-/// Run full recovery against a store. `sync` is the policy the store
-/// was written under: it decides whether a checksum-failed final record
-/// can be a torn append (truncatable) or must be media corruption of an
-/// acknowledged record (refused).
+/// Run full recovery against a store with default replay options.
+/// `sync` is the policy the store was written under: it decides whether
+/// a checksum-failed final record can be a torn append (truncatable) or
+/// must be media corruption of an acknowledged record (refused).
+#[cfg(test)]
 pub(crate) fn recover_from<V: Vfs>(
     vfs: &V,
     sync: SyncPolicy,
 ) -> Result<Recovered, DurabilityError> {
+    recover_with(
+        vfs,
+        &WalOptions {
+            sync,
+            ..WalOptions::default()
+        },
+    )
+}
+
+/// Run full recovery against a store. Besides the sync policy (see
+/// [`recover_from`]), `opts` controls the replay itself:
+/// `replay_threads` (0 = all cores, 1 = sequential), `replay_chunk`
+/// (records handed to the partitioner per batch) and `progress_every`
+/// (stderr heartbeat cadence, 0 = silent).
+pub(crate) fn recover_with<V: Vfs>(
+    vfs: &V,
+    opts: &WalOptions,
+) -> Result<Recovered, DurabilityError> {
+    let opts = opts.normalized();
+    let started = Instant::now();
     let _timer = relvu_obs::histogram!("durability.recovery.replay_ns").timer();
 
-    // 1. Latest valid checkpoint. Corruption in the newest is tolerated
-    //    (that is why two are retained); having none at all is not.
+    // 1. Latest valid restore point: the newest checkpoint — full or
+    //    delta — whose whole chain back to a full snapshot validates.
+    //    Corruption anywhere in the newest chain is tolerated (that is
+    //    why older chains are retained); having no checkpoint is not.
     let ckpts = checkpoint::list_checkpoints(vfs)?;
     if ckpts.is_empty() {
         return Err(DurabilityError::NoCheckpoint);
     }
     let mut skipped = Vec::new();
-    let mut loaded: Option<LoadedCheckpoint> = None;
+    let mut loaded: Option<LoadedChain> = None;
     let mut last_err = None;
-    for (name, _) in ckpts.iter().rev() {
-        match checkpoint::load_checkpoint(vfs, name) {
+    for (name, _, _) in ckpts.iter().rev() {
+        match checkpoint::load_chain(vfs, name) {
             Ok(c) => {
                 loaded = Some(c);
                 break;
@@ -91,7 +136,7 @@ pub(crate) fn recover_from<V: Vfs>(
             }
         }
     }
-    let Some(ckpt) = loaded else {
+    let Some(chain) = loaded else {
         return Err(last_err.expect("at least one checkpoint was tried"));
     };
 
@@ -105,7 +150,7 @@ pub(crate) fn recover_from<V: Vfs>(
     //    mid-log corruption instead of silently truncated.
     let scan = wal::scan(vfs)?;
     if let Some(torn) = &scan.torn {
-        if torn.kind == TornKind::ChecksumFailed && sync == SyncPolicy::Always {
+        if torn.kind == TornKind::ChecksumFailed && opts.sync == SyncPolicy::Always {
             return Err(DurabilityError::CorruptRecord {
                 segment: torn.segment.clone(),
                 offset: torn.offset,
@@ -119,44 +164,92 @@ pub(crate) fn recover_from<V: Vfs>(
         relvu_obs::counter!("durability.recovery.torn_truncations").inc();
     }
 
-    // 3. Replay records newer than the checkpoint through the engine.
-    let db = ckpt.db;
-    let mut replayed = 0u64;
-    for rec in &scan.records {
-        let entry = &rec.entry;
-        if entry.seq <= ckpt.seq {
-            continue; // already folded into the snapshot
-        }
+    // 3. Replay records newer than the restore point through the
+    //    engine. `scan` already proved the records form one contiguous
+    //    run of sequence numbers, so only the boundary needs checking:
+    //    the first record past the tip must be tip + 1.
+    let db = chain.db;
+    let tail: Vec<&ScannedRecord> = scan
+        .records
+        .iter()
+        .filter(|r| r.entry.seq > chain.seq)
+        .collect();
+    if let Some(first) = tail.first() {
         let expected = db.last_seq() + 1;
-        if entry.seq != expected {
+        if first.entry.seq != expected {
             return Err(DurabilityError::SeqGap {
                 expected,
-                found: entry.seq,
-                segment: rec.segment.clone(),
-                offset: rec.offset,
+                found: first.entry.seq,
+                segment: first.segment.clone(),
+                offset: first.offset,
             });
         }
-        let report = db.apply_op(&entry.view, entry.op.clone())?;
-        if report.translation != entry.translation
-            || report.base_rows_before != entry.rows_before
-            || report.base_rows_after != entry.rows_after
-        {
-            return Err(DurabilityError::ReplayDivergence {
-                seq: entry.seq,
-                detail: format!(
-                    "recorded {:?} ({} -> {} rows), replay produced {:?} ({} -> {} rows)",
-                    entry.translation,
-                    entry.rows_before,
-                    entry.rows_after,
-                    report.translation,
-                    report.base_rows_before,
-                    report.base_rows_after
-                ),
-            });
-        }
-        replayed += 1;
-        relvu_obs::counter!("durability.recovery.records_replayed").inc();
     }
+    let threads = if opts.replay_threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.replay_threads
+    };
+    let replay_started = Instant::now();
+    let mut replayed = 0u64;
+    let mut groups = 0u64;
+    let progress = |replayed: u64| {
+        if opts.progress_every > 0 && replayed % opts.progress_every == 0 {
+            eprintln!(
+                "[recover] replayed {replayed}/{} records ({:.1}s)",
+                tail.len(),
+                replay_started.elapsed().as_secs_f64()
+            );
+        }
+    };
+    if threads <= 1 {
+        // Sequential path: one record at a time, each its own group.
+        for rec in &tail {
+            replay_check(&db, rec)?;
+            replayed += 1;
+            groups += 1;
+            relvu_obs::counter!("durability.recovery.records_replayed").inc();
+            progress(replayed);
+        }
+    } else {
+        // Parallel path: hand the tail to the batch partitioner in
+        // chunks. It splits each chunk into footprint-disjoint groups,
+        // verifies and translates them concurrently, and commits in
+        // submission (= sequence) order — so the recovered base-row
+        // order is byte-identical to the sequential path.
+        let batch_opts = BatchOptions {
+            threads: Some(threads),
+        };
+        for chunk in tail.chunks(opts.replay_chunk) {
+            let requests: Vec<BatchRequest> = chunk
+                .iter()
+                .map(|r| BatchRequest::new(&r.entry.view, r.entry.op.clone()))
+                .collect();
+            let report = db.apply_batch_parallel(requests, &batch_opts);
+            groups += report.stats.groups as u64;
+            for (rec, outcome) in chunk.iter().zip(report.outcomes) {
+                let entry = &rec.entry;
+                let rep = outcome.map_err(|e| DurabilityError::ReplayDivergence {
+                    seq: entry.seq,
+                    detail: format!("replay rejected an acknowledged update: {e}"),
+                })?;
+                if rep.seq != entry.seq {
+                    return Err(DurabilityError::ReplayDivergence {
+                        seq: entry.seq,
+                        detail: format!("replay committed under seq {}", rep.seq),
+                    });
+                }
+                check_report(entry, &rep)?;
+            }
+            replayed += chunk.len() as u64;
+            relvu_obs::counter!("durability.recovery.records_replayed").add(chunk.len() as u64);
+            progress(replayed);
+        }
+    }
+    let replay_wall = replay_started.elapsed();
+    relvu_obs::counter!("durability.recover.records").add(replayed);
+    relvu_obs::counter!("durability.recover.groups").add(groups);
+    relvu_obs::histogram!("durability.recover.verify_ns").record(replay_wall.as_nanos() as u64);
 
     // 4. The recovered state must satisfy the paper's invariants.
     check_invariants(&db)?;
@@ -165,15 +258,58 @@ pub(crate) fn recover_from<V: Vfs>(
     Ok(Recovered {
         db,
         report: RecoveryReport {
-            checkpoint: ckpt.name,
-            checkpoint_seq: ckpt.seq,
+            checkpoint: chain
+                .chain
+                .last()
+                .cloned()
+                .unwrap_or_else(|| chain.base.clone()),
+            checkpoint_seq: chain.seq,
+            checkpoint_chain: chain.chain,
             skipped_checkpoints: skipped,
             records_replayed: replayed,
+            replay_groups: groups,
+            replay_threads: threads,
+            wall: started.elapsed(),
+            replay_wall,
             torn_truncated: scan.torn,
             last_seq,
         },
         wal_resume: scan.last_segment,
+        chain_tip: (chain.seq, chain.crc, chain.deltas),
     })
+}
+
+/// Apply one scanned record sequentially and verify it reproduces the
+/// translation recorded at commit time.
+fn replay_check(db: &Database, rec: &ScannedRecord) -> Result<(), DurabilityError> {
+    let entry = &rec.entry;
+    let report = db.apply_op(&entry.view, entry.op.clone())?;
+    check_report(entry, &report)
+}
+
+/// The replayed update must reproduce exactly what was acknowledged.
+fn check_report(
+    entry: &relvu_engine::LogEntry,
+    report: &relvu_engine::UpdateReport,
+) -> Result<(), DurabilityError> {
+    if report.translation != entry.translation
+        || report.base_rows_before != entry.rows_before
+        || report.base_rows_after != entry.rows_after
+    {
+        return Err(DurabilityError::ReplayDivergence {
+            seq: entry.seq,
+            detail: format!(
+                "recorded {:?} ({} -> {} rows), replay produced {:?} ({} -> {} rows)",
+                entry.translation,
+                entry.rows_before,
+                entry.rows_after,
+                report.translation,
+                report.base_rows_before,
+                report.base_rows_after
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Verify the paper's invariants on a database (used after recovery,

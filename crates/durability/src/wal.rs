@@ -31,21 +31,43 @@ pub enum SyncPolicy {
     Never,
 }
 
-/// WAL tuning knobs.
+/// WAL and restart tuning knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WalOptions {
     /// The sync policy for appended records.
     pub sync: SyncPolicy,
     /// Rotate to a fresh segment once the current one reaches this size.
     pub segment_bytes: u64,
+    /// How many checkpoint *chains* (a full checkpoint plus the
+    /// incremental deltas built on it) to keep. Pruning removes older
+    /// chains whole — never a base a retained delta depends on — and
+    /// WAL segments below the oldest retained chain's root. Clamped to
+    /// at least 1 by [`WalOptions::normalized`].
+    pub retain_checkpoints: usize,
+    /// How many incremental deltas may chain onto one full checkpoint
+    /// before the next checkpoint is forced full. `0` disables
+    /// incremental checkpoints entirely (every checkpoint is full).
+    pub max_delta_chain: usize,
+    /// Threads for parallel WAL replay during recovery. `0` means use
+    /// the machine's available parallelism; `1` forces the sequential
+    /// path.
+    pub replay_threads: usize,
+    /// How many tail records each parallel-replay batch covers. Clamped
+    /// to at least 1 by [`WalOptions::normalized`].
+    pub replay_chunk: usize,
+    /// Log replay progress to stderr every this many records during
+    /// recovery (`0` disables), so a long replay is observable.
+    pub progress_every: u64,
 }
 
 impl WalOptions {
     /// The canonical form of these options: the degenerate
-    /// `SyncPolicy::EveryN(0)` is clamped to `EveryN(1)`. Everything
-    /// that constructs a writer (or reports options back to the user)
-    /// goes through this, so the stored policy, `wal_status`, and the
-    /// sync behavior always agree — there is no append-time patch-up.
+    /// `SyncPolicy::EveryN(0)` is clamped to `EveryN(1)`, zero
+    /// checkpoint retention to 1, and a zero replay chunk to 1.
+    /// Everything that constructs a writer (or reports options back to
+    /// the user) goes through this, so the stored policy, `wal_status`,
+    /// and the sync behavior always agree — there is no append-time
+    /// patch-up.
     #[must_use]
     pub fn normalized(self) -> Self {
         WalOptions {
@@ -53,6 +75,8 @@ impl WalOptions {
                 SyncPolicy::EveryN(0) => SyncPolicy::EveryN(1),
                 other => other,
             },
+            retain_checkpoints: self.retain_checkpoints.max(1),
+            replay_chunk: self.replay_chunk.max(1),
             ..self
         }
     }
@@ -63,6 +87,11 @@ impl Default for WalOptions {
         WalOptions {
             sync: SyncPolicy::Always,
             segment_bytes: 64 * 1024,
+            retain_checkpoints: 2,
+            max_delta_chain: 8,
+            replay_threads: 0,
+            replay_chunk: 512,
+            progress_every: 100_000,
         }
     }
 }
@@ -102,6 +131,7 @@ pub struct Wal<V: Vfs> {
     next_seq: u64,
     appends_since_sync: u64,
     records_appended: u64,
+    bytes_appended: u64,
     poisoned: bool,
 }
 
@@ -121,6 +151,7 @@ impl<V: Vfs> Wal<V> {
             next_seq,
             appends_since_sync: 0,
             records_appended: 0,
+            bytes_appended: 0,
             poisoned: false,
         }
     }
@@ -133,6 +164,12 @@ impl<V: Vfs> Wal<V> {
     /// Records appended through this writer (not counting replayed ones).
     pub fn records_appended(&self) -> u64 {
         self.records_appended
+    }
+
+    /// Bytes appended through this writer — the background
+    /// checkpointer's size trigger reads this.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
     }
 
     /// The current segment file name and length, if a segment is open.
@@ -262,6 +299,7 @@ impl<V: Vfs> Wal<V> {
             return Err(e.into());
         }
         *len += frame.len() as u64;
+        self.bytes_appended += frame.len() as u64;
         relvu_obs::counter!("durability.wal.appends").inc();
         relvu_obs::counter!("durability.wal.bytes").add(frame.len() as u64);
         self.next_seq += 1;
@@ -676,6 +714,7 @@ mod tests {
         let opts = WalOptions {
             sync: SyncPolicy::Never,
             segment_bytes: 120,
+            ..WalOptions::default()
         };
         let mut wal = Wal::new(vfs.clone(), opts, 1, None);
         let entries: Vec<LogEntry> = (1..=10).map(entry).collect();

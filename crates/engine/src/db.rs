@@ -15,6 +15,7 @@ use relvu_deps::{closure, FdSet};
 use relvu_relation::{AttrSet, Pred, Relation, Schema, Tuple};
 
 use crate::dag::ViewDag;
+use crate::dirty::{CommitDelta, DirtyRing};
 use crate::log::{LogEntry, UpdateOp};
 use crate::mat::ViewMat;
 use crate::mvcc::{EngineSnapshot, LazyRel, LogState, SnapCell, SnapState, ViewSnap};
@@ -73,6 +74,8 @@ pub(crate) struct Inner {
     /// commit and drain at batch end, so readers never observe a state
     /// a transactional rollback could retract.
     pub(crate) pending: Vec<PendingDelta>,
+    /// Recent per-commit base deltas, for incremental checkpoints.
+    pub(crate) dirty: DirtyRing,
 }
 
 /// One commit's reader-visible delta, queued for the next publish.
@@ -222,6 +225,7 @@ impl Database {
                 epoch: 0,
                 cur,
                 pending: Vec::new(),
+                dirty: DirtyRing::new(),
             }),
         })
     }
@@ -747,6 +751,10 @@ impl Database {
                         inner.log = log;
                         inner.seq = seq;
                         inner.stats = stats;
+                        // The rolled-back commits never became durable;
+                        // their dirty entries must not leak into a later
+                        // incremental checkpoint.
+                        inner.dirty.truncate_above(seq);
                         Self::rebuild_mats(&mut inner);
                         // Compensate the global counters for the
                         // rolled-back prefix (every prefix update was
@@ -891,6 +899,9 @@ impl Database {
             });
         }
         inner.seq = seq;
+        // Commits below the resumed counter predate this incarnation;
+        // coverage for incremental checkpoints starts here.
+        inner.dirty.prune_below(seq);
         self.publish(&mut inner);
         Ok(())
     }
@@ -1105,6 +1116,8 @@ impl Database {
         let _ = (x, y);
         let rows_after = inner.base.len();
         inner.seq += 1;
+        let seq = inner.seq;
+        inner.dirty.record(seq, added, removed);
         inner.stats.entry(name.to_string()).or_default().accepted += 1;
         relvu_obs::counter!("engine.accepted").inc();
         let entry = LogEntry {
@@ -1140,6 +1153,83 @@ impl Database {
     /// error rather than a silently-lost update.
     pub fn reader(&self) -> crate::reader::EngineReader<'_> {
         crate::reader::EngineReader::new(self)
+    }
+
+    /// The per-commit base deltas for `(from_seq, to_seq]`, oldest
+    /// first — the dirty set an incremental checkpoint serializes.
+    /// Returns `None` when the engine no longer covers `from_seq`
+    /// (the ring evicted it, or the engine was loaded/resumed past it);
+    /// the caller must then fall back to a full serialization.
+    pub fn base_delta_range(&self, from_seq: u64, to_seq: u64) -> Option<Vec<CommitDelta>> {
+        self.inner.read().dirty.range(from_seq, to_seq)
+    }
+
+    /// Drop dirty-set entries at or below `seq` — called after a
+    /// checkpoint at `seq` makes them redundant.
+    pub fn prune_dirty_below(&self, seq: u64) {
+        self.inner.write().dirty.prune_below(seq);
+    }
+
+    /// Replay checkpoint-delta commits on top of the current state,
+    /// finishing at `final_seq` — the loading side of an incremental
+    /// checkpoint chain.
+    ///
+    /// Each commit's removals then insertions are applied in recorded
+    /// order, reproducing the exact base-row order the live engine had
+    /// (so a subsequent dump is byte-identical). Every view
+    /// materialization is rebuilt afterwards and Σ revalidated, so a
+    /// corrupt or mismatched delta surfaces as an error rather than a
+    /// silently-wrong state.
+    ///
+    /// # Errors
+    /// [`EngineError::SeqRegression`] if `final_seq` is behind the
+    /// engine; [`EngineError::Load`] when a commit is out of range or
+    /// refers to rows the base does not hold; [`EngineError::IllegalBase`]
+    /// when the replayed base violates Σ. **On error the database is left
+    /// in an unspecified state and must be discarded** — recovery loads
+    /// each fallback candidate into a fresh engine.
+    pub fn apply_checkpoint_deltas(&self, commits: &[CommitDelta], final_seq: u64) -> Result<()> {
+        let mut inner = self.inner.write();
+        if final_seq < inner.seq {
+            return Err(EngineError::SeqRegression {
+                current: inner.seq,
+                requested: final_seq,
+            });
+        }
+        let mut prev = inner.seq;
+        for c in commits {
+            if c.seq <= prev || c.seq > final_seq {
+                return Err(EngineError::Load {
+                    reason: format!(
+                        "delta commit seq {} out of order (after {prev}, final {final_seq})",
+                        c.seq
+                    ),
+                });
+            }
+            prev = c.seq;
+            for t in &c.removed {
+                if !inner.base.remove(t) {
+                    return Err(EngineError::Load {
+                        reason: format!("delta commit {} removes an absent base row", c.seq),
+                    });
+                }
+            }
+            for t in &c.added {
+                if !inner.base.insert(t.clone())? {
+                    return Err(EngineError::Load {
+                        reason: format!("delta commit {} inserts a duplicate base row", c.seq),
+                    });
+                }
+            }
+        }
+        if !satisfies_fds(&inner.base, &inner.fds) {
+            return Err(EngineError::IllegalBase);
+        }
+        inner.seq = final_seq;
+        inner.dirty.prune_below(final_seq);
+        Self::rebuild_mats(&mut inner);
+        self.publish_rebuild(&mut inner);
+        Ok(())
     }
 }
 

@@ -1,0 +1,174 @@
+//! Per-commit base-delta tracking for incremental checkpoints.
+//!
+//! Every accepted update already computes its exact base delta (the
+//! support-counted materializations need it); this module keeps a bounded
+//! ring of those deltas, keyed by commit sequence number, so a checkpoint
+//! can serialize *only what changed* since its parent instead of the full
+//! dump. Replaying the recorded commits in order reproduces the base
+//! relation **byte-for-byte** — including row order, which the dump format
+//! depends on — because each commit's removals and insertions are applied
+//! exactly as [`crate::Database::commit`] applied them (`Relation::remove`
+//! is a swap-remove, so net set-deltas would not be enough).
+
+use std::collections::VecDeque;
+
+use relvu_relation::Tuple;
+
+/// One commit's base delta: the rows `commit` removed and inserted, in
+/// application order. Applying `removed` then `added` to the pre-commit
+/// base reproduces the post-commit base exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitDelta {
+    /// The sequence number the commit was assigned.
+    pub seq: u64,
+    /// Rows removed from the base, in removal order.
+    pub removed: Vec<Tuple>,
+    /// Rows inserted into the base, in insertion order.
+    pub added: Vec<Tuple>,
+}
+
+/// Bounded ring of recent [`CommitDelta`]s.
+///
+/// `floor` is the coverage guarantee: every commit with
+/// `floor < seq <= engine seq` that changed the base is present in
+/// `entries`. Commits with an empty base delta are not stored but are
+/// still covered — replay simply has nothing to do for them. When the
+/// ring overflows, the oldest entries are evicted and `floor` advances,
+/// shrinking the range an incremental checkpoint can cover (callers then
+/// fall back to a full checkpoint).
+pub(crate) struct DirtyRing {
+    entries: VecDeque<CommitDelta>,
+    floor: u64,
+}
+
+/// Eviction threshold: enough to cover a long checkpoint interval while
+/// bounding memory (a delta is a handful of tuples).
+const MAX_ENTRIES: usize = 1 << 16;
+
+impl DirtyRing {
+    pub(crate) fn new() -> Self {
+        DirtyRing {
+            entries: VecDeque::new(),
+            floor: 0,
+        }
+    }
+
+    /// Record a commit's base delta. Empty deltas are covered by `floor`
+    /// semantics without being stored.
+    pub(crate) fn record(&mut self, seq: u64, added: Vec<Tuple>, removed: Vec<Tuple>) {
+        if added.is_empty() && removed.is_empty() {
+            return;
+        }
+        if self.entries.len() >= MAX_ENTRIES {
+            if let Some(evicted) = self.entries.pop_front() {
+                self.floor = self.floor.max(evicted.seq);
+            }
+        }
+        self.entries.push_back(CommitDelta {
+            seq,
+            removed,
+            added,
+        });
+    }
+
+    /// Drop entries above `seq` — the batch-rollback path, where the
+    /// rolled-back commits never became durable.
+    pub(crate) fn truncate_above(&mut self, seq: u64) {
+        while matches!(self.entries.back(), Some(e) if e.seq > seq) {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Drop entries at or below `seq` and advance the floor to `seq`:
+    /// a checkpoint at `seq` has made them redundant, or a recovery
+    /// resumed the counter there.
+    pub(crate) fn prune_below(&mut self, seq: u64) {
+        while matches!(self.entries.front(), Some(e) if e.seq <= seq) {
+            self.entries.pop_front();
+        }
+        self.floor = self.floor.max(seq);
+    }
+
+    /// The commits in `(from_seq, to_seq]`, oldest first — or `None`
+    /// when the ring no longer covers `from_seq` (evicted or never
+    /// recorded), in which case the caller must fall back to a full
+    /// serialization.
+    pub(crate) fn range(&self, from_seq: u64, to_seq: u64) -> Option<Vec<CommitDelta>> {
+        if from_seq < self.floor {
+            return None;
+        }
+        Some(
+            self.entries
+                .iter()
+                .filter(|e| e.seq > from_seq && e.seq <= to_seq)
+                .cloned()
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relvu_relation::tup;
+
+    fn delta(seq: u64) -> (u64, Vec<Tuple>, Vec<Tuple>) {
+        (seq, vec![tup![seq, 1]], vec![])
+    }
+
+    #[test]
+    fn range_covers_recorded_commits() {
+        let mut ring = DirtyRing::new();
+        for s in 1..=5 {
+            let (seq, added, removed) = delta(s);
+            ring.record(seq, added, removed);
+        }
+        let got = ring.range(2, 4).unwrap();
+        assert_eq!(got.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![3, 4]);
+        // Full range from the floor.
+        assert_eq!(ring.range(0, 5).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn empty_deltas_are_covered_not_stored() {
+        let mut ring = DirtyRing::new();
+        ring.record(1, vec![], vec![]);
+        let got = ring.range(0, 1).unwrap();
+        assert!(got.is_empty(), "empty delta still covered");
+    }
+
+    #[test]
+    fn prune_below_advances_floor() {
+        let mut ring = DirtyRing::new();
+        for s in 1..=4 {
+            let (seq, added, removed) = delta(s);
+            ring.record(seq, added, removed);
+        }
+        ring.prune_below(2);
+        assert!(ring.range(1, 4).is_none(), "below the floor");
+        assert_eq!(ring.range(2, 4).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn truncate_above_drops_rolled_back_commits() {
+        let mut ring = DirtyRing::new();
+        for s in 1..=4 {
+            let (seq, added, removed) = delta(s);
+            ring.record(seq, added, removed);
+        }
+        ring.truncate_above(2);
+        assert_eq!(ring.range(0, 10).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn eviction_advances_floor() {
+        let mut ring = DirtyRing::new();
+        for s in 1..=(MAX_ENTRIES as u64 + 10) {
+            let (seq, added, removed) = delta(s);
+            ring.record(seq, added, removed);
+        }
+        assert!(ring.range(5, 100).is_none(), "oldest entries evicted");
+        let floor = 10;
+        assert!(ring.range(floor, MAX_ENTRIES as u64 + 10).is_some());
+    }
+}

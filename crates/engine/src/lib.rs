@@ -26,6 +26,7 @@
 mod batch;
 mod dag;
 mod db;
+mod dirty;
 mod error;
 mod log;
 mod mat;
@@ -38,6 +39,7 @@ mod view;
 
 pub use batch::{BatchOptions, BatchOutcome, BatchReport, BatchRequest, BatchStats};
 pub use db::{Database, UpdateReport, ViewStats};
+pub use dirty::CommitDelta;
 pub use error::EngineError;
 pub use log::{LogEntry, UpdateOp};
 pub use metrics::EngineMetrics;

@@ -20,7 +20,9 @@
 //! log                  show the audit log
 //! \snapshot            pin an epoch and print its consistent row counts
 //! \wal                 WAL status: next seq, segments, bytes
-//! \checkpoint          write a checkpoint (prunes covered WAL segments)
+//! \checkpoint          write a full checkpoint (prunes covered WAL)
+//! \ckpt-delta          write an incremental (delta) checkpoint
+//! \bg on|off           start/stop the background checkpointer
 //! \crash               simulate a crash + recovery from durable storage
 //! \metrics             dump engine metrics (Prometheus text format)
 //! quit
@@ -28,7 +30,9 @@
 
 use std::io::{self, BufRead, Write};
 
-use relvu::durability::{DurabilityError, DurableDatabase, MemVfs, Vfs, WalOptions};
+use relvu::durability::{
+    BgCheckpoint, DurabilityError, DurableDatabase, MemVfs, RecoveryReport, Vfs, WalOptions,
+};
 use relvu::engine::{Database, EngineError, Policy};
 use relvu::relation::{AttrSet, RelationDisplay, Tuple};
 use relvu::workload::fixtures;
@@ -56,7 +60,8 @@ fn main() {
     println!(
         "commands: show [view] | base | views | derive NAME ATTR.. | insert E D \
          | delete E D | move E D1 D2 | log \
-         | \\snapshot | \\wal | \\checkpoint | \\crash | \\metrics | quit"
+         | \\snapshot | \\wal | \\checkpoint | \\ckpt-delta | \\bg on|off \
+         | \\crash | \\metrics | quit"
     );
 
     let stdin = io::stdin();
@@ -164,29 +169,38 @@ fn main() {
                 }
             }
             ["\\checkpoint"] | ["checkpoint"] => match ddb.checkpoint() {
-                Ok(seq) => println!("checkpointed at seq {seq}"),
+                Ok(seq) => println!("full checkpoint at seq {seq}"),
                 Err(e) => println!("checkpoint failed: {e}"),
             },
+            ["\\ckpt-delta"] | ["ckpt-delta"] => match ddb.checkpoint_incremental() {
+                Ok(seq) => {
+                    let (tip, deltas) = ddb.checkpoint_chain();
+                    println!(
+                        "incremental checkpoint at seq {seq} (chain tip {tip}, {deltas} delta(s))"
+                    );
+                }
+                Err(e) => println!("incremental checkpoint failed: {e}"),
+            },
+            ["\\bg", "on"] | ["bg", "on"] => {
+                ddb.start_background_checkpointer(BgCheckpoint {
+                    wal_bytes: 2048,
+                    age_ms: 5_000,
+                    poll_ms: 100,
+                });
+                println!("background checkpointer started (2 KiB WAL growth or 5 s age)");
+            }
+            ["\\bg", "off"] | ["bg", "off"] => {
+                ddb.stop_background_checkpointer();
+                println!("background checkpointer stopped");
+            }
             ["\\crash"] | ["crash"] => {
                 // What would a restarted process see? Exactly the fsynced
                 // prefix of the store.
                 let image = vfs.crash_image();
                 match DurableDatabase::recover(image.clone(), opts) {
                     Ok((recovered, report)) => {
-                        println!(
-                            "recovered from `{}` (seq {}) + {} WAL records → seq {}",
-                            report.checkpoint,
-                            report.checkpoint_seq,
-                            report.records_replayed,
-                            report.last_seq
-                        );
-                        if report.possibly_lost_acknowledged_record() {
-                            println!("  WARNING: truncated tail may have been acknowledged");
-                        }
-                        if let Some(t) = report.torn_truncated {
-                            println!("  truncated torn tail in `{}` at {}", t.segment, t.offset);
-                        }
                         let lost = ddb.reader().last_seq() - report.last_seq;
+                        print_recovery(&report);
                         if lost > 0 {
                             println!("  {lost} unsynced update(s) would be lost");
                         }
@@ -221,6 +235,39 @@ fn main() {
         out.flush().ok();
     }
     println!("bye");
+}
+
+/// Print a [`RecoveryReport`] the way a production restart log would:
+/// restore point, chain, replay volume/parallelism, and wall times.
+fn print_recovery(report: &RecoveryReport) {
+    println!(
+        "recovered from `{}` (seq {}) + {} WAL records → seq {}",
+        report.checkpoint, report.checkpoint_seq, report.records_replayed, report.last_seq
+    );
+    if report.checkpoint_chain.len() > 1 {
+        println!(
+            "  checkpoint chain: {} file(s): {}",
+            report.checkpoint_chain.len(),
+            report.checkpoint_chain.join(" → ")
+        );
+    }
+    println!(
+        "  replay: {} record(s) in {} group(s) on {} thread(s), {:.1} ms ({:.1} ms total recovery)",
+        report.records_replayed,
+        report.replay_groups,
+        report.replay_threads,
+        report.replay_wall.as_secs_f64() * 1e3,
+        report.wall.as_secs_f64() * 1e3,
+    );
+    for (name, why) in &report.skipped_checkpoints {
+        println!("  skipped `{name}`: {why}");
+    }
+    if report.possibly_lost_acknowledged_record() {
+        println!("  WARNING: truncated tail may have been acknowledged");
+    }
+    if let Some(t) = &report.torn_truncated {
+        println!("  truncated torn tail in `{}` at {}", t.segment, t.offset);
+    }
 }
 
 fn report(result: Result<relvu::engine::UpdateReport, DurabilityError>) {

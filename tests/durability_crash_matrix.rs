@@ -33,6 +33,7 @@ fn opts() -> WalOptions {
     WalOptions {
         sync: SyncPolicy::Always,
         segment_bytes: 512,
+        ..WalOptions::default()
     }
 }
 
@@ -255,6 +256,7 @@ fn mid_log_bit_flip_is_refused_with_the_record_offset() {
     let big = WalOptions {
         sync: SyncPolicy::Always,
         segment_bytes: 1 << 20,
+        ..WalOptions::default()
     };
     let ddb = DurableDatabase::create(vfs.clone(), fresh_db(&s), big).unwrap();
     let mut accepted = 0;
@@ -523,5 +525,313 @@ fn dag_ddl_recovery_matrix() {
             }
             Err(e) => panic!("crash point {k}: recovery failed: {e}"),
         }
+    }
+}
+
+// ── PR 8: incremental + background checkpoints ──────────────────────────
+
+use relvu::durability::BgCheckpoint;
+
+/// Chain-friendly options: short delta chains so the op sweep crosses
+/// delta writes, full rollovers at the cap, AND chain-aware pruning of
+/// both checkpoints and WAL segments.
+fn incr_opts() -> WalOptions {
+    WalOptions {
+        sync: SyncPolicy::Always,
+        segment_bytes: 512,
+        retain_checkpoints: 2,
+        max_delta_chain: 3,
+        ..WalOptions::default()
+    }
+}
+
+/// Write an incremental checkpoint every this many accepted updates.
+const INCR_EVERY: usize = 12;
+
+/// Like `run`, but the mid-workload checkpoints are *incremental*: a
+/// delta file chained onto the previous checkpoint every `INCR_EVERY`
+/// accepted updates. The crash sweep therefore hits every storage
+/// operation of delta writes (tmp, sync, rename), of the full rollover
+/// when the chain reaches `max_delta_chain`, and of chain pruning.
+fn run_incr(s: &Script, vfs: &MemVfs) -> Trace {
+    let ddb = match DurableDatabase::create(vfs.clone(), fresh_db(s), incr_opts()) {
+        Ok(d) => d,
+        Err(_) => {
+            return Trace {
+                ops_created: u64::MAX,
+                dump_created: String::new(),
+                acks: Vec::new(),
+            };
+        }
+    };
+    let mut trace = Trace {
+        ops_created: vfs.write_ops(),
+        dump_created: ddb.reader().dump(),
+        acks: Vec::new(),
+    };
+    for op in &s.updates {
+        match ddb.apply("staff", op.clone()) {
+            Ok(_) => trace.acks.push(Ack {
+                ops: vfs.write_ops(),
+                dump: ddb.reader().dump(),
+                seq: ddb.reader().last_seq(),
+                ddl: false,
+            }),
+            Err(DurabilityError::Engine(_)) => continue,
+            Err(_) => return trace,
+        }
+        if trace.acks.len() % INCR_EVERY == 0 && ddb.checkpoint_incremental().is_err() {
+            return trace;
+        }
+    }
+    trace
+}
+
+/// Crash at EVERY mutating storage operation of a run that checkpoints
+/// incrementally: recovery must land exactly on the durable acked
+/// prefix. Incremental checkpoints never change engine state, so unlike
+/// the DDL matrix there is no "one ahead" tolerance here — a torn delta
+/// write, a half-finished chain prune, or a mid-rollover crash must all
+/// be invisible.
+#[test]
+fn incremental_checkpoint_recovery_matrix() {
+    let s = script();
+    let baseline_vfs = MemVfs::new();
+    let baseline = run_incr(&s, &baseline_vfs);
+    assert!(
+        baseline.acks.len() >= MIN_ACCEPTED,
+        "workload too small: {} accepted",
+        baseline.acks.len()
+    );
+    // The run must actually have exercised the chain machinery: delta
+    // files, a rollover past the cap, and pruning of a whole chain.
+    let files = baseline_vfs.list().unwrap();
+    let deltas = files
+        .iter()
+        .filter(|n| n.starts_with("ckpt-delta-"))
+        .count();
+    assert!(deltas >= 2, "expected a delta chain, got {files:?}");
+
+    let total_ops = baseline_vfs.write_ops();
+    for k in 0..=total_ops {
+        let vfs = MemVfs::with_plan(FaultPlan::crash_after(k));
+        run_incr(&s, &vfs);
+        let image = vfs.crash_image();
+        match DurableDatabase::recover(image, incr_opts()) {
+            Ok((recovered, report)) => {
+                let (want_dump, want_seq) = baseline
+                    .acks
+                    .iter()
+                    .take_while(|a| a.ops <= k)
+                    .last()
+                    .map_or((baseline.dump_created.as_str(), 0), |a| {
+                        (a.dump.as_str(), a.seq)
+                    });
+                assert_eq!(
+                    recovered.reader().dump(),
+                    want_dump,
+                    "crash point {k}: recovered state is not the durable prefix"
+                );
+                assert_eq!(
+                    recovered.reader().last_seq(),
+                    want_seq,
+                    "crash point {k}: wrong sequence number"
+                );
+                assert_eq!(report.last_seq, want_seq, "crash point {k}");
+                recovered
+                    .check_invariants()
+                    .unwrap_or_else(|e| panic!("crash point {k}: invariants violated: {e}"));
+            }
+            Err(DurabilityError::NoCheckpoint) => {
+                assert!(
+                    k < baseline.ops_created,
+                    "crash point {k}: store lost its checkpoint after creation"
+                );
+            }
+            Err(e) => panic!("crash point {k}: recovery failed: {e}"),
+        }
+    }
+}
+
+/// Bit-rot in the newest delta file: recovery must fall back to the
+/// longest intact chain prefix and replay the rest of the tail from the
+/// WAL — chain-aware pruning guarantees that tail was never pruned.
+#[test]
+fn torn_delta_checkpoint_falls_back_to_an_intact_restore_point() {
+    let s = script();
+    let vfs = MemVfs::new();
+    let baseline = run_incr(&s, &vfs);
+    let final_ack = baseline.acks.last().unwrap();
+
+    let mut deltas: Vec<String> = vfs
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("ckpt-delta-"))
+        .collect();
+    deltas.sort();
+    let victim = deltas.last().unwrap().clone();
+    let len = vfs.read(&victim).unwrap().len();
+    vfs.flip_bits(&victim, len - 2, 0x01);
+
+    let (recovered, report) = DurableDatabase::recover(vfs.crash_image(), incr_opts()).unwrap();
+    assert!(
+        report
+            .skipped_checkpoints
+            .iter()
+            .any(|(name, _)| *name == victim),
+        "corrupt delta was not skipped: {:?}",
+        report.skipped_checkpoints
+    );
+    assert!(report.checkpoint_seq < final_ack.seq);
+    assert!(report.records_replayed > 0, "fallback must replay the gap");
+    assert_eq!(recovered.reader().dump(), final_ack.dump);
+    assert_eq!(recovered.reader().last_seq(), final_ack.seq);
+    recovered.check_invariants().unwrap();
+}
+
+/// Bit-rot in a MIDDLE link of the live chain: the tip delta itself is
+/// intact but its chain is broken, so recovery must walk further back —
+/// to the longest prefix of the chain below the corrupt link — and
+/// replay a longer WAL tail. Nothing acknowledged may be lost.
+#[test]
+fn broken_middle_chain_link_falls_back_below_the_break() {
+    let s = script();
+    let vfs = MemVfs::new();
+    let baseline = run_incr(&s, &vfs);
+    let final_ack = baseline.acks.last().unwrap();
+
+    let mut deltas: Vec<String> = vfs
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("ckpt-delta-"))
+        .collect();
+    deltas.sort();
+    assert!(deltas.len() >= 2, "need a chain of >= 2 deltas: {deltas:?}");
+    let victim = deltas[deltas.len() - 2].clone();
+    let len = vfs.read(&victim).unwrap().len();
+    vfs.flip_bits(&victim, len - 2, 0x01);
+
+    let (recovered, report) = DurableDatabase::recover(vfs.crash_image(), incr_opts()).unwrap();
+    // Both the intact-but-orphaned tip and the corrupt middle link were
+    // rejected as restore points.
+    assert!(
+        report.skipped_checkpoints.len() >= 2,
+        "expected tip + middle link skipped: {:?}",
+        report.skipped_checkpoints
+    );
+    assert!(report.records_replayed > 0);
+    assert_eq!(recovered.reader().dump(), final_ack.dump);
+    assert_eq!(recovered.reader().last_seq(), final_ack.seq);
+    recovered.check_invariants().unwrap();
+}
+
+/// Run the workload with the REAL background checkpointer thread racing
+/// the commit loop (tiny byte trigger + 1ms poll: it fires constantly).
+fn run_bg(s: &Script, vfs: &MemVfs) -> Trace {
+    let mut ddb = match DurableDatabase::create(vfs.clone(), fresh_db(s), incr_opts()) {
+        Ok(d) => d,
+        Err(_) => {
+            return Trace {
+                ops_created: u64::MAX,
+                dump_created: String::new(),
+                acks: Vec::new(),
+            };
+        }
+    };
+    ddb.start_background_checkpointer(BgCheckpoint {
+        wal_bytes: 256,
+        age_ms: 0,
+        poll_ms: 1,
+    });
+    let mut trace = Trace {
+        ops_created: vfs.write_ops(),
+        dump_created: ddb.reader().dump(),
+        acks: Vec::new(),
+    };
+    for op in &s.updates {
+        match ddb.apply("staff", op.clone()) {
+            Ok(_) => trace.acks.push(Ack {
+                ops: vfs.write_ops(),
+                dump: ddb.reader().dump(),
+                seq: ddb.reader().last_seq(),
+                ddl: false,
+            }),
+            Err(DurabilityError::Engine(_)) => continue,
+            Err(_) => break,
+        }
+    }
+    ddb.stop_background_checkpointer();
+    trace
+}
+
+/// Crash while the background checkpointer races the commit path.
+/// Thread scheduling makes per-crash-point op attribution
+/// nondeterministic, so the assertion is the durability contract
+/// itself, checked against the crashed run's OWN acks and the
+/// deterministic engine states: recovery loses no acknowledged update,
+/// lands on a real workload state (engine replay is deterministic, so
+/// seq identifies the state), and satisfies the paper's invariants.
+#[test]
+fn background_checkpointer_crash_matrix() {
+    let s = script();
+    // Fault-free bg run sizes the op budget and provides dump-at-seq
+    // (single-threaded appliers: every seq 1..=N is some ack's seq).
+    let baseline_vfs = MemVfs::new();
+    let baseline = run_bg(&s, &baseline_vfs);
+    assert!(baseline.acks.len() >= MIN_ACCEPTED);
+    let total_ops = baseline_vfs.write_ops();
+
+    let step = (total_ops / 32).max(1);
+    let mut k = 0;
+    while k <= total_ops {
+        let vfs = MemVfs::with_plan(FaultPlan::crash_after(k));
+        let trace = run_bg(&s, &vfs);
+        let image = vfs.crash_image();
+        match DurableDatabase::recover(image, incr_opts()) {
+            Ok((recovered, _)) => {
+                let got_seq = recovered.reader().last_seq();
+                if let Some(last) = trace.acks.last() {
+                    assert!(
+                        got_seq >= last.seq,
+                        "crash point {k}: acked seq {} lost (recovered {got_seq})",
+                        last.seq
+                    );
+                }
+                // Engine commits are deterministic across runs, so the
+                // state at seq n is the baseline's state at seq n.
+                let want = if got_seq == 0 {
+                    baseline.dump_created.as_str()
+                } else {
+                    baseline
+                        .acks
+                        .iter()
+                        .find(|a| a.seq == got_seq)
+                        .map(|a| a.dump.as_str())
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "crash point {k}: recovered seq {got_seq} is not a workload state"
+                            )
+                        })
+                };
+                assert_eq!(
+                    recovered.reader().dump(),
+                    want,
+                    "crash point {k}: recovered state diverges at seq {got_seq}"
+                );
+                recovered
+                    .check_invariants()
+                    .unwrap_or_else(|e| panic!("crash point {k}: invariants violated: {e}"));
+            }
+            Err(DurabilityError::NoCheckpoint) => {
+                assert!(
+                    trace.acks.is_empty(),
+                    "crash point {k}: acked updates but no checkpoint survives"
+                );
+            }
+            Err(e) => panic!("crash point {k}: recovery failed: {e}"),
+        }
+        k += step;
     }
 }

@@ -43,6 +43,7 @@ fn opts(sync: SyncPolicy) -> WalOptions {
     WalOptions {
         sync,
         segment_bytes: 1024,
+        ..WalOptions::default()
     }
 }
 
@@ -239,6 +240,7 @@ fn crash_between_group_append_and_fsync_recovers_a_clean_prefix() {
     let big = WalOptions {
         sync: SyncPolicy::Always,
         segment_bytes: 1 << 20,
+        ..WalOptions::default()
     };
     let pre = UpdateOp::Insert {
         t: Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]),
