@@ -1,0 +1,265 @@
+//! E19 — CDC fan-out: subscription dispatch cost and delivery latency.
+//!
+//! The subscription hub dispatches every commit's view deltas to all
+//! registered subscribers *inside* the publish step, so event order is
+//! commit order by construction. That puts the fan-out loop on the
+//! writer's critical path, and this experiment measures what that
+//! costs:
+//!
+//! 1. **Fan-out throughput** — single-writer commit rate on a hot view
+//!    with 0 / 1 / 16 / 256 draining subscribers. The 0-subscriber row
+//!    is the baseline (the hub's only cost there is one atomic load);
+//!    the marginal per-commit cost of each extra subscriber is one
+//!    `Arc` clone and one bounded-queue push, so the rate should decay
+//!    gently, not collapse. Deltas are shared: one allocation per
+//!    commit regardless of the subscriber count.
+//! 2. **Delivery latency** — commit-start to subscriber-receipt time
+//!    for a tailing subscriber (p50/p99 over a fixed commit count),
+//!    with 1 and 16 subscribers attached. Since dispatch happens at
+//!    publish, this is dominated by the commit itself plus one condvar
+//!    wake.
+//!
+//! Run with `cargo bench --bench e19_cdc_fanout`; subscriber counts can
+//! be scaled down on tiny hosts via `RELVU_E19_MAX_SUBS`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use relvu_engine::{Database, Policy, SubEvent, SubscribeOptions};
+use relvu_relation::{Relation, Tuple, Value};
+use relvu_workload::schema_gen::{self, BenchSchema};
+
+const ROWS: u64 = 4096;
+const DEPTS: u64 = 64;
+const MEASURE_MS: u64 = 300;
+const LATENCY_COMMITS: usize = 500;
+/// Deep enough that a drainer on a busy host never overflows into
+/// terminal lag mid-measurement.
+const QUEUE: usize = 1 << 16;
+
+fn build_base(b: &BenchSchema) -> Relation {
+    let mut base = Relation::new(b.schema.universe());
+    for e in 0..ROWS {
+        let d = e % DEPTS;
+        base.insert(Tuple::new([
+            Value::int(e),
+            Value::int(d),
+            Value::int(d * 1_000_000),
+        ]))
+        .expect("fresh row");
+    }
+    base
+}
+
+fn build_db(b: &BenchSchema, base: &Relation) -> Database {
+    let d = b.schema.attr("D").expect("D");
+    let m = b.schema.attr("M0").expect("M0");
+    let db = Database::new(b.schema.clone(), b.fds.clone(), base.clone()).expect("legal base");
+    let dm: relvu_relation::AttrSet = [d, m].into_iter().collect();
+    db.create_view("mgrs", dm, None, Policy::Exact)
+        .expect("auto complement");
+    db
+}
+
+/// The E17 manager-change stream: every replace is translatable and
+/// produces a two-tuple instance delta on `mgrs`.
+struct Replaces {
+    cur: Vec<u64>,
+    i: u64,
+}
+
+impl Replaces {
+    fn new() -> Self {
+        Replaces {
+            cur: (0..DEPTS).map(|d| d * 1_000_000).collect(),
+            i: 0,
+        }
+    }
+
+    fn next(&mut self) -> (Tuple, Tuple) {
+        let d = self.i % DEPTS;
+        self.i += 1;
+        let old = self.cur[d as usize];
+        self.cur[d as usize] = old + 1;
+        (
+            Tuple::new([Value::int(d), Value::int(old)]),
+            Tuple::new([Value::int(d), Value::int(old + 1)]),
+        )
+    }
+}
+
+struct FanoutRow {
+    subs: usize,
+    commits_per_s: f64,
+    events_per_s: f64,
+    delivered_all: bool,
+}
+
+/// Writer commits flat out for [`MEASURE_MS`] with `n_subs` draining
+/// subscribers attached. Returns commit rate, aggregate delivered
+/// events/s, and whether every subscriber saw every commit.
+fn fanout_run(b: &BenchSchema, base: &Relation, n_subs: usize) -> FanoutRow {
+    let db = build_db(b, base);
+    let stop = AtomicBool::new(false);
+    let delivered = AtomicU64::new(0);
+    let clean = AtomicBool::new(true);
+    let started = Instant::now();
+    let commits = std::thread::scope(|s| {
+        let db = &db;
+        let stop = &stop;
+        let delivered = &delivered;
+        let clean = &clean;
+        for _ in 0..n_subs {
+            let sub = db
+                .subscribe("mgrs", SubscribeOptions::snapshot().with_capacity(QUEUE))
+                .expect("registered");
+            s.spawn(move || {
+                let mut local = 0u64;
+                loop {
+                    let ev = match sub.try_recv() {
+                        Some(ev) => Some(ev),
+                        None if stop.load(Ordering::Relaxed) => break,
+                        None => sub.recv_timeout(Duration::from_millis(5)),
+                    };
+                    match ev {
+                        Some(SubEvent::Delta(_)) => local += 1,
+                        Some(_) => {
+                            clean.store(false, Ordering::Relaxed);
+                            break;
+                        }
+                        None => {}
+                    }
+                }
+                // Terminal drain: events queued before `stop` was set.
+                while let Some(SubEvent::Delta(_)) = sub.try_recv() {
+                    local += 1;
+                }
+                delivered.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_millis(MEASURE_MS);
+        let mut stream = Replaces::new();
+        let mut commits = 0u64;
+        while Instant::now() < deadline {
+            let (t1, t2) = stream.next();
+            db.replace_via("mgrs", t1, t2).expect("translatable");
+            commits += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        commits
+    });
+    let secs = started.elapsed().as_secs_f64();
+    let events = delivered.load(Ordering::Relaxed);
+    FanoutRow {
+        subs: n_subs,
+        commits_per_s: commits as f64 / secs,
+        events_per_s: events as f64 / secs,
+        delivered_all: clean.load(Ordering::Relaxed) && events == commits * n_subs as u64,
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Commit-start → subscriber-receipt latency over [`LATENCY_COMMITS`]
+/// commits, with `n_subs` subscribers attached (one of them measured).
+/// The writer stamps each commit's start time into a per-seq slot; the
+/// measured subscriber reads the slot when the delta arrives.
+fn latency_run(b: &BenchSchema, base: &Relation, n_subs: usize) -> (Duration, Duration) {
+    let db = build_db(b, base);
+    let epoch = Instant::now();
+    let stamps: Vec<AtomicU64> = (0..=LATENCY_COMMITS).map(|_| AtomicU64::new(0)).collect();
+    let laps = std::thread::scope(|s| {
+        let db = &db;
+        let stamps = &stamps;
+        let measured = db
+            .subscribe("mgrs", SubscribeOptions::snapshot().with_capacity(QUEUE))
+            .expect("registered");
+        let extras: Vec<_> = (1..n_subs)
+            .map(|_| {
+                db.subscribe("mgrs", SubscribeOptions::snapshot().with_capacity(QUEUE))
+                    .expect("registered")
+            })
+            .collect();
+        let tail = s.spawn(move || {
+            let mut laps = Vec::with_capacity(LATENCY_COMMITS);
+            while laps.len() < LATENCY_COMMITS {
+                match measured.recv_timeout(Duration::from_secs(5)) {
+                    Some(SubEvent::Delta(d)) => {
+                        let now = epoch.elapsed().as_nanos() as u64;
+                        let sent = stamps[d.seq as usize].load(Ordering::Acquire);
+                        laps.push(Duration::from_nanos(now.saturating_sub(sent)));
+                    }
+                    other => panic!("tailing subscriber: unexpected {other:?}"),
+                }
+            }
+            laps
+        });
+        let mut stream = Replaces::new();
+        for stamp in stamps.iter().skip(1) {
+            let (t1, t2) = stream.next();
+            stamp.store(epoch.elapsed().as_nanos() as u64, Ordering::Release);
+            db.replace_via("mgrs", t1, t2).expect("translatable");
+        }
+        let laps = tail.join().expect("tailing subscriber");
+        drop(extras);
+        laps
+    });
+    let mut sorted = laps;
+    sorted.sort();
+    (percentile(&sorted, 0.50), percentile(&sorted, 0.99))
+}
+
+fn main() {
+    let max_subs: usize = std::env::var("RELVU_E19_MAX_SUBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let b = schema_gen::edm_family(1);
+    let base = build_base(&b);
+
+    println!("E19 — CDC fan-out: dispatch cost and delivery latency");
+    println!(
+        "  base {ROWS} rows, {DEPTS} departments; hot view `mgrs` = π(D,M0); \
+         each commit is a manager replace (2-tuple delta)"
+    );
+    println!();
+    println!("  fan-out throughput ({MEASURE_MS} ms per row):");
+    println!("    subs   commits/s    delivered events/s   complete");
+    let baseline = fanout_run(&b, &base, 0);
+    let mut rows = vec![baseline];
+    for n in [1usize, 16, 256] {
+        if n > max_subs {
+            println!("    (skipping {n} subscribers: RELVU_E19_MAX_SUBS={max_subs})");
+            continue;
+        }
+        rows.push(fanout_run(&b, &base, n));
+    }
+    let base_rate = rows[0].commits_per_s;
+    for r in &rows {
+        let overhead = if r.subs == 0 {
+            "baseline".to_string()
+        } else {
+            let per_commit = 1.0 / r.commits_per_s - 1.0 / base_rate;
+            format!("{:+.1} µs/commit", per_commit * 1e6)
+        };
+        println!(
+            "    {:>4}   {:>9.0}   {:>18.0}   {}   ({overhead})",
+            r.subs,
+            r.commits_per_s,
+            r.events_per_s,
+            if r.delivered_all { "yes" } else { "NO" },
+        );
+    }
+    println!();
+    println!("  delivery latency, commit start → subscriber receipt ({LATENCY_COMMITS} commits):");
+    for n in [1usize, 16] {
+        if n > max_subs {
+            continue;
+        }
+        let (p50, p99) = latency_run(&b, &base, n);
+        println!("    {n:>4} subscriber(s): p50 {p50:.2?}, p99 {p99:.2?}");
+    }
+}

@@ -744,9 +744,13 @@ mod tests {
         let (f, db) = seeded_db();
         grow_chain(&vfs, &f, &db, &["dan"], 8);
         // A fresh full checkpoint starts a new chain; with retain = 1
-        // the old chain (full + delta) goes away entirely.
-        let next = db.last_seq() + 1;
-        db.resume_at(next).unwrap();
+        // the old chain (full + delta) goes away entirely. Advance the
+        // seq with a real commit (a forward `resume_at` jump over a
+        // non-empty log is refused — it would mislabel the held
+        // entries).
+        let t = Tuple::new([f.dict.sym("eve"), f.dict.sym("toys")]);
+        db.insert_via("xy", t).unwrap();
+        let next = db.last_seq();
         write_full_checkpoint(&vfs, &db.snapshot(), 1).unwrap();
         let ckpts = list_checkpoints(&vfs).unwrap();
         assert_eq!(ckpts.len(), 1);

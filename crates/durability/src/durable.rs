@@ -53,7 +53,8 @@ use parking_lot::Mutex;
 
 use relvu_deps::FdSet;
 use relvu_engine::{
-    BatchOptions, BatchReport, BatchRequest, Database, EngineReader, Policy, UpdateOp, UpdateReport,
+    BatchOptions, BatchReport, BatchRequest, Database, EngineReader, Policy, SubscribeOptions,
+    Subscription, UpdateOp, UpdateReport,
 };
 use relvu_relation::{AttrSet, Pred};
 
@@ -396,6 +397,7 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
             let report = s.db.apply_op(view, op)?;
             let entry =
                 s.db.log_range(report.seq, 1)
+                    .entries
                     .pop()
                     .expect("the update just applied is in the log");
             (report, s.group.enqueue(vec![entry]))
@@ -432,7 +434,7 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
             }
             let before_seq = s.db.last_seq();
             let report = s.db.apply_batch_parallel(requests, options);
-            let entries = s.db.log_range(before_seq + 1, usize::MAX);
+            let entries = s.db.log_range(before_seq + 1, usize::MAX).entries;
             if entries.is_empty() {
                 return Ok(report);
             }
@@ -782,6 +784,46 @@ impl<V: Vfs + Clone> DurableDatabase<V> {
     /// [`Self::apply_batch`], and the DDL wrappers for anything durable.
     pub fn reader(&self) -> EngineReader<'_> {
         self.shared.db.reader()
+    }
+
+    /// Subscribe to a view's delta stream — CDC over this database's
+    /// WAL. Events are dispatched at the engine's snapshot publish
+    /// point, which the durable apply path reaches *before* releasing
+    /// its stage lock and acking, so event order == WAL order == ack
+    /// order — including the members of a group-committed batch, whose
+    /// events land atomically in batch order.
+    ///
+    /// Durability nuance per [`SyncPolicy`](crate::SyncPolicy): with `Always`,
+    /// every event the subscriber sees is already fsync-durable when its
+    /// apply call returns; with `EveryN`/`Never`, an event can precede
+    /// its fsync, so a crash may roll the store back below seqs a
+    /// subscriber already consumed — after recovery, resubscribe with
+    /// `SubscribeOptions::from_seq(recovered_seq)` and treat your folded
+    /// state above it as provisional.
+    ///
+    /// Subscriptions do not survive recovery: a recovered database is a
+    /// fresh engine, and subscribers must resubscribe. Resuming at the
+    /// recovered seq (`reader().last_seq()`) is gapless; resuming below
+    /// what the recovered engine covers fails with an explicit
+    /// `SubscriptionGap` rather than silently skipping history.
+    ///
+    /// # Errors
+    /// As `relvu_engine::Database::subscribe`.
+    pub fn subscribe(
+        &self,
+        view: &str,
+        opts: SubscribeOptions,
+    ) -> Result<Subscription, DurabilityError> {
+        Ok(self.shared.db.subscribe(view, opts)?)
+    }
+
+    /// Subscribe to the base relation's delta stream — see
+    /// [`Self::subscribe`].
+    ///
+    /// # Errors
+    /// As `relvu_engine::Database::subscribe_base`.
+    pub fn subscribe_base(&self, opts: SubscribeOptions) -> Result<Subscription, DurabilityError> {
+        Ok(self.shared.db.subscribe_base(opts)?)
     }
 
     /// The storage backend (for tests and tooling).

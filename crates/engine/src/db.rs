@@ -16,9 +16,13 @@ use relvu_relation::{AttrSet, Pred, Relation, Schema, Tuple};
 
 use crate::dag::ViewDag;
 use crate::dirty::{CommitDelta, DirtyRing};
-use crate::log::{LogEntry, UpdateOp};
+use crate::log::{LogEntry, LogRange, UpdateOp};
 use crate::mat::ViewMat;
 use crate::mvcc::{EngineSnapshot, LazyRel, LogState, SnapCell, SnapState, ViewSnap};
+use crate::subscribe::{
+    filtered_delta, make_subscriber, SubscribeFrom, SubscribeOptions, Subscription,
+    SubscriptionHub, ViewDelta,
+};
 use crate::view::ViewDef;
 use crate::{EngineError, Policy, Result};
 
@@ -80,6 +84,9 @@ pub(crate) struct Inner {
 
 /// One commit's reader-visible delta, queued for the next publish.
 pub(crate) struct PendingDelta {
+    /// The sequence number the commit was assigned — carried so the
+    /// subscription fan-out at the publish point can stamp its events.
+    pub(crate) seq: u64,
     pub(crate) base_added: Vec<Tuple>,
     pub(crate) base_removed: Vec<Tuple>,
     /// Views whose instance changed, with their instance-level deltas.
@@ -92,6 +99,9 @@ pub struct Database {
     /// The publish cell queries pin snapshots from, lock-free with
     /// respect to the engine write lock.
     pub(crate) cell: SnapCell,
+    /// Live delta-stream subscribers; fed at the snapshot publish point
+    /// so event order always equals snapshot (== WAL == ack) order.
+    pub(crate) hub: SubscriptionHub,
 }
 
 /// Run the translatability check for `op` against view `def` over the
@@ -212,6 +222,7 @@ impl Database {
         });
         Ok(Database {
             cell: SnapCell::new(Arc::clone(&cur)),
+            hub: SubscriptionHub::new(),
             inner: RwLock::new(Inner {
                 schema,
                 fds,
@@ -251,8 +262,19 @@ impl Database {
         let mut base = Arc::clone(&prev.base);
         let mut insts = prev.insts.clone();
         for pd in pending {
-            base = base.advance(pd.base_added, pd.base_removed);
-            for (name, added, removed) in pd.views {
+            // Fan out to subscribers exactly here — the same per-commit
+            // delta, in the same order, that this publish makes visible
+            // to snapshot readers. A batch drains its whole pending
+            // queue in one publish, so its events land atomically too.
+            self.hub.dispatch(&pd);
+            let PendingDelta {
+                base_added,
+                base_removed,
+                views,
+                ..
+            } = pd;
+            base = base.advance(base_added, base_removed);
+            for (name, added, removed) in views {
                 let Some(vs) = insts.get_mut(&name) else {
                     continue;
                 };
@@ -447,6 +469,10 @@ impl Database {
         }
         inner.stats.remove(name);
         inner.dag.remove(name, def.parent());
+        // Terminal-notify the dropped view's subscribers before the new
+        // epoch publishes: their queued events stay deliverable, then
+        // the stream ends with `SubEvent::Dropped`.
+        self.hub.notify_dropped(name);
         self.publish_rebuild(&mut inner);
         Ok(())
     }
@@ -856,13 +882,19 @@ impl Database {
     /// log (WAL shippers, the REPL) should use `log_range` directly so
     /// they never copy unbounded history.
     pub fn log(&self) -> Vec<LogEntry> {
-        self.log_range(0, usize::MAX)
+        self.log_range(0, usize::MAX).entries
     }
 
     /// The entries with sequence number `>= from_seq`, at most `limit` of
     /// them, in sequence order, from the published snapshot — an
     /// `O(limit)` copy out of the persistent chunked log, lock-free.
-    pub fn log_range(&self, from_seq: u64, limit: usize) -> Vec<LogEntry> {
+    ///
+    /// When the log no longer reaches back to `from_seq` (it was started
+    /// by a recovery/[`Database::resume_at`] above that point), the
+    /// missing prefix is reported in [`LogRange::gap`] — never silently
+    /// clamped to the oldest held entry, which would let a log tailer
+    /// misread "history discarded" as "nothing happened".
+    pub fn log_range(&self, from_seq: u64, limit: usize) -> LogRange {
         self.snapshot().log_range(from_seq, limit)
     }
 
@@ -885,11 +917,14 @@ impl Database {
     /// of it carry the sequence numbers they were assigned before the
     /// crash. Calling `resume_at(checkpoint_seq)` before replay makes the
     /// engine hand out matching numbers. Only forward jumps are allowed,
-    /// so the log stays strictly monotone.
+    /// so the log stays strictly monotone — and only over an *empty*
+    /// log: jumping past entries already held would tear a hole in the
+    /// contiguous log and mislabel every later range read.
     ///
     /// # Errors
     /// [`EngineError::SeqRegression`] if `seq` is below the current
-    /// sequence number.
+    /// sequence number; [`EngineError::SeqJumpOverLog`] if `seq` is
+    /// above it while the audit log is non-empty.
     pub fn resume_at(&self, seq: u64) -> Result<()> {
         let mut inner = self.inner.write();
         if seq < inner.seq {
@@ -897,6 +932,18 @@ impl Database {
                 current: inner.seq,
                 requested: seq,
             });
+        }
+        if seq > inner.seq {
+            if !inner.log.is_empty() {
+                return Err(EngineError::SeqJumpOverLog {
+                    current: inner.seq,
+                    requested: seq,
+                });
+            }
+            // The log's first entry will be seq+1; record where this
+            // incarnation's history starts so range reads below it
+            // report the gap instead of serving mislabeled entries.
+            inner.log.set_origin(seq);
         }
         inner.seq = seq;
         // Commits below the resumed counter predate this incarnation;
@@ -1033,6 +1080,11 @@ impl Database {
                 .expect("arity verified above");
         }
         let from = inner.base.attrs();
+        // Assign the commit's sequence number up front: the pending
+        // delta carries it to the publish-point fan-out, and the dirty
+        // ring keys its record by it.
+        let seq = inner.seq + 1;
+        let touched_for_ring;
         {
             // Topological delta propagation: every view's complement side
             // reads `π_Y(R)` off the base, so it folds the base delta
@@ -1080,7 +1132,9 @@ impl Database {
                     inst_deltas.insert(node.as_str(), out);
                 }
             }
+            touched_for_ring = touched.clone();
             pending.push(PendingDelta {
+                seq,
                 base_added: added.clone(),
                 base_removed: removed.clone(),
                 views: touched,
@@ -1115,9 +1169,8 @@ impl Database {
         #[cfg(not(debug_assertions))]
         let _ = (x, y);
         let rows_after = inner.base.len();
-        inner.seq += 1;
-        let seq = inner.seq;
-        inner.dirty.record(seq, added, removed);
+        inner.seq = seq;
+        inner.dirty.record(seq, added, removed, touched_for_ring);
         inner.stats.entry(name.to_string()).or_default().accepted += 1;
         relvu_obs::counter!("engine.accepted").inc();
         let entry = LogEntry {
@@ -1153,6 +1206,125 @@ impl Database {
     /// error rather than a silently-lost update.
     pub fn reader(&self) -> crate::reader::EngineReader<'_> {
         crate::reader::EngineReader::new(self)
+    }
+
+    /// Subscribe to a view's delta stream (see [`crate::subscribe`]).
+    ///
+    /// With [`SubscribeFrom::Snapshot`] the returned handle pins the
+    /// view's current instance ([`Subscription::origin_rows`]) and
+    /// streams every later commit that changes it. With
+    /// [`SubscribeFrom::Seq`]`(s)` the deltas of `(s, now]` are replayed
+    /// into the queue first — catch-up and the cut-over to live tailing
+    /// are atomic: both happen under the engine write lock, so no commit
+    /// can fall between them.
+    ///
+    /// For selection views the stream carries the visible `σ_P` side,
+    /// matching [`Database::view_instance`]: folding the deltas into the
+    /// origin instance reproduces `view_instance` at every event's seq
+    /// byte-identically.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownView`] if absent;
+    /// [`EngineError::SubscriptionAhead`] when resuming past the
+    /// engine's seq; [`EngineError::SubscriptionGap`] when the engine no
+    /// longer holds deltas back to the requested seq (re-origin from a
+    /// snapshot instead — the gap is reported, never silently skipped).
+    pub fn subscribe(&self, view: &str, opts: SubscribeOptions) -> Result<Subscription> {
+        self.subscribe_target(Some(view), opts)
+    }
+
+    /// Subscribe to the base relation's delta stream — every commit's
+    /// exact base-row delta, in commit order. Semantics as
+    /// [`Database::subscribe`].
+    ///
+    /// # Errors
+    /// As [`Database::subscribe`], minus the unknown-view case.
+    pub fn subscribe_base(&self, opts: SubscribeOptions) -> Result<Subscription> {
+        self.subscribe_target(None, opts)
+    }
+
+    fn subscribe_target(
+        &self,
+        target: Option<&str>,
+        opts: SubscribeOptions,
+    ) -> Result<Subscription> {
+        let inner = self.inner.write();
+        // Every mutator publishes before releasing the write lock, so
+        // under it there is nothing committed-but-undispatched: the
+        // registration point is exactly the published seq.
+        debug_assert!(inner.pending.is_empty(), "mutators publish before unlock");
+        let filter = match target {
+            None => None,
+            Some(name) => {
+                let def = inner
+                    .views
+                    .get(name)
+                    .ok_or_else(|| EngineError::UnknownView {
+                        name: name.to_string(),
+                    })?;
+                // Selection views: the ring and the pending queue carry
+                // the *full* π_X instance delta; the subscriber-visible
+                // stream is its σ_P side.
+                def.pred().map(|p| (def.x(), p.clone()))
+            }
+        };
+        let current = inner.seq;
+        let (origin_seq, origin_rows, prefill) = match opts.from {
+            SubscribeFrom::Snapshot => {
+                // `inner.cur` is the published state and equals the
+                // writer state here (pending is empty), so this pins the
+                // same structurally-shared instance `view_instance`
+                // serves at `current`.
+                let rows = match target {
+                    None => inner.cur.base.get(),
+                    Some(name) => {
+                        let vs = inner.cur.insts.get(name).expect("checked above");
+                        match &vs.split {
+                            Some((matching, _)) => matching.get(),
+                            None => vs.inst.get(),
+                        }
+                    }
+                };
+                (current, Some(rows), std::collections::VecDeque::new())
+            }
+            SubscribeFrom::Seq(s) => {
+                if s > current {
+                    return Err(EngineError::SubscriptionAhead {
+                        requested: s,
+                        current,
+                    });
+                }
+                let records = inner.dirty.records_range(s, current).ok_or_else(|| {
+                    EngineError::SubscriptionGap {
+                        requested: s,
+                        first_available: inner.dirty.floor(),
+                    }
+                })?;
+                let mut prefill = std::collections::VecDeque::new();
+                for r in records {
+                    let event: Option<Arc<ViewDelta>> = match target {
+                        None => filtered_delta(
+                            r.delta.seq,
+                            r.delta.added.clone(),
+                            r.delta.removed.clone(),
+                            &None,
+                        ),
+                        Some(name) => r.views.iter().find(|(n, _, _)| n == name).and_then(
+                            |(_, added, removed)| {
+                                filtered_delta(r.delta.seq, added.clone(), removed.clone(), &filter)
+                            },
+                        ),
+                    };
+                    if let Some(ev) = event {
+                        prefill.push_back(ev);
+                    }
+                }
+                (s, None, prefill)
+            }
+        };
+        let sub = make_subscriber(target.map(str::to_string), filter, opts.capacity, prefill);
+        self.hub.register(Arc::clone(&sub));
+        Ok(Subscription::new(sub, origin_seq, origin_rows))
     }
 
     /// The per-commit base deltas for `(from_seq, to_seq]`, oldest
@@ -1195,6 +1367,17 @@ impl Database {
                 current: inner.seq,
                 requested: final_seq,
             });
+        }
+        if final_seq > inner.seq {
+            if !inner.log.is_empty() {
+                return Err(EngineError::SeqJumpOverLog {
+                    current: inner.seq,
+                    requested: final_seq,
+                });
+            }
+            // Same origin bookkeeping as `resume_at`: the replayed
+            // history lives in the checkpoint chain, not this log.
+            inner.log.set_origin(final_seq);
         }
         let mut prev = inner.seq;
         for c in commits {
@@ -1325,12 +1508,18 @@ mod tests {
         }
         assert_eq!(db.last_seq(), 6);
         let mid = db.log_range(3, 2);
-        assert_eq!(mid.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4]);
-        // from_seq 0 and 1 both mean "from the start".
-        assert_eq!(db.log_range(0, usize::MAX).len(), 6);
-        assert_eq!(db.log_range(1, usize::MAX).len(), 6);
-        assert_eq!(db.log_range(7, 10), vec![]);
-        assert_eq!(db.log(), db.log_range(0, usize::MAX));
+        assert!(mid.is_complete());
+        assert_eq!(
+            mid.entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // from_seq 0 and 1 both mean "from the start" — no gap.
+        assert_eq!(db.log_range(0, usize::MAX).entries.len(), 6);
+        assert_eq!(db.log_range(1, usize::MAX).entries.len(), 6);
+        // Past the end is empty but complete, not a gap.
+        let past = db.log_range(7, 10);
+        assert!(past.is_complete() && past.entries.is_empty());
+        assert_eq!(db.log(), db.log_range(0, usize::MAX).entries);
     }
 
     #[test]
@@ -1342,7 +1531,7 @@ mod tests {
         let t = Tuple::new([f.dict.sym("dan"), f.dict.sym("toys")]);
         db.insert_via("staff", t).unwrap();
         assert_eq!(db.last_seq(), 42);
-        assert_eq!(db.log_range(42, 8)[0].seq, 42);
+        assert_eq!(db.log_range(42, 8).entries[0].seq, 42);
         assert_eq!(
             db.resume_at(7),
             Err(EngineError::SeqRegression {
@@ -1350,6 +1539,25 @@ mod tests {
                 requested: 7
             })
         );
+        // A forward jump over held log entries would mislabel them.
+        assert_eq!(
+            db.resume_at(100),
+            Err(EngineError::SeqJumpOverLog {
+                current: 42,
+                requested: 100
+            })
+        );
+        // Below the resumed origin the missing prefix is a reported gap,
+        // never a silent clamp onto the wrong entries.
+        let below = db.log_range(3, 8);
+        assert_eq!(
+            below.gap,
+            Some(crate::log::LogGap {
+                requested_from: 3,
+                first_available: 42
+            })
+        );
+        assert_eq!(below.entries[0].seq, 42);
     }
 
     #[test]

@@ -1,14 +1,37 @@
-//! Per-commit base-delta tracking for incremental checkpoints.
+//! Per-commit delta tracking for incremental checkpoints and
+//! subscription catch-up.
 //!
 //! Every accepted update already computes its exact base delta (the
-//! support-counted materializations need it); this module keeps a bounded
-//! ring of those deltas, keyed by commit sequence number, so a checkpoint
-//! can serialize *only what changed* since its parent instead of the full
-//! dump. Replaying the recorded commits in order reproduces the base
-//! relation **byte-for-byte** — including row order, which the dump format
-//! depends on — because each commit's removals and insertions are applied
-//! exactly as [`crate::Database::commit`] applied them (`Relation::remove`
-//! is a swap-remove, so net set-deltas would not be enough).
+//! support-counted materializations need it) *and* every touched view's
+//! instance delta (the DAG fold produces them); this module keeps a
+//! bounded ring of both, keyed by commit sequence number, so that
+//!
+//! * a checkpoint can serialize *only what changed* since its parent
+//!   instead of the full dump ([`DirtyRing::range`], base deltas only),
+//!   and
+//! * a subscriber resuming at seq `S` can replay the per-view deltas of
+//!   `(S, now]` before cutting over to live tailing
+//!   ([`DirtyRing::records_range`]).
+//!
+//! Replaying the recorded commits in order reproduces the base relation
+//! (and each view instance) **byte-for-byte** — including row order,
+//! which the dump format depends on — because each commit's removals and
+//! insertions are applied exactly as [`crate::Database::commit`] applied
+//! them (`Relation::remove` is a swap-remove, so net set-deltas would
+//! not be enough).
+//!
+//! # Boundary convention (shared by both consumers)
+//!
+//! Every range is **exclusive at the start, inclusive at the end**:
+//! `range(from, to)` / `records_range(from, to)` serve `(from, to]`, and
+//! `floor` is the coverage guarantee "every commit with
+//! `floor < seq <= engine seq` is covered". [`DirtyRing::prune_below`]
+//! `(seq)` drops entries `<= seq` and raises the floor to `seq` — so a
+//! checkpoint (or subscriber) that has folded *through* seq `T` can
+//! still resume at `from == T` after a prune at `T`: the boundary commit
+//! itself is already part of its state and is exactly the one entry the
+//! prune removed. A resume at `T-1` after that prune needs the pruned
+//! commit and correctly gets `None`.
 
 use std::collections::VecDeque;
 
@@ -27,17 +50,34 @@ pub struct CommitDelta {
     pub added: Vec<Tuple>,
 }
 
-/// Bounded ring of recent [`CommitDelta`]s.
+/// One commit's full delta record: the base delta (what checkpoints
+/// serialize) plus every touched view's *instance-level* delta (what
+/// subscription catch-up replays). Views whose instance did not change
+/// are absent from `views`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CommitRecord {
+    /// The base-delta part, as serialized into delta checkpoints.
+    pub(crate) delta: CommitDelta,
+    /// Per-view `(name, added, removed)` instance deltas, in DAG
+    /// (topological) order — the same vectors
+    /// [`crate::db::PendingDelta`] carried to the snapshot publish, so a
+    /// catch-up fold reproduces exactly what a live tail would have
+    /// seen.
+    pub(crate) views: Vec<(String, Vec<Tuple>, Vec<Tuple>)>,
+}
+
+/// Bounded ring of recent [`CommitRecord`]s.
 ///
 /// `floor` is the coverage guarantee: every commit with
 /// `floor < seq <= engine seq` that changed the base is present in
 /// `entries`. Commits with an empty base delta are not stored but are
 /// still covered — replay simply has nothing to do for them. When the
 /// ring overflows, the oldest entries are evicted and `floor` advances,
-/// shrinking the range an incremental checkpoint can cover (callers then
-/// fall back to a full checkpoint).
+/// shrinking the range an incremental checkpoint or resuming subscriber
+/// can cover (callers then fall back to a full serialization / a fresh
+/// snapshot origin).
 pub(crate) struct DirtyRing {
-    entries: VecDeque<CommitDelta>,
+    entries: VecDeque<CommitRecord>,
     floor: u64,
 }
 
@@ -53,55 +93,84 @@ impl DirtyRing {
         }
     }
 
-    /// Record a commit's base delta. Empty deltas are covered by `floor`
-    /// semantics without being stored.
-    pub(crate) fn record(&mut self, seq: u64, added: Vec<Tuple>, removed: Vec<Tuple>) {
+    /// The oldest sequence number a range may start from and still be
+    /// fully served — the exclusive lower bound of coverage.
+    pub(crate) fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Record a commit's base delta plus its touched views' instance
+    /// deltas. Empty deltas are covered by `floor` semantics without
+    /// being stored (an empty base delta implies every view delta is
+    /// empty — the folds are driven by it).
+    pub(crate) fn record(
+        &mut self,
+        seq: u64,
+        added: Vec<Tuple>,
+        removed: Vec<Tuple>,
+        views: Vec<(String, Vec<Tuple>, Vec<Tuple>)>,
+    ) {
         if added.is_empty() && removed.is_empty() {
+            debug_assert!(views.is_empty(), "view deltas derive from the base delta");
             return;
         }
         if self.entries.len() >= MAX_ENTRIES {
             if let Some(evicted) = self.entries.pop_front() {
-                self.floor = self.floor.max(evicted.seq);
+                self.floor = self.floor.max(evicted.delta.seq);
             }
         }
-        self.entries.push_back(CommitDelta {
-            seq,
-            removed,
-            added,
+        self.entries.push_back(CommitRecord {
+            delta: CommitDelta {
+                seq,
+                removed,
+                added,
+            },
+            views,
         });
     }
 
     /// Drop entries above `seq` — the batch-rollback path, where the
-    /// rolled-back commits never became durable.
+    /// rolled-back commits never became durable (or visible).
     pub(crate) fn truncate_above(&mut self, seq: u64) {
-        while matches!(self.entries.back(), Some(e) if e.seq > seq) {
+        while matches!(self.entries.back(), Some(e) if e.delta.seq > seq) {
             self.entries.pop_back();
         }
     }
 
     /// Drop entries at or below `seq` and advance the floor to `seq`:
     /// a checkpoint at `seq` has made them redundant, or a recovery
-    /// resumed the counter there.
+    /// resumed the counter there. Ranges starting *at* `seq` stay fully
+    /// served (the boundary commit is part of the caller's state, not of
+    /// the range — see the module docs).
     pub(crate) fn prune_below(&mut self, seq: u64) {
-        while matches!(self.entries.front(), Some(e) if e.seq <= seq) {
+        while matches!(self.entries.front(), Some(e) if e.delta.seq <= seq) {
             self.entries.pop_front();
         }
         self.floor = self.floor.max(seq);
     }
 
-    /// The commits in `(from_seq, to_seq]`, oldest first — or `None`
-    /// when the ring no longer covers `from_seq` (evicted or never
-    /// recorded), in which case the caller must fall back to a full
-    /// serialization.
+    /// The base deltas of the commits in `(from_seq, to_seq]`, oldest
+    /// first — or `None` when the ring no longer covers `from_seq`
+    /// (evicted or never recorded), in which case the caller must fall
+    /// back to a full serialization.
     pub(crate) fn range(&self, from_seq: u64, to_seq: u64) -> Option<Vec<CommitDelta>> {
+        self.records_range(from_seq, to_seq)
+            .map(|rs| rs.into_iter().map(|r| r.delta.clone()).collect())
+    }
+
+    /// The full records of the commits in `(from_seq, to_seq]`, oldest
+    /// first — the subscription catch-up source. `None` under exactly
+    /// the same condition as [`DirtyRing::range`], so the checkpointer's
+    /// pinned boundary and a resuming subscriber can never disagree
+    /// about whether a seq is covered.
+    pub(crate) fn records_range(&self, from_seq: u64, to_seq: u64) -> Option<Vec<&CommitRecord>> {
         if from_seq < self.floor {
             return None;
         }
         Some(
             self.entries
                 .iter()
-                .filter(|e| e.seq > from_seq && e.seq <= to_seq)
-                .cloned()
+                .filter(|e| e.delta.seq > from_seq && e.delta.seq <= to_seq)
                 .collect(),
         )
     }
@@ -116,23 +185,35 @@ mod tests {
         (seq, vec![tup![seq, 1]], vec![])
     }
 
+    fn push(ring: &mut DirtyRing, s: u64) {
+        let (seq, added, removed) = delta(s);
+        let views = vec![("v".to_string(), added.clone(), vec![])];
+        ring.record(seq, added, removed, views);
+    }
+
     #[test]
     fn range_covers_recorded_commits() {
         let mut ring = DirtyRing::new();
         for s in 1..=5 {
-            let (seq, added, removed) = delta(s);
-            ring.record(seq, added, removed);
+            push(&mut ring, s);
         }
         let got = ring.range(2, 4).unwrap();
         assert_eq!(got.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![3, 4]);
         // Full range from the floor.
         assert_eq!(ring.range(0, 5).unwrap().len(), 5);
+        // The view-delta side serves the same seqs.
+        let recs = ring.records_range(2, 4).unwrap();
+        assert_eq!(
+            recs.iter().map(|r| r.delta.seq).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert_eq!(recs[0].views.len(), 1);
     }
 
     #[test]
     fn empty_deltas_are_covered_not_stored() {
         let mut ring = DirtyRing::new();
-        ring.record(1, vec![], vec![]);
+        ring.record(1, vec![], vec![], vec![]);
         let got = ring.range(0, 1).unwrap();
         assert!(got.is_empty(), "empty delta still covered");
     }
@@ -141,20 +222,47 @@ mod tests {
     fn prune_below_advances_floor() {
         let mut ring = DirtyRing::new();
         for s in 1..=4 {
-            let (seq, added, removed) = delta(s);
-            ring.record(seq, added, removed);
+            push(&mut ring, s);
         }
         ring.prune_below(2);
         assert!(ring.range(1, 4).is_none(), "below the floor");
         assert_eq!(ring.range(2, 4).unwrap().len(), 2);
+        assert_eq!(ring.floor(), 2);
+    }
+
+    /// The shared-boundary contract: after a checkpoint prunes at `T`, a
+    /// subscriber that folded through `T` resumes gaplessly, and one at
+    /// `T-1` is told (not silently shorted) that coverage is gone. Both
+    /// consumers use the same `(from, to]` convention, so the boundary
+    /// commit can never be both pruned and still needed.
+    #[test]
+    fn checkpoint_prune_and_subscriber_resume_agree_at_the_boundary() {
+        let mut ring = DirtyRing::new();
+        for s in 1..=6 {
+            push(&mut ring, s);
+        }
+        let t = 3;
+        ring.prune_below(t); // the checkpointer's prune at its pinned seq
+        let resumed = ring.records_range(t, 6).expect("resume at T is covered");
+        assert_eq!(
+            resumed.iter().map(|r| r.delta.seq).collect::<Vec<_>>(),
+            vec![4, 5, 6],
+            "the boundary commit T is the subscriber's state, not its need"
+        );
+        assert!(
+            ring.records_range(t - 1, 6).is_none(),
+            "resume at T-1 needs the pruned commit T and must be refused"
+        );
+        // And the checkpointer's own view agrees entry-for-entry.
+        assert_eq!(ring.range(t, 6).unwrap().len(), 3);
+        assert!(ring.range(t - 1, 6).is_none());
     }
 
     #[test]
     fn truncate_above_drops_rolled_back_commits() {
         let mut ring = DirtyRing::new();
         for s in 1..=4 {
-            let (seq, added, removed) = delta(s);
-            ring.record(seq, added, removed);
+            push(&mut ring, s);
         }
         ring.truncate_above(2);
         assert_eq!(ring.range(0, 10).unwrap().len(), 2);
@@ -164,8 +272,7 @@ mod tests {
     fn eviction_advances_floor() {
         let mut ring = DirtyRing::new();
         for s in 1..=(MAX_ENTRIES as u64 + 10) {
-            let (seq, added, removed) = delta(s);
-            ring.record(seq, added, removed);
+            push(&mut ring, s);
         }
         assert!(ring.range(5, 100).is_none(), "oldest entries evicted");
         let floor = 10;

@@ -90,6 +90,39 @@ pub enum EngineError {
         /// The (smaller) requested sequence number.
         requested: u64,
     },
+    /// A forward sequence jump (`resume_at` / checkpoint-delta replay
+    /// past the current seq) was requested while the audit log already
+    /// holds entries: honoring it would tear a hole in the contiguous
+    /// log and mislabel every later entry. Jumps are only valid on an
+    /// empty log (the recovery path, where the pre-jump history lives in
+    /// the checkpoint/WAL instead).
+    SeqJumpOverLog {
+        /// The engine's current sequence number.
+        current: u64,
+        /// The requested (larger) sequence number.
+        requested: u64,
+    },
+    /// A subscriber asked to resume its delta stream from a sequence
+    /// number the engine no longer (or never) holds deltas for — the
+    /// dirty ring was pruned by a checkpoint, evicted on overflow, or
+    /// the engine was resumed past it. The missed range is
+    /// `requested..first_available`; the subscriber must re-origin from
+    /// a snapshot (or another delta source) instead of assuming nothing
+    /// happened.
+    SubscriptionGap {
+        /// The sequence number the subscriber asked to resume from.
+        requested: u64,
+        /// The oldest resume point the engine can serve gaplessly.
+        first_available: u64,
+    },
+    /// A subscriber asked to resume from a sequence number *ahead* of
+    /// the engine — its claimed fold state cannot exist yet.
+    SubscriptionAhead {
+        /// The sequence number the subscriber asked to resume from.
+        requested: u64,
+        /// The engine's current sequence number.
+        current: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -143,6 +176,24 @@ impl fmt::Display for EngineError {
             EngineError::SeqRegression { current, requested } => write!(
                 f,
                 "cannot resume at seq {requested}: the engine is already at seq {current}"
+            ),
+            EngineError::SeqJumpOverLog { current, requested } => write!(
+                f,
+                "cannot jump the sequence counter from {current} to {requested}: the audit \
+                 log holds entries and a forward jump would tear a hole in it"
+            ),
+            EngineError::SubscriptionGap {
+                requested,
+                first_available,
+            } => write!(
+                f,
+                "cannot resume a subscription at seq {requested}: deltas before seq \
+                 {first_available} are no longer held (re-origin from a snapshot)"
+            ),
+            EngineError::SubscriptionAhead { requested, current } => write!(
+                f,
+                "cannot resume a subscription at seq {requested}: the engine is only at \
+                 seq {current}"
             ),
         }
     }

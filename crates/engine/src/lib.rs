@@ -35,17 +35,19 @@ mod mvcc;
 mod policy;
 mod reader;
 mod snapshot;
+pub mod subscribe;
 mod view;
 
 pub use batch::{BatchOptions, BatchOutcome, BatchReport, BatchRequest, BatchStats};
 pub use db::{Database, UpdateReport, ViewStats};
 pub use dirty::CommitDelta;
 pub use error::EngineError;
-pub use log::{LogEntry, UpdateOp};
+pub use log::{LogEntry, LogGap, LogRange, UpdateOp};
 pub use metrics::EngineMetrics;
 pub use mvcc::{EngineSnapshot, MatParts};
 pub use policy::Policy;
 pub use reader::EngineReader;
+pub use subscribe::{SubEvent, SubscribeFrom, SubscribeOptions, Subscription, ViewDelta};
 pub use view::ViewDef;
 
 /// Crate-wide result alias.

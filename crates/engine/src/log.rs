@@ -25,6 +25,43 @@ pub enum UpdateOp {
     },
 }
 
+/// A gap at the front of a requested log range: the caller asked for
+/// entries below the oldest sequence number the log still holds (the
+/// log was started after a recovery/`resume_at`, or history below the
+/// resume point was never in this incarnation). The entries in
+/// `first_available..` are served; everything in
+/// `requested_from..first_available` is *reported missing* rather than
+/// silently skipped — a catch-up consumer must treat this as "replay
+/// from another source or re-origin", never as "nothing happened".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogGap {
+    /// The sequence number the caller asked to start from.
+    pub requested_from: u64,
+    /// The oldest sequence number this log can serve.
+    pub first_available: u64,
+}
+
+/// The result of a bounded log read: the served entries plus an explicit
+/// front gap when the log no longer reaches back to the requested start.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogRange {
+    /// `Some` when entries in `requested_from..first_available` exist
+    /// conceptually (they were assigned before this log incarnation) but
+    /// cannot be served. `None` means the range is gapless: `entries`
+    /// starts at the requested sequence number (or the range is simply
+    /// past the end of the log).
+    pub gap: Option<LogGap>,
+    /// The served entries, contiguous and in sequence order.
+    pub entries: Vec<LogEntry>,
+}
+
+impl LogRange {
+    /// True when the requested range was served without a front gap.
+    pub fn is_complete(&self) -> bool {
+        self.gap.is_none()
+    }
+}
+
 /// One successfully applied view update.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEntry {

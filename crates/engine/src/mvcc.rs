@@ -44,7 +44,7 @@ use relvu_deps::FdSet;
 use relvu_relation::{Relation, Schema, Tuple};
 
 use crate::db::ViewStats;
-use crate::log::LogEntry;
+use crate::log::{LogEntry, LogGap, LogRange};
 use crate::view::ViewDef;
 use crate::{EngineError, Result};
 
@@ -180,8 +180,12 @@ pub(crate) struct LogState {
     /// Unsealed entries, newest-first.
     tail: Option<Arc<LogNode>>,
     tail_len: usize,
-    /// Sequence number of the oldest entry (meaningless when empty).
-    first_seq: u64,
+    /// The sequence number *before* this log's first entry: the held
+    /// entries are exactly `origin+1 ..= origin+len`. A fresh log has
+    /// origin 0; a log started by `resume_at(seq)`/recovery has
+    /// origin `seq`, and requests below `origin+1` report a
+    /// [`LogGap`] instead of silently starting at the first held entry.
+    origin: u64,
     len: usize,
 }
 
@@ -191,22 +195,38 @@ impl Default for LogState {
             chunks: Arc::new(Vec::new()),
             tail: None,
             tail_len: 0,
-            first_seq: 0,
+            origin: 0,
             len: 0,
         }
     }
 }
 
 impl LogState {
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn len(&self) -> usize {
-        self.len
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The oldest sequence number this log can serve (`origin + 1`).
+    /// Meaningful even when empty: the next pushed entry must carry it.
+    pub(crate) fn first_available(&self) -> u64 {
+        self.origin + 1
+    }
+
+    /// Re-base an **empty** log at `origin`, so the next entry carries
+    /// `origin + 1` — the recovery/`resume_at` hook that makes requests
+    /// for pre-incarnation history a reported [`LogGap`] rather than a
+    /// silent mislabeling of later entries.
+    pub(crate) fn set_origin(&mut self, origin: u64) {
+        debug_assert_eq!(self.len, 0, "origin moves only on an empty log");
+        self.origin = origin;
     }
 
     pub(crate) fn push(&mut self, entry: LogEntry) {
-        if self.len == 0 {
-            self.first_seq = entry.seq;
-        }
+        debug_assert_eq!(
+            entry.seq,
+            self.origin + self.len as u64 + 1,
+            "the log is contiguous: push seq must extend origin+len"
+        );
         self.tail = Some(Arc::new(LogNode {
             entry,
             prev: self.tail.take(),
@@ -230,17 +250,36 @@ impl LogState {
     }
 
     /// Entries with `seq >= from_seq`, at most `limit`, in sequence
-    /// order — same contract as the `Vec`-backed log it replaced: the
-    /// log is contiguous in `seq`, so this is arithmetic plus an
-    /// O(limit) copy, never a scan.
-    pub(crate) fn range(&self, from_seq: u64, limit: usize) -> Vec<LogEntry> {
+    /// order, plus an explicit [`LogGap`] when `from_seq` reaches below
+    /// the oldest entry this log holds. The log is contiguous in `seq`,
+    /// so this is arithmetic plus an O(limit) copy, never a scan.
+    ///
+    /// `from_seq` 0 and 1 both mean "from the start of history"
+    /// (sequence numbers start at 1), so a fresh log reports no gap for
+    /// either. A request entirely *past* the end is empty but gapless —
+    /// those entries do not exist yet, as opposed to having been lost.
+    pub(crate) fn range(&self, from_seq: u64, limit: usize) -> LogRange {
+        let first = self.first_available();
+        let gap = (from_seq.max(1) < first).then_some(LogGap {
+            requested_from: from_seq,
+            first_available: first,
+        });
         if self.len == 0 {
-            return Vec::new();
+            return LogRange {
+                gap,
+                entries: Vec::new(),
+            };
         }
-        let start = from_seq.saturating_sub(self.first_seq).min(self.len as u64) as usize;
+        // Index of the first served entry: a below-origin request
+        // clamps to 0, which is correct *because* the clamp is now
+        // reported through `gap` instead of being silent.
+        let start = from_seq.saturating_sub(first).min(self.len as u64) as usize;
         let end = start.saturating_add(limit).min(self.len);
         if start >= end {
-            return Vec::new();
+            return LogRange {
+                gap,
+                entries: Vec::new(),
+            };
         }
         let mut out = Vec::with_capacity(end - start);
         let sealed = self.len - self.tail_len;
@@ -264,7 +303,7 @@ impl LogState {
                 out.push((*e).clone());
             }
         }
-        out
+        LogRange { gap, entries: out }
     }
 }
 
@@ -448,14 +487,18 @@ impl EngineSnapshot {
         &self.state.stats
     }
 
-    /// The whole audit log as of this snapshot.
+    /// The whole audit log *held by this snapshot* — after a recovery or
+    /// `resume_at`, entries before the resume point are not in it (use
+    /// [`EngineSnapshot::log_range`] to have that reported as a gap).
     pub fn log(&self) -> Vec<LogEntry> {
-        self.log_range(0, usize::MAX)
+        self.log_range(0, usize::MAX).entries
     }
 
     /// Log entries with `seq >= from_seq`, at most `limit`, as of this
-    /// snapshot.
-    pub fn log_range(&self, from_seq: u64, limit: usize) -> Vec<LogEntry> {
+    /// snapshot — with an explicit [`LogGap`] when `from_seq` reaches
+    /// below the oldest entry the log still holds, so a tailing consumer
+    /// can never mistake a truncated front for "nothing happened".
+    pub fn log_range(&self, from_seq: u64, limit: usize) -> LogRange {
         self.state.log.range(from_seq, limit)
     }
 
@@ -583,9 +626,11 @@ mod tests {
             rows_after: 0,
         };
         let mut log = LogState::default();
-        assert!(log.range(0, usize::MAX).is_empty());
+        let empty = log.range(0, usize::MAX);
+        assert!(empty.entries.is_empty() && empty.gap.is_none());
         // Cross several chunk seals, starting at a recovery-style offset.
         let first = 40u64;
+        log.set_origin(first - 1);
         let n = (LOG_CHUNK * 3 + 17) as u64;
         for seq in first..first + n {
             log.push(entry(seq));
@@ -610,18 +655,94 @@ mod tests {
             (first + n + 10, 7),
             (first + 3, 0),
         ] {
-            assert_eq!(
-                log.range(from, limit),
-                slice(from, limit),
-                "({from},{limit})"
-            );
+            let got = log.range(from, limit);
+            assert_eq!(got.entries, slice(from, limit), "({from},{limit})");
+            // The front gap is reported exactly when the request starts
+            // below the oldest held entry (0 and 1 both mean "start of
+            // history"; history below `first` was never in this log).
+            assert_eq!(got.gap.is_some(), from.max(1) < first, "({from},{limit})");
+            if let Some(gap) = got.gap {
+                assert_eq!((gap.requested_from, gap.first_available), (from, first));
+            }
         }
-        assert_eq!(log.len(), n as usize);
+        assert_eq!(log.len, n as usize);
         // Snapshot clones are independent of later pushes.
         let pinned = log.clone();
         log.push(entry(first + n));
-        assert_eq!(pinned.len(), n as usize);
-        assert_eq!(log.len(), n as usize + 1);
-        assert_eq!(pinned.range(0, usize::MAX), reference);
+        assert_eq!(pinned.len, n as usize);
+        assert_eq!(log.len, n as usize + 1);
+        assert_eq!(pinned.range(0, usize::MAX).entries, reference);
+    }
+
+    proptest::proptest! {
+        /// Log-tail sweep: `LogState::range` agrees with an independent
+        /// Vec oracle (`filter(seq >= from).take(limit)`) for arbitrary
+        /// origins, lengths and queries. The deterministic seam queries
+        /// appended to every case pin the chunk-boundary behavior the
+        /// sealed-chunk/tail-walk split could get wrong: a range ending
+        /// exactly at a seal point, starting just past one, `limit == 0`,
+        /// `from == last + 1`, and lengths at exact `LOG_CHUNK`
+        /// multiples.
+        #[test]
+        fn log_range_matches_vec_oracle(
+            origin in 0u64..500,
+            len in 0usize..(LOG_CHUNK * 3 + 5),
+            queries in proptest::collection::vec(
+                (0u64..1500, 0usize..(LOG_CHUNK * 3 + 10)),
+                1..16,
+            ),
+        ) {
+            use crate::log::UpdateOp;
+            use proptest::prop_assert_eq;
+            use relvu_core::Translation;
+            let entry = |seq: u64| LogEntry {
+                seq,
+                view: "v".into(),
+                op: UpdateOp::Insert { t: tup![seq] },
+                translation: Translation::Identity,
+                rows_before: 0,
+                rows_after: 0,
+            };
+            let first = origin + 1;
+            let reference: Vec<LogEntry> =
+                (0..len as u64).map(|i| entry(first + i)).collect();
+            let mut log = LogState::default();
+            log.set_origin(origin);
+            for e in &reference {
+                log.push(e.clone());
+            }
+            let chunk = LOG_CHUNK as u64;
+            let last = origin + len as u64;
+            let mut queries = queries;
+            queries.extend([
+                (first.saturating_sub(1), 3),        // just below history
+                (first + chunk - 1, 3),              // ends at a seal point
+                (first + chunk, 2),                  // starts just past one
+                (first + chunk, LOG_CHUNK),          // exactly one chunk
+                (first, 0),                          // limit == 0
+                (last + 1, 5),                       // from == last + 1
+                (0, usize::MAX),                     // everything
+            ]);
+            for (from, limit) in queries {
+                let got = log.range(from, limit);
+                let want: Vec<LogEntry> = reference
+                    .iter()
+                    .filter(|e| e.seq >= from)
+                    .take(limit)
+                    .cloned()
+                    .collect();
+                prop_assert_eq!(&got.entries, &want, "range({}, {})", from, limit);
+                prop_assert_eq!(
+                    got.gap.is_some(),
+                    from.max(1) < first,
+                    "gap presence for range({}, {})",
+                    from,
+                    limit
+                );
+                if let Some(g) = got.gap {
+                    prop_assert_eq!((g.requested_from, g.first_available), (from, first));
+                }
+            }
+        }
     }
 }

@@ -15,9 +15,10 @@ use relvu_deps::FdSet;
 use relvu_relation::{Relation, Schema};
 
 use crate::db::{Database, ViewStats};
-use crate::log::LogEntry;
+use crate::log::{LogEntry, LogRange};
 use crate::metrics::EngineMetrics;
 use crate::mvcc::EngineSnapshot;
+use crate::subscribe::{SubscribeOptions, Subscription};
 use crate::view::ViewDef;
 use crate::Result;
 
@@ -62,8 +63,27 @@ impl<'a> EngineReader<'a> {
     }
 
     /// A bounded slice of the audit log — see [`Database::log_range`].
-    pub fn log_range(&self, from_seq: u64, limit: usize) -> Vec<LogEntry> {
+    pub fn log_range(&self, from_seq: u64, limit: usize) -> LogRange {
         self.db.log_range(from_seq, limit)
+    }
+
+    /// Subscribe to a view's delta stream — see [`Database::subscribe`].
+    /// Receiving events only observes state, so the read-only handle
+    /// exposes it: a subscriber cannot bypass the WAL.
+    ///
+    /// # Errors
+    /// As [`Database::subscribe`].
+    pub fn subscribe(&self, view: &str, opts: SubscribeOptions) -> Result<Subscription> {
+        self.db.subscribe(view, opts)
+    }
+
+    /// Subscribe to the base relation's delta stream — see
+    /// [`Database::subscribe_base`].
+    ///
+    /// # Errors
+    /// As [`Database::subscribe_base`].
+    pub fn subscribe_base(&self, opts: SubscribeOptions) -> Result<Subscription> {
+        self.db.subscribe_base(opts)
     }
 
     /// The most recently applied sequence number — see

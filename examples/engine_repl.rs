@@ -18,6 +18,10 @@
 //! delete <emp> <dept>  remove through the view
 //! move <emp> <d1> <d2> replace (emp,d1) by (emp,d2)
 //! log                  show the audit log
+//! \subscribe [view]    stream `view`'s deltas (default `staff`; `base`
+//!                      for the base relation) — events print after
+//!                      each subsequent command
+//! \subs                list live subscriptions and their queue depths
 //! \snapshot            pin an epoch and print its consistent row counts
 //! \wal                 WAL status: next seq, segments, bytes
 //! \checkpoint          write a full checkpoint (prunes covered WAL)
@@ -33,7 +37,7 @@ use std::io::{self, BufRead, Write};
 use relvu::durability::{
     BgCheckpoint, DurabilityError, DurableDatabase, MemVfs, RecoveryReport, Vfs, WalOptions,
 };
-use relvu::engine::{Database, EngineError, Policy};
+use relvu::engine::{Database, EngineError, Policy, SubEvent, SubscribeOptions, Subscription};
 use relvu::relation::{AttrSet, RelationDisplay, Tuple};
 use relvu::workload::fixtures;
 
@@ -59,10 +63,11 @@ fn main() {
     println!("durability: WAL + checkpoints on an in-memory store");
     println!(
         "commands: show [view] | base | views | derive NAME ATTR.. | insert E D \
-         | delete E D | move E D1 D2 | log \
+         | delete E D | move E D1 D2 | log | \\subscribe [view] | \\subs \
          | \\snapshot | \\wal | \\checkpoint | \\ckpt-delta | \\bg on|off \
          | \\crash | \\metrics | quit"
     );
+    let mut subs: Vec<Subscription> = Vec::new();
 
     let stdin = io::stdin();
     let mut out = io::stdout();
@@ -205,10 +210,51 @@ fn main() {
                             println!("  {lost} unsynced update(s) would be lost");
                         }
                         // The "restarted process" now lives on the image.
+                        // Subscriptions are in-process state: they die
+                        // with the old engine and must be re-created.
+                        if !subs.is_empty() {
+                            println!(
+                                "  {} subscription(s) did not survive the restart — \\subscribe again",
+                                subs.len()
+                            );
+                            subs.clear();
+                        }
                         ddb = recovered;
                         vfs = image;
                     }
                     Err(e) => println!("recovery failed: {e}"),
+                }
+            }
+            ["\\subscribe"] | ["subscribe"] | ["\\subscribe", _] | ["subscribe", _] => {
+                let name = words.get(1).copied().unwrap_or("staff");
+                let result = if name == "base" {
+                    ddb.subscribe_base(SubscribeOptions::snapshot())
+                } else {
+                    ddb.subscribe(name, SubscribeOptions::snapshot())
+                };
+                match result {
+                    Ok(sub) => {
+                        println!(
+                            "subscribed to `{name}` from seq {} ({} origin rows)",
+                            sub.origin_seq(),
+                            sub.origin_rows().map_or(0, |r| r.len()),
+                        );
+                        subs.push(sub);
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["\\subs"] | ["subs"] => {
+                if subs.is_empty() {
+                    println!("  no live subscriptions");
+                }
+                for sub in &subs {
+                    println!(
+                        "  `{}`  from seq {}, {} event(s) queued",
+                        sub.target().unwrap_or("base"),
+                        sub.origin_seq(),
+                        sub.queue_depth(),
+                    );
                 }
             }
             ["\\snapshot"] | ["snapshot"] => {
@@ -231,10 +277,45 @@ fn main() {
             }
             other => println!("unknown command: {other:?}"),
         }
+        drain_subscriptions(&mut subs, &f);
         print!("> ");
         out.flush().ok();
     }
     println!("bye");
+}
+
+/// Print every pending subscription event, and drop subscriptions whose
+/// stream ended (`Dropped` after a `drop`ped view, or terminal lag).
+fn drain_subscriptions(subs: &mut Vec<Subscription>, f: &fixtures::EdmFixture) {
+    subs.retain(|sub| {
+        let name = sub.target().unwrap_or("base").to_string();
+        loop {
+            match sub.try_recv() {
+                Some(SubEvent::Delta(d)) => {
+                    let show = |t: &Tuple| {
+                        let vals: Vec<String> = t.values().map(|v| f.dict.show(v)).collect();
+                        format!("({})", vals.join(", "))
+                    };
+                    let mut parts = Vec::new();
+                    parts.extend(d.deletes.iter().map(|t| format!("-{}", show(t))));
+                    parts.extend(d.inserts.iter().map(|t| format!("+{}", show(t))));
+                    println!("[sub {name}] #{} {}", d.seq, parts.join(" "));
+                }
+                Some(SubEvent::Lagged { missed_from_seq }) => {
+                    println!(
+                        "[sub {name}] LAGGED: events from seq {missed_from_seq} were missed — \
+                         resubscribe to catch up"
+                    );
+                    break false;
+                }
+                Some(SubEvent::Dropped) => {
+                    println!("[sub {name}] view dropped; stream ended");
+                    break false;
+                }
+                None => break true,
+            }
+        }
+    });
 }
 
 /// Print a [`RecoveryReport`] the way a production restart log would:

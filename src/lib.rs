@@ -58,7 +58,8 @@ pub mod prelude {
     pub use relvu_deps::{closure, Fd, FdSet, Jd, Mvd};
     pub use relvu_durability::{DurableDatabase, MemVfs, StdVfs, SyncPolicy, Vfs, WalOptions};
     pub use relvu_engine::{
-        BatchOptions, BatchReport, BatchRequest, BatchStats, Database, Policy, UpdateOp,
+        BatchOptions, BatchReport, BatchRequest, BatchStats, Database, Policy, SubEvent,
+        SubscribeFrom, SubscribeOptions, Subscription, UpdateOp, ViewDelta,
     };
     pub use relvu_relation::{
         ops, Attr, AttrSet, Relation, Schema, SuccinctView, Tuple, Value, ValueDict,

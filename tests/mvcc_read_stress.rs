@@ -135,7 +135,7 @@ fn stress_round(readers: usize, millis: u64) {
                         // The log agrees with the seq: the entry at
                         // `seq` exists in this snapshot and is its tail.
                         if snap.seq() > 0 {
-                            let tail = snap.log_range(snap.seq(), 2);
+                            let tail = snap.log_range(snap.seq(), 2).entries;
                             assert_eq!(tail.len(), 1, "log tail beyond seq {}", snap.seq());
                             assert_eq!(tail[0].seq, snap.seq());
                         }
