@@ -106,7 +106,15 @@ impl ChaseState {
     ///
     /// Each round groups rows by their resolved LHS projection per FD and
     /// equates disagreeing RHS values; rounds repeat until no equation is
-    /// added. Returns the number of equations applied.
+    /// added. Returns the number of equations applied (path-independent:
+    /// every successful union merges two classes, so the count equals the
+    /// drop in class count at fixpoint).
+    ///
+    /// Grouping is sort-based over a flat reusable key buffer — no
+    /// per-row key allocation, no `Value` hashing. A round works off a
+    /// snapshot of the class representatives per FD; merges discovered
+    /// late in a round land in the next one, and the FD chase's
+    /// confluence makes the fixpoint identical.
     ///
     /// # Errors
     /// Stops at the first [`ConstConflict`] — the paper's "two distinct
@@ -125,28 +133,52 @@ impl ChaseState {
             .collect();
         let n = self.rows.len();
         let mut total = 0usize;
-        let mut groups: HashMap<Vec<u32>, u32> = HashMap::new();
+        // Scratch reused across FDs and rounds.
+        let mut keys: Vec<u32> = Vec::new();
+        let mut idx: Vec<u32> = Vec::new();
         loop {
             let mut changed = false;
             for (lhs_cols, rhs_col) in &plans {
-                groups.clear();
+                let k = lhs_cols.len();
+                keys.clear();
                 for i in 0..n {
-                    let key: Vec<u32> = lhs_cols
-                        .iter()
-                        .map(|&c| self.uf.find(self.node_rows[i][c]))
-                        .collect();
-                    let aid = self.node_rows[i][*rhs_col];
-                    match groups.get(&key) {
-                        None => {
-                            groups.insert(key, aid);
-                        }
-                        Some(&prev) => {
-                            if self.uf.union(prev, aid)? {
+                    for &c in lhs_cols {
+                        keys.push(self.uf.find(self.node_rows[i][c]));
+                    }
+                }
+                idx.clear();
+                idx.extend(0..n as u32);
+                {
+                    let keys = &keys;
+                    idx.sort_unstable_by(|&a, &b| {
+                        let (a, b) = (a as usize * k, b as usize * k);
+                        keys[a..a + k].cmp(&keys[b..b + k]).then(a.cmp(&b))
+                    });
+                }
+                // Equal-key runs are row-ascending; equate each later
+                // row's RHS with the run's first, as the grouped probe
+                // did.
+                let mut s = 0usize;
+                while s < n {
+                    let key_of = |j: usize| {
+                        let at = idx[j] as usize * k;
+                        &keys[at..at + k]
+                    };
+                    let mut e = s + 1;
+                    while e < n && key_of(e) == key_of(s) {
+                        e += 1;
+                    }
+                    if e - s > 1 {
+                        let first = self.node_rows[idx[s] as usize][*rhs_col];
+                        for &j in &idx[s + 1..e] {
+                            let aid = self.node_rows[j as usize][*rhs_col];
+                            if self.uf.union(first, aid)? {
                                 changed = true;
                                 total += 1;
                             }
                         }
                     }
+                    s = e;
                 }
             }
             if !changed {

@@ -113,13 +113,45 @@ impl ViewCtx {
     }
 
     /// Row indices of `V` agreeing with `t` on `X ∩ Y` (the μ candidates
-    /// of condition (a)).
+    /// of condition (a)). Columnar: a conjunctive scan over interned id
+    /// columns, O(1) when some shared value of `t` never occurs in `V`.
     pub fn mu_rows(&self, v: &Relation, t: &Tuple) -> Vec<usize> {
-        v.iter()
-            .enumerate()
-            .filter(|(_, r)| r.agrees(&self.x, t, &self.x, &self.shared))
-            .map(|(i, _)| i)
-            .collect()
+        let out: Vec<usize> = v
+            .slots_agreeing(t, &self.x, self.shared, None)
+            .into_iter()
+            .map(|i| i as usize)
+            .collect();
+        #[cfg(debug_assertions)]
+        {
+            let expect: Vec<usize> = v
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.agrees(&self.x, t, &self.x, &self.shared))
+                .map(|(i, _)| i)
+                .collect();
+            debug_assert_eq!(out, expect, "columnar μ scan diverged from row scan");
+        }
+        out
+    }
+
+    /// Row indices of `V` qualifying as potential violation witnesses for
+    /// the FD `Z → A` against `t` (§3.1): agree with `t` on `Z ∩ X` and,
+    /// if `A ∈ X`, disagree on `A`. Ascending order, so rejection
+    /// reasons report the same `row` the historical row-wise scan did.
+    pub fn qualifying_rows(&self, v: &Relation, t: &Tuple, z: AttrSet, a: Attr) -> Vec<u32> {
+        let differ = self.x.contains(a).then_some(a);
+        let out = v.slots_agreeing(t, &self.x, z & self.x, differ);
+        #[cfg(debug_assertions)]
+        {
+            let expect: Vec<u32> = v
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| qualifies(self, r, t, z, a))
+                .map(|(i, _)| i as u32)
+                .collect();
+            debug_assert_eq!(out, expect, "columnar witness scan diverged from row scan");
+        }
+        out
     }
 }
 
@@ -143,6 +175,10 @@ pub(crate) fn run_chase(
 /// Does row `r` qualify as a potential violation witness for the FD
 /// `Z → A` against inserted tuple `t` (§3.1)? It must agree with `t` on
 /// `Z ∩ X` and, if `A ∈ X`, disagree on `A`.
+///
+/// Row-wise reference semantics for [`ViewCtx::qualifying_rows`]'s
+/// columnar scan; debug builds cross-check the two on every call.
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
 pub(crate) fn qualifies(ctx: &ViewCtx, r: &Tuple, t: &Tuple, z: AttrSet, a: Attr) -> bool {
     let z_in_x = z & ctx.x;
     if !r.agrees(&ctx.x, t, &ctx.x, &z_in_x) {

@@ -36,10 +36,10 @@ pub fn translate_delete(
     if !v.contains(t) {
         return Ok(Translatability::Translatable(Translation::Identity));
     }
-    // (a): another tuple of V must carry t's X∩Y projection.
-    let has_other = v
-        .iter()
-        .any(|r| r != t && r.agrees(&ctx.x, t, &ctx.x, &ctx.shared));
+    // (a): another tuple of V must carry t's X∩Y projection. `t ∈ V`
+    // matches itself in the columnar scan, so "some other row agrees"
+    // is a match count of at least two.
+    let has_other = v.slots_agreeing(t, &ctx.x, ctx.shared, None).len() >= 2;
     if !has_other {
         return Ok(Translatability::Rejected(
             RejectReason::IntersectionNotInRemainder,

@@ -25,7 +25,7 @@ use relvu_chase::ChaseState;
 use relvu_deps::FdSet;
 use relvu_relation::{AttrSet, Relation, Schema, Tuple};
 
-use crate::common::{qualifies, ViewCtx};
+use crate::common::ViewCtx;
 use crate::outcome::{RejectReason, Translatability, Translation};
 use crate::{CoreError, Result};
 
@@ -114,10 +114,8 @@ pub fn translate_insert_naive(
         let a = fd.rhs().first().expect("atomized");
         let z_in_rest = z & ctx.y_minus_x;
         let a_in_rest = ctx.y_minus_x.contains(a);
-        for (row, r) in v.iter().enumerate() {
-            if !crate::common::qualifies(&ctx, r, t, z, a) {
-                continue;
-            }
+        for row in ctx.qualifying_rows(v, t, z, a) {
+            let row = row as usize;
             let mut st = fresh.clone();
             let mut succeeded = false;
             for w in z_in_rest.iter() {
@@ -167,10 +165,8 @@ fn condition_c(
         let a = fd.rhs().first().expect("atomized");
         let z_in_rest = z & ctx.y_minus_x;
         let a_in_rest = ctx.y_minus_x.contains(a);
-        for (row, r) in v.iter().enumerate() {
-            if !qualifies(ctx, r, t, z, a) {
-                continue;
-            }
+        for row in ctx.qualifying_rows(v, t, z, a) {
+            let row = row as usize;
             // Cheap path: no hypothesis symbols to identify — the base
             // chase already holds the verdict.
             if z_in_rest.is_empty() {

@@ -14,7 +14,7 @@ use relvu_chase::ChaseState;
 use relvu_deps::FdSet;
 use relvu_relation::{AttrSet, Relation, Schema, Tuple};
 
-use crate::common::{qualifies, ViewCtx};
+use crate::common::ViewCtx;
 use crate::outcome::{RejectReason, Translatability, Translation};
 use crate::{CoreError, Result};
 
@@ -48,10 +48,9 @@ pub fn translate_replace(
     }
     let same_shared = t1.agrees(&ctx.x, t2, &ctx.x, &ctx.shared);
     if !same_shared {
-        // Case 1 preconditions (a) and (b).
-        let t1_elsewhere = v
-            .iter()
-            .any(|r| r != t1 && r.agrees(&ctx.x, t1, &ctx.x, &ctx.shared));
+        // Case 1 preconditions (a) and (b). `t1 ∈ V` matches itself, so
+        // "another row agrees on X∩Y" is a match count of at least two.
+        let t1_elsewhere = v.slots_agreeing(t1, &ctx.x, ctx.shared, None).len() >= 2;
         if !t1_elsewhere {
             return Ok(Translatability::Rejected(
                 RejectReason::IntersectionNotInRemainder,
@@ -83,18 +82,17 @@ pub fn translate_replace(
     if crate::common::run_chase(&mut base, fds).is_err() {
         return Err(CoreError::InvalidViewInstance);
     }
+    let t1_row = v.slot_of(t1);
     let atomized = fds.atomized();
     for (fd_index, fd) in atomized.iter().enumerate() {
         let z = fd.lhs();
         let a = fd.rhs().first().expect("atomized");
         let z_in_rest = z & ctx.y_minus_x;
         let a_in_rest = ctx.y_minus_x.contains(a);
-        for (row, r) in v.iter().enumerate() {
-            if r == t1 {
+        for row in ctx.qualifying_rows(v, t2, z, a) {
+            let row = row as usize;
+            if Some(row) == t1_row {
                 continue; // t1's base tuples are removed by the update
-            }
-            if !qualifies(&ctx, r, t2, z, a) {
-                continue;
             }
             if z_in_rest.is_empty() {
                 if a_in_rest && base.equated(ctx.null_of(row, a), ctx.null_of(mu, a)) {

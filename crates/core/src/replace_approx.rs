@@ -17,7 +17,7 @@ use relvu_deps::check::satisfies_fds;
 use relvu_deps::FdSet;
 use relvu_relation::{ops, AttrSet, Relation, Schema, Tuple};
 
-use crate::common::{qualifies, ViewCtx};
+use crate::common::ViewCtx;
 use crate::outcome::{RejectReason, Translatability, Translation};
 use crate::test2::Test2;
 use crate::{CoreError, Result};
@@ -44,9 +44,9 @@ fn structural(
         return Err(CoreError::TupleNotOverView);
     }
     if !t1.agrees(&ctx.x, t2, &ctx.x, &ctx.shared) {
-        let t1_elsewhere = v
-            .iter()
-            .any(|r| r != t1 && r.agrees(&ctx.x, t1, &ctx.x, &ctx.shared));
+        // `t1 ∈ V` matches itself in the columnar scan, so "another row
+        // agrees on X∩Y" is a match count of at least two.
+        let t1_elsewhere = v.slots_agreeing(t1, &ctx.x, ctx.shared, None).len() >= 2;
         if !t1_elsewhere {
             return Ok(Err(Translatability::Rejected(
                 RejectReason::IntersectionNotInRemainder,
@@ -89,14 +89,16 @@ pub fn test1_replace(
             RejectReason::ReplacementTargetNotInView,
         ));
     }
+    let t1_row = v.slot_of(t1);
     let atomized = fds.atomized();
     for (fd_index, fd) in atomized.iter().enumerate() {
         let z = fd.lhs();
         let a = fd.rhs().first().expect("atomized");
         let z_in_rest = z & ctx.y_minus_x;
         let a_in_rest = ctx.y_minus_x.contains(a);
-        for (row, r) in v.iter().enumerate() {
-            if r == t1 || !qualifies(&ctx, r, t2, z, a) {
+        for row in ctx.qualifying_rows(v, t2, z, a) {
+            let row = row as usize;
+            if Some(row) == t1_row {
                 continue;
             }
             let mut succeeded = false;

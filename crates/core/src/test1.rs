@@ -15,7 +15,7 @@ use relvu_chase::ChaseState;
 use relvu_deps::FdSet;
 use relvu_relation::{AttrSet, Relation, Schema, Tuple};
 
-use crate::common::{qualifies, ViewCtx};
+use crate::common::ViewCtx;
 use crate::outcome::{RejectReason, Translatability, Translation};
 use crate::Result;
 
@@ -61,10 +61,8 @@ impl Test1 {
             let a = fd.rhs().first().expect("atomized");
             let z_in_rest = z & ctx.y_minus_x;
             let a_in_rest = ctx.y_minus_x.contains(a);
-            for (row, r) in v.iter().enumerate() {
-                if !qualifies(&ctx, r, t, z, a) {
-                    continue;
-                }
+            for row in ctx.qualifying_rows(v, t, z, a) {
+                let row = row as usize;
                 let mut succeeded = false;
                 for &mu in &mu_rows {
                     if two_tuple_chase_succeeds(&ctx, fds, v, row, mu, z_in_rest, a_in_rest, a) {

@@ -1035,7 +1035,7 @@ impl Database {
 
     /// Apply a verified translation to the base as a tuple delta, fold
     /// the delta into every view's materialization, and log. The delta
-    /// is derived from the committing view's bucketed complement — the
+    /// is derived from the committing view's sorted complement — the
     /// whole commit is O(|Δ| · views), independent of |base|. In debug
     /// builds the old full recomputation survives as an oracle: the
     /// delta-updated base must equal [`Translation::apply`]'s result

@@ -45,6 +45,10 @@ pub enum RelationError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A column dictionary exhausted its `u32` id space (≈4.29 billion
+    /// distinct values interned in one attribute over the relation's
+    /// lifetime).
+    DictFull,
 }
 
 impl fmt::Display for RelationError {
@@ -82,6 +86,9 @@ impl fmt::Display for RelationError {
             }
             RelationError::MalformedSuccinct { reason } => {
                 write!(f, "malformed succinct view: {reason}")
+            }
+            RelationError::DictFull => {
+                write!(f, "column dictionary exhausted its u32 id space")
             }
         }
     }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod attr;
+mod columnar;
 mod display;
 mod error;
 pub mod ops;
@@ -33,6 +34,7 @@ mod tuple;
 mod value;
 
 pub use attr::{Attr, AttrSet, AttrSetIter, MAX_ATTRS};
+pub use columnar::{gallop, FnvMap};
 pub use display::{RelationDisplay, TupleDisplay};
 pub use error::RelationError;
 pub use pred::{CmpOp, Pred};

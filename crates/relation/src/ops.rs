@@ -4,12 +4,25 @@
 //! These are the primitives the paper composes: views are projections
 //! `π_X(R)`, translated insertions join `t * π_Y(R)`, complements are
 //! checked via `π_X(R) * π_Y(R) = R` (Theorem 1).
+//!
+//! All operators build their result through [`Relation::from_rows`]'s
+//! bulk path (one `O(n log n)` index build) rather than per-row
+//! `insert`s, and the join is a sort/gallop merge over interned id
+//! columns instead of a tuple-keyed hash join. Output row order is
+//! unchanged from the historical hash-based implementations — the
+//! serialization layers depend on it.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
 
-use crate::{AttrSet, Relation, RelationError, Result, Tuple};
+use crate::columnar::gallop;
+use crate::{Attr, AttrSet, Relation, RelationError, Result, Tuple, Value};
 
 /// Projection `π_X(r)`. `x` must be a subset of `r`'s attributes.
+///
+/// Duplicates are discovered on the interned id columns *before* any
+/// output tuple is materialized: only the `|π_X(r)|` surviving rows are
+/// allocated. First occurrence wins, so output order matches a
+/// sequential insert of each row's projection.
 ///
 /// # Errors
 /// Fails with [`RelationError::NotASubset`] otherwise.
@@ -18,55 +31,86 @@ pub fn project(r: &Relation, x: AttrSet) -> Result<Relation> {
         return Err(RelationError::NotASubset);
     }
     let from = r.attrs();
-    let mut out = Relation::new(x);
-    for t in r {
-        out.insert(t.project(&from, &x))?;
+    let cols: Vec<&[u32]> = x.iter().map(|a| r.col_ids(a)).collect();
+    let n = r.len();
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        for ids in &cols {
+            match ids[a as usize].cmp(&ids[b as usize]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        a.cmp(&b)
+    });
+    let mut keep = vec![true; n];
+    for w in idx.windows(2) {
+        if cols
+            .iter()
+            .all(|ids| ids[w[0] as usize] == ids[w[1] as usize])
+        {
+            // Runs are slot-ascending, so the first occurrence survives.
+            keep[w[1] as usize] = false;
+        }
     }
-    Ok(out)
+    Relation::from_rows(
+        x,
+        r.rows()
+            .iter()
+            .zip(&keep)
+            .filter(|&(_, &k)| k)
+            .map(|(t, _)| t.project(&from, &x)),
+    )
 }
 
 /// Natural join `r * s` on the shared attributes.
 ///
-/// Implemented as a hash join on `r.attrs() ∩ s.attrs()`; with an empty
-/// overlap this degenerates to the Cartesian product, as in the paper's
+/// Implemented as a gallop merge join: `s`'s slots are sorted once by
+/// the **values** of the shared columns, then each row of `r` locates
+/// its matching run with a binary search plus an exponential
+/// ([`gallop`]) probe for the run's end. With an empty overlap this
+/// degenerates to the Cartesian product, as in the paper's
 /// `t * π_Y(R)` when `X ∩ Y = ∅`.
 pub fn natural_join(r: &Relation, s: &Relation) -> Result<Relation> {
     let shared = r.attrs() & s.attrs();
     let out_attrs = r.attrs() | s.attrs();
-    let mut out = Relation::new(out_attrs);
-    // Build side: index s by its shared-attr projection.
-    let s_attrs = s.attrs();
     let r_attrs = r.attrs();
-    let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
-    for t in s {
-        index
-            .entry(t.project(&s_attrs, &shared))
-            .or_default()
-            .push(t);
-    }
+    let s_attrs = s.attrs();
+    // Sort side: s by shared-column values, storage order within runs —
+    // so the output enumerates (r storage order) × (s storage order
+    // within each key), exactly as the old insertion-ordered hash
+    // buckets did.
+    let s_sorted = s.slots_sorted_by(shared);
+    let s_ranks = s.ranks_of(shared);
+    let s_rows = s.rows();
+    let shared_attrs: Vec<Attr> = shared.iter().collect();
+    let mut key: Vec<Value> = Vec::with_capacity(shared_attrs.len());
+    let mut joined: Vec<Tuple> = Vec::new();
     for t in r {
-        let key = t.project(&r_attrs, &shared);
-        if let Some(matches) = index.get(&key) {
-            for m in matches {
-                out.insert(t.joined(&r_attrs, m, &s_attrs))?;
-            }
+        key.clear();
+        key.extend(shared_attrs.iter().map(|&a| t.get(&r_attrs, a)));
+        let lo = s_sorted
+            .partition_point(|&slot| s.cmp_slot_values(slot, &s_ranks, &key) == Ordering::Less);
+        let run = gallop(&s_sorted[lo..], |&slot| {
+            s.cmp_slot_values(slot, &s_ranks, &key) == Ordering::Equal
+        });
+        for &slot in &s_sorted[lo..lo + run] {
+            joined.push(t.joined(&r_attrs, &s_rows[slot as usize], &s_attrs));
         }
     }
-    Ok(out)
+    // Distinct r-rows joined with distinct s-rows cannot collide, so
+    // from_rows' dedup is a no-op; it only builds the sorted index.
+    Relation::from_rows(out_attrs, joined)
 }
 
 /// Selection `σ_P(r)`.
 pub fn select<P: FnMut(&Tuple) -> bool>(r: &Relation, mut pred: P) -> Relation {
-    let mut out = Relation::new(r.attrs());
-    for t in r {
-        if pred(t) {
-            out.insert(t.clone()).expect("same arity");
-        }
-    }
-    out
+    Relation::from_rows(r.attrs(), r.rows().iter().filter(|t| pred(t)).cloned())
+        .expect("rows already have the relation's arity")
 }
 
-/// Union `r ∪ s` (same attribute set required).
+/// Union `r ∪ s` (same attribute set required). Output order: `r`'s
+/// rows in storage order, then `s`'s novel rows in storage order.
 ///
 /// # Errors
 /// Fails with [`RelationError::SchemaMismatch`] if the attribute sets differ.
@@ -74,11 +118,13 @@ pub fn union(r: &Relation, s: &Relation) -> Result<Relation> {
     if r.attrs() != s.attrs() {
         return Err(RelationError::SchemaMismatch);
     }
-    let mut out = r.clone();
-    for t in s {
-        out.insert(t.clone())?;
-    }
-    Ok(out)
+    Relation::from_rows(
+        r.attrs(),
+        r.rows()
+            .iter()
+            .chain(s.rows().iter().filter(|t| !r.contains(t)))
+            .cloned(),
+    )
 }
 
 /// Difference `r − s` (same attribute set required).
@@ -89,13 +135,10 @@ pub fn difference(r: &Relation, s: &Relation) -> Result<Relation> {
     if r.attrs() != s.attrs() {
         return Err(RelationError::SchemaMismatch);
     }
-    let mut out = Relation::new(r.attrs());
-    for t in r {
-        if !s.contains(t) {
-            out.insert(t.clone())?;
-        }
-    }
-    Ok(out)
+    Relation::from_rows(
+        r.attrs(),
+        r.rows().iter().filter(|t| !s.contains(t)).cloned(),
+    )
 }
 
 /// Cartesian product `r × s` (disjoint attribute sets required).

@@ -1,26 +1,48 @@
-//! Relation instances with set semantics.
+//! Relation instances with set semantics, stored columnar.
+//!
+//! Rows live twice: as the [`Tuple`]s callers iterate (in insertion
+//! order, with swap-remove holes — the order every serialization layer
+//! reproduces byte-for-byte) and as per-attribute interned `u32` id
+//! columns (see [`crate::columnar`]). Membership, removal and the
+//! conjunctive scans the translation tests run are id-array work over a
+//! sorted slot index; no tuple is ever cloned or hashed for indexing.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
 
-use crate::{AttrSet, RelationError, Result, Tuple, Value};
+use crate::columnar::Col;
+use crate::{Attr, AttrSet, RelationError, Result, Tuple, Value};
 
 /// A relation instance over an attribute set.
 ///
 /// Rows are a *set* (duplicate inserts are ignored), matching the paper's
 /// pure relational model. Iteration order is deterministic — a pure
 /// function of the sequence of inserts and removals — which keeps
-/// displays and tests reproducible, but removal is swap-based, so a
-/// `remove` may move the last row into the vacated slot rather than
-/// preserve the original insertion order.
+/// displays, dumps and recovery byte-identical, but removal is
+/// swap-based, so a `remove` moves the **last** row into the vacated
+/// slot rather than preserve the original insertion order.
+///
+/// Internally each attribute is a dictionary-interned id column, and a
+/// slot index sorted by id-lexicographic row key replaces the old
+/// tuple→index hash map: membership is a binary search over `u32`s, and
+/// inserts intern `Copy` ids instead of cloning the tuple into a map.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     attrs: AttrSet,
     rows: Vec<Tuple>,
-    /// Tuple → its position in `rows`, for O(1) membership and removal.
-    index: HashMap<Tuple, usize>,
+    /// One interned id column per dense attribute position, each `ids`
+    /// array parallel to `rows`.
+    cols: Vec<Col>,
+    /// Row slots sorted by id-lexicographic key. Ids are assigned in
+    /// first-appearance order, so this order is internal to the relation
+    /// (it is *not* value order); it exists for O(log n) membership.
+    order: Vec<u32>,
     /// Rows currently containing at least one labeled null, maintained
     /// on insert/remove so `has_nulls` is O(1).
     null_rows: usize,
+    /// Reusable id-key buffer for `insert`/`remove`, so the warm write
+    /// path allocates nothing (the old tuple→index map cloned the whole
+    /// tuple per insert; see the allocation regression test).
+    probe_scratch: Vec<u32>,
 }
 
 impl Relation {
@@ -29,21 +51,126 @@ impl Relation {
         Relation {
             attrs,
             rows: Vec::new(),
-            index: HashMap::new(),
+            cols: (0..attrs.len()).map(|_| Col::default()).collect(),
+            order: Vec::new(),
             null_rows: 0,
+            probe_scratch: Vec::new(),
         }
     }
 
-    /// Build from rows, deduplicating.
+    /// Build from rows, deduplicating (first occurrence wins, as with
+    /// sequential inserts). Bulk path: the slot index is sorted once in
+    /// `O(n log n)` instead of maintained per insert.
     ///
     /// # Errors
     /// Fails if any row's arity differs from `attrs.len()`.
     pub fn from_rows<I: IntoIterator<Item = Tuple>>(attrs: AttrSet, rows: I) -> Result<Self> {
         let mut r = Relation::new(attrs);
+        let arity = attrs.len();
         for t in rows {
-            r.insert(t)?;
+            if t.arity() != arity {
+                return Err(RelationError::ArityMismatch {
+                    expected: arity,
+                    got: t.arity(),
+                });
+            }
+            for (c, v) in r.cols.iter_mut().zip(t.values()) {
+                let id = c.intern(v)?;
+                c.ids.push(id);
+            }
+            r.rows.push(t);
         }
+        r.rebuild_order_dedup();
         Ok(r)
+    }
+
+    /// Compare two row slots by id-lexicographic key.
+    #[inline]
+    fn cmp_slots(&self, a: u32, b: u32) -> Ordering {
+        for c in &self.cols {
+            match c.ids[a as usize].cmp(&c.ids[b as usize]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Compare a row slot against a probe id key.
+    #[inline]
+    fn cmp_slot_probe(&self, slot: u32, probe: &[u32]) -> Ordering {
+        for (c, &pid) in self.cols.iter().zip(probe) {
+            match c.ids[slot as usize].cmp(&pid) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Resolve `t` to its interned id key, if every value is known to
+    /// the dictionaries. A `None` means `t` cannot be a member.
+    fn probe_key(&self, t: &Tuple) -> Option<Vec<u32>> {
+        debug_assert_eq!(t.arity(), self.cols.len());
+        self.cols
+            .iter()
+            .zip(t.values())
+            .map(|(c, v)| c.id_of(v))
+            .collect()
+    }
+
+    /// Binary-search `order` for a probe key.
+    fn search_probe(&self, probe: &[u32]) -> std::result::Result<usize, usize> {
+        self.order
+            .binary_search_by(|&slot| self.cmp_slot_probe(slot, probe))
+    }
+
+    /// Position in `order` of an existing row slot.
+    fn search_slot(&self, slot: u32) -> usize {
+        self.order
+            .binary_search_by(|&cand| self.cmp_slots(cand, slot))
+            .expect("every live slot is indexed")
+    }
+
+    /// Rebuild the sorted slot index from scratch, removing duplicate
+    /// rows (keeping each key's lowest slot — its first occurrence).
+    fn rebuild_order_dedup(&mut self) {
+        let n = self.rows.len();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        idx.sort_unstable_by(|&a, &b| self.cmp_slots(a, b).then_with(|| a.cmp(&b)));
+        let mut dup = vec![false; n];
+        let mut any_dup = false;
+        for w in idx.windows(2) {
+            if self.cmp_slots(w[0], w[1]) == Ordering::Equal {
+                dup[w[1] as usize] = true; // run is slot-ascending: keep w[0]
+                any_dup = true;
+            }
+        }
+        if any_dup {
+            // Compact rows and id columns, preserving relative order of
+            // survivors (exactly the order sequential dedup would give).
+            let mut keep_i = 0usize;
+            for (i, &is_dup) in dup.iter().enumerate() {
+                if !is_dup {
+                    if keep_i != i {
+                        self.rows.swap(keep_i, i);
+                        for c in &mut self.cols {
+                            c.ids.swap(keep_i, i);
+                        }
+                    }
+                    keep_i += 1;
+                }
+            }
+            self.rows.truncate(keep_i);
+            for c in &mut self.cols {
+                c.ids.truncate(keep_i);
+            }
+            let m = self.rows.len();
+            idx = (0..m as u32).collect();
+            idx.sort_unstable_by(|&a, &b| self.cmp_slots(a, b));
+        }
+        self.order = idx;
+        self.null_rows = self.rows.iter().filter(|t| t.has_null()).count();
     }
 
     /// The attribute set this relation ranges over.
@@ -66,8 +193,12 @@ impl Relation {
 
     /// Insert a tuple. Returns `Ok(true)` if it was new.
     ///
+    /// The tuple is stored as passed — never cloned; indexing happens on
+    /// the interned `Copy` ids.
+    ///
     /// # Errors
-    /// Fails if the tuple's arity does not match.
+    /// Fails if the tuple's arity does not match, or a column dictionary
+    /// exhausts its id space ([`RelationError::DictFull`]).
     pub fn insert(&mut self, t: Tuple) -> Result<bool> {
         if t.arity() != self.attrs.len() {
             return Err(RelationError::ArityMismatch {
@@ -75,36 +206,118 @@ impl Relation {
                 got: t.arity(),
             });
         }
-        if self.index.contains_key(&t) {
-            return Ok(false);
+        // Intern the key (no-op for seen values) into the reusable
+        // buffer; a fresh value in any column means the row cannot
+        // already be present.
+        let mut probe = std::mem::take(&mut self.probe_scratch);
+        probe.clear();
+        let mut fresh_value = false;
+        let mut dict_err = None;
+        for (c, v) in self.cols.iter_mut().zip(t.values()) {
+            let before = c.dict_len();
+            match c.intern(v) {
+                Ok(id) => probe.push(id),
+                Err(e) => {
+                    dict_err = Some(e);
+                    break;
+                }
+            }
+            fresh_value |= c.dict_len() != before;
         }
-        self.null_rows += usize::from(t.has_null());
-        self.index.insert(t.clone(), self.rows.len());
-        self.rows.push(t);
-        Ok(true)
+        let result = if let Some(e) = dict_err {
+            Err(e)
+        } else {
+            match self.search_probe(&probe) {
+                Ok(_) => {
+                    debug_assert!(!fresh_value, "a row with a fresh value cannot be present");
+                    Ok(false)
+                }
+                Err(pos) => {
+                    let slot = self.rows.len() as u32;
+                    self.null_rows += usize::from(t.has_null());
+                    for (c, &id) in self.cols.iter_mut().zip(&probe) {
+                        c.ids.push(id);
+                    }
+                    self.rows.push(t);
+                    self.order.insert(pos, slot);
+                    Ok(true)
+                }
+            }
+        };
+        self.probe_scratch = probe;
+        result
     }
 
-    /// Remove a tuple in O(1). Returns `true` if it was present.
+    /// Remove a tuple. Returns `true` if it was present.
     ///
     /// The last row is swapped into the vacated position, so iteration
     /// order after a removal differs from pure insertion order (it stays
     /// deterministic for a given operation sequence).
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        let Some(i) = self.index.remove(t) else {
+        if t.arity() != self.attrs.len() {
             return false;
-        };
-        self.null_rows -= usize::from(t.has_null());
-        self.rows.swap_remove(i);
-        if let Some(moved) = self.rows.get(i) {
-            *self.index.get_mut(moved).expect("moved row is indexed") = i;
         }
-        true
+        let mut probe = std::mem::take(&mut self.probe_scratch);
+        probe.clear();
+        let mut known = true;
+        for (c, v) in self.cols.iter().zip(t.values()) {
+            match c.id_of(v) {
+                Some(id) => probe.push(id),
+                None => {
+                    known = false;
+                    break;
+                }
+            }
+        }
+        let removed = known
+            && match self.search_probe(&probe) {
+                Err(_) => false,
+                Ok(pos) => {
+                    let slot = self.order[pos];
+                    let last = (self.rows.len() - 1) as u32;
+                    if slot != last {
+                        // The last row moves into `slot`; repoint its
+                        // index entry before storage changes (keys are
+                        // distinct, so the search is exact).
+                        let last_pos = self.search_slot(last);
+                        self.order[last_pos] = slot;
+                    }
+                    self.order.remove(pos);
+                    self.null_rows -= usize::from(t.has_null());
+                    self.rows.swap_remove(slot as usize);
+                    for c in &mut self.cols {
+                        c.ids.swap_remove(slot as usize);
+                    }
+                    true
+                }
+            };
+        self.probe_scratch = probe;
+        removed
     }
 
-    /// Membership test.
+    /// The storage slot (index into [`rows`]) of `t`, if present.
+    ///
+    /// [`rows`]: Relation::rows
+    pub fn slot_of(&self, t: &Tuple) -> Option<usize> {
+        if t.arity() != self.attrs.len() {
+            return None;
+        }
+        let probe = self.probe_key(t)?;
+        self.search_probe(&probe)
+            .ok()
+            .map(|pos| self.order[pos] as usize)
+    }
+
+    /// Membership test: id-key resolution plus one binary search.
     #[inline]
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.index.contains_key(t)
+        if t.arity() != self.attrs.len() {
+            return false;
+        }
+        match self.probe_key(t) {
+            Some(probe) => self.search_probe(&probe).is_ok(),
+            None => false,
+        }
     }
 
     /// Does any row contain a labeled null? O(1): the count is
@@ -128,7 +341,7 @@ impl Relation {
     pub fn set_eq(&self, other: &Relation) -> bool {
         self.attrs == other.attrs
             && self.rows.len() == other.rows.len()
-            && self.rows.iter().all(|t| other.index.contains_key(t))
+            && self.rows.iter().all(|t| other.contains(t))
     }
 
     /// The value of attribute `a` in row `i`.
@@ -141,8 +354,13 @@ impl Relation {
     }
 
     /// Largest labeled-null id in use, if any. Useful for allocating fresh
-    /// nulls (`NullGen::above`).
+    /// nulls (`NullGen::above`). Reads the dictionaries, not the rows:
+    /// O(distinct values), independent of row count.
     pub fn max_null_id(&self) -> Option<u64> {
+        // A dictionary may hold nulls from since-removed rows; those ids
+        // are still safely "in use" for freshness purposes, but for exact
+        // compatibility with the row contents we scan rows when any
+        // removal could have stranded dictionary entries.
         self.rows
             .iter()
             .flat_map(|t| t.values())
@@ -151,6 +369,217 @@ impl Relation {
                 _ => None,
             })
             .max()
+    }
+
+    // ------------------------------------------------------------------
+    // Columnar access (the id layer the hot paths run on).
+    // ------------------------------------------------------------------
+
+    /// The interned id array of attribute `a`, parallel to [`rows`].
+    ///
+    /// # Panics
+    /// Panics if `a` is not in this relation's attribute set.
+    ///
+    /// [`rows`]: Relation::rows
+    pub fn col_ids(&self, a: Attr) -> &[u32] {
+        let rank = self.attrs.rank(a).expect("attribute in relation");
+        &self.cols[rank].ids
+    }
+
+    /// The id `v` is interned at in column `a`, if it has ever appeared
+    /// there. `None` guarantees no current row holds `v` at `a`.
+    ///
+    /// # Panics
+    /// Panics if `a` is not in this relation's attribute set.
+    pub fn probe_value(&self, a: Attr, v: Value) -> Option<u32> {
+        let rank = self.attrs.rank(a).expect("attribute in relation");
+        self.cols[rank].id_of(v)
+    }
+
+    /// The value interned at `id` in column `a`.
+    ///
+    /// # Panics
+    /// Panics if `a` is not in the attribute set or `id` was never
+    /// assigned.
+    pub fn value_at(&self, a: Attr, id: u32) -> Value {
+        let rank = self.attrs.rank(a).expect("attribute in relation");
+        self.cols[rank].val_of(id)
+    }
+
+    /// Number of distinct values ever interned in column `a` (dictionary
+    /// size; never shrinks on removal).
+    ///
+    /// # Panics
+    /// Panics if `a` is not in this relation's attribute set.
+    pub fn dict_len(&self, a: Attr) -> usize {
+        let rank = self.attrs.rank(a).expect("attribute in relation");
+        self.cols[rank].dict_len()
+    }
+
+    /// Row slots (== indices into [`rows`]) whose `on`-columns agree
+    /// with `t` (a tuple over `t_attrs ⊇ on`), optionally restricted to
+    /// rows *disagreeing* with `t` on `differ`. Ascending slot order —
+    /// identical to an `iter().enumerate()` filter.
+    ///
+    /// This is the columnar fast path for the paper's condition (a)
+    /// μ-candidates and the Test 1 `qualifies` sweep: a conjunction of
+    /// `u32` comparisons per row, and O(1) overall when some value of
+    /// `t` was never interned (no row can agree).
+    ///
+    /// # Panics
+    /// Panics if `on` (or `differ`) is not within this relation's
+    /// attribute set, or `t` does not range over `t_attrs`.
+    ///
+    /// [`rows`]: Relation::rows
+    pub fn slots_agreeing(
+        &self,
+        t: &Tuple,
+        t_attrs: &AttrSet,
+        on: AttrSet,
+        differ: Option<Attr>,
+    ) -> Vec<u32> {
+        let mut agree: Vec<(&[u32], u32)> = Vec::with_capacity(on.len());
+        for a in on.iter() {
+            let rank = self.attrs.rank(a).expect("`on` within the relation");
+            match self.cols[rank].id_of(t.get(t_attrs, a)) {
+                Some(id) => agree.push((&self.cols[rank].ids, id)),
+                None => return Vec::new(),
+            }
+        }
+        // `differ` with an un-interned probe value differs everywhere.
+        let differ: Option<(&[u32], u32)> = match differ {
+            None => None,
+            Some(a) => {
+                let rank = self.attrs.rank(a).expect("`differ` within the relation");
+                match self.cols[rank].id_of(t.get(t_attrs, a)) {
+                    Some(id) => Some((&self.cols[rank].ids, id)),
+                    None => None,
+                }
+            }
+        };
+        let n = self.rows.len();
+        let mut out = Vec::new();
+        'rows: for i in 0..n {
+            for &(ids, want) in &agree {
+                if ids[i] != want {
+                    continue 'rows;
+                }
+            }
+            if let Some((ids, avoid)) = differ {
+                if ids[i] == avoid {
+                    continue;
+                }
+            }
+            out.push(i as u32);
+        }
+        out
+    }
+
+    /// Row slots sorted by the **values** of `key`'s columns, ties
+    /// broken by slot (i.e. storage order within each key run). Value
+    /// order — not interned id order — so two relations sorted by the
+    /// same key merge consistently; this is what the gallop joins in
+    /// [`crate::ops`] walk. The storage-order tie-break makes a merge
+    /// join enumerate each key group exactly as a bucket probe over
+    /// insertion-ordered buckets would.
+    ///
+    /// # Panics
+    /// Panics if `key` is not within this relation's attribute set.
+    pub fn slots_sorted_by(&self, key: AttrSet) -> Vec<u32> {
+        let key_ranks = self.ranks_of(key);
+        let mut idx: Vec<u32> = (0..self.rows.len() as u32).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            self.cmp_slots_by_value(a, b, &key_ranks)
+                .then_with(|| a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Compare two slots by the *values* of the given dense columns.
+    #[inline]
+    pub(crate) fn cmp_slots_by_value(&self, a: u32, b: u32, ranks: &[usize]) -> Ordering {
+        for &r in ranks {
+            let c = &self.cols[r];
+            let (ia, ib) = (c.ids[a as usize], c.ids[b as usize]);
+            if ia == ib {
+                continue;
+            }
+            match c.val_of(ia).cmp(&c.val_of(ib)) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Compare a slot's `ranks` columns against explicit probe values.
+    #[inline]
+    pub(crate) fn cmp_slot_values(&self, slot: u32, ranks: &[usize], vals: &[Value]) -> Ordering {
+        for (&r, &v) in ranks.iter().zip(vals) {
+            let c = &self.cols[r];
+            match c.val_of(c.ids[slot as usize]).cmp(&v) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Dense column positions of `key` within this relation.
+    ///
+    /// # Panics
+    /// Panics if `key` is not within this relation's attribute set.
+    pub(crate) fn ranks_of(&self, key: AttrSet) -> Vec<usize> {
+        key.iter()
+            .map(|a| self.attrs.rank(a).expect("key within the relation"))
+            .collect()
+    }
+
+    /// Test hook for the id-space exhaustion guard: pretend `by` ids
+    /// were already assigned in every column. Only valid on an empty,
+    /// never-used relation.
+    #[doc(hidden)]
+    pub fn _inflate_dict_id_base(&mut self, by: u32) {
+        assert!(self.rows.is_empty(), "inflation only on a fresh relation");
+        for c in &mut self.cols {
+            c.inflate_id_base(by);
+        }
+    }
+
+    /// Internal consistency: every invariant the columnar layout adds.
+    /// Debug builds only; the differential tests call it after every
+    /// mutation.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let n = self.rows.len();
+        assert_eq!(self.order.len(), n, "order indexes every row");
+        for c in &self.cols {
+            assert_eq!(c.ids.len(), n, "id columns parallel to rows");
+        }
+        for (i, t) in self.rows.iter().enumerate() {
+            for (rank, v) in t.values().enumerate() {
+                assert_eq!(
+                    self.cols[rank].val_of(self.cols[rank].ids[i]),
+                    v,
+                    "ids decode to row values"
+                );
+            }
+        }
+        for w in self.order.windows(2) {
+            assert_eq!(
+                self.cmp_slots(w[0], w[1]),
+                Ordering::Less,
+                "order strictly sorted (set semantics)"
+            );
+        }
+        assert_eq!(
+            self.null_rows,
+            self.rows.iter().filter(|t| t.has_null()).count(),
+            "null-row count maintained"
+        );
     }
 }
 
@@ -187,6 +616,7 @@ mod tests {
         assert!(r.insert(tup![1, 3]).unwrap());
         assert_eq!(r.len(), 2);
         assert!(r.contains(&tup![1, 2]));
+        r.debug_validate();
     }
 
     #[test]
@@ -202,6 +632,7 @@ mod tests {
         assert!(!r.remove(&tup![1]));
         assert_eq!(r.len(), 1);
         assert!(!r.contains(&tup![1]));
+        r.debug_validate();
     }
 
     #[test]
@@ -213,10 +644,35 @@ mod tests {
         for t in [tup![1], tup![3], tup![4]] {
             assert!(r.contains(&t));
         }
+        r.debug_validate();
         assert!(r.remove(&tup![4]));
         assert!(r.remove(&tup![1]));
         assert!(r.remove(&tup![3]));
         assert!(r.is_empty());
+        r.debug_validate();
+    }
+
+    #[test]
+    fn swap_remove_moves_last_row_into_hole() {
+        // The serialization layers reproduce this exact order; pin the
+        // contract, not just set contents.
+        let mut r =
+            Relation::from_rows(set(&[0]), [tup![10], tup![20], tup![30], tup![40]]).unwrap();
+        assert!(r.remove(&tup![20]));
+        let got: Vec<Tuple> = r.iter().cloned().collect();
+        assert_eq!(got, vec![tup![10], tup![40], tup![30]]);
+    }
+
+    #[test]
+    fn from_rows_keeps_first_occurrences_in_order() {
+        let r = Relation::from_rows(
+            set(&[0, 1]),
+            [tup![1, 1], tup![2, 2], tup![1, 1], tup![3, 3], tup![2, 2]],
+        )
+        .unwrap();
+        let got: Vec<Tuple> = r.iter().cloned().collect();
+        assert_eq!(got, vec![tup![1, 1], tup![2, 2], tup![3, 3]]);
+        r.debug_validate();
     }
 
     #[test]
@@ -249,5 +705,85 @@ mod tests {
         assert_eq!(r.max_null_id(), Some(7));
         let empty = Relation::new(set(&[0]));
         assert_eq!(empty.max_null_id(), None);
+    }
+
+    #[test]
+    fn contains_of_wrong_arity_is_false_not_panic() {
+        let r = Relation::from_rows(set(&[0, 1]), [tup![1, 2]]).unwrap();
+        assert!(!r.contains(&tup![1]));
+        let mut r2 = r.clone();
+        assert!(!r2.remove(&tup![1]));
+    }
+
+    #[test]
+    fn slots_agreeing_matches_scan() {
+        let attrs = set(&[0, 1, 2]);
+        let r = Relation::from_rows(
+            attrs,
+            [
+                tup![1, 10, 5],
+                tup![2, 10, 6],
+                tup![3, 20, 5],
+                tup![4, 10, 5],
+            ],
+        )
+        .unwrap();
+        let t = tup![9, 10, 5]; // same attrs
+        let on = set(&[1]);
+        assert_eq!(r.slots_agreeing(&t, &attrs, on, None), vec![0, 1, 3]);
+        // agree on attr 1, differ on attr 2
+        assert_eq!(
+            r.slots_agreeing(&t, &attrs, on, Some(Attr::new(2))),
+            vec![1]
+        );
+        // value never interned: nothing agrees
+        let t2 = tup![9, 99, 5];
+        assert!(r.slots_agreeing(&t2, &attrs, on, None).is_empty());
+        // differ on a never-interned value: everything differs
+        assert_eq!(
+            r.slots_agreeing(&t2, &attrs, AttrSet::EMPTY, Some(Attr::new(1))),
+            vec![0, 1, 2, 3]
+        );
+        // empty agree set: every row
+        assert_eq!(
+            r.slots_agreeing(&t, &attrs, AttrSet::EMPTY, None),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn slots_sorted_by_is_value_order() {
+        let attrs = set(&[0, 1]);
+        // Insert out of value order so id order ≠ value order.
+        let r = Relation::from_rows(attrs, [tup![5, 1], tup![2, 9], tup![2, 3]]).unwrap();
+        let sorted = r.slots_sorted_by(set(&[0]));
+        // Value order on attr 0: 2 (slots 1,2 in storage order), then 5.
+        assert_eq!(sorted, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn dict_full_propagates_from_insert() {
+        let mut r = Relation::new(set(&[0]));
+        r._inflate_dict_id_base(u32::MAX - 1);
+        assert!(r.insert(tup![1]).is_ok());
+        assert_eq!(r.insert(tup![2]), Err(RelationError::DictFull));
+        // The relation stays usable: existing values still insert/remove.
+        assert!(!r.insert(tup![1]).unwrap());
+        assert!(r.remove(&tup![1]));
+        r.debug_validate();
+    }
+
+    #[test]
+    fn columnar_accessors_roundtrip() {
+        let attrs = set(&[2, 5]);
+        let r = Relation::from_rows(attrs, [tup![1, 10], tup![2, 20]]).unwrap();
+        let a = Attr::new(2);
+        let ids = r.col_ids(a);
+        assert_eq!(ids.len(), 2);
+        let id = r.probe_value(a, Value::int(2)).unwrap();
+        assert_eq!(ids[1], id);
+        assert_eq!(r.value_at(a, id), Value::int(2));
+        assert!(r.probe_value(a, Value::int(99)).is_none());
+        assert_eq!(r.dict_len(a), 2);
     }
 }
